@@ -1,0 +1,49 @@
+//! `cargo bench` target regenerating every table and figure of the
+//! evaluation (E1–E10).
+//!
+//! This is intentionally not a Criterion bench: the deliverable is the
+//! tables themselves, printed with wall-clock timings per experiment.
+//! Set `LORAMESHER_QUICK=1` to run the scaled-down sweeps.
+
+use std::time::Instant;
+
+use scenario::experiments::{self, ExpOptions};
+
+fn main() {
+    let quick = std::env::var("LORAMESHER_QUICK").is_ok_and(|v| v != "0");
+    let opt = ExpOptions {
+        quick,
+        ..ExpOptions::default()
+    };
+    println!(
+        "LoRaMesher evaluation suite ({} sweeps, seed {})\n",
+        if quick { "quick" } else { "full" },
+        opt.seed
+    );
+    type Experiment = (&'static str, fn(&ExpOptions) -> scenario::ExpTable);
+    let experiments: Vec<Experiment> = vec![
+        ("E1", experiments::e1_convergence),
+        ("E2", experiments::e2_overhead),
+        ("E3", experiments::e3_pdr_vs_hops),
+        ("E4", experiments::e4_latency),
+        ("E5", experiments::e5_protocol_comparison),
+        ("E6", experiments::e6_reliable_goodput),
+        ("E7", experiments::e7_route_repair),
+        ("E8", experiments::e8_duty_cycle),
+        ("E9", experiments::e9_state_size),
+        ("E10", |_| experiments::e10_wire_format()),
+        ("E11", experiments::e11_mobility),
+        ("E12", experiments::e12_fairness),
+        ("A1", experiments::a1_csma_ablation),
+        ("A2", experiments::a2_capture_ablation),
+        ("A3", experiments::a3_jitter_ablation),
+        ("A4", experiments::a4_snr_tiebreak),
+    ];
+    for (name, run) in experiments {
+        let start = Instant::now();
+        let table = run(&opt);
+        let elapsed = start.elapsed();
+        println!("{table}");
+        println!("  [{name} completed in {:.2} s wall clock]\n", elapsed.as_secs_f64());
+    }
+}

@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks for the hot paths of the stack:
+//! wire codec, routing-table updates, time-on-air math, the simulation
+//! PRNG, and end-to-end simulator throughput.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use lora_phy::modulation::{Bandwidth, CodingRate, LoRaModulation, SpreadingFactor};
+use lora_phy::propagation::Position;
+use loramesher::addr::Address;
+use loramesher::codec;
+use loramesher::packet::{Forwarding, Packet, RouteEntry};
+use loramesher::routing::RoutingTable;
+use radio_sim::rng::SimRng;
+use radio_sim::topology;
+use scenario::runner::NetworkBuilder;
+
+fn data_packet(payload_len: usize) -> Packet {
+    Packet::Data {
+        dst: Address::new(2),
+        src: Address::new(1),
+        id: 7,
+        fwd: Forwarding { via: Address::new(2), ttl: 10 },
+        payload: vec![0xA5; payload_len],
+    }
+}
+
+fn hello_packet(entries: usize) -> Packet {
+    Packet::Hello {
+        src: Address::new(1),
+        id: 7,
+        role: 0,
+        entries: (0..entries)
+            .map(|i| RouteEntry {
+                address: Address::new(100 + i as u16),
+                metric: (i % 15) as u8 + 1,
+                role: 0,
+            })
+            .collect(),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for len in [16usize, 64, 200] {
+        let packet = data_packet(len);
+        let wire = codec::encode(&packet).unwrap();
+        g.throughput(Throughput::Bytes(wire.len() as u64));
+        g.bench_function(format!("encode_data_{len}B"), |b| {
+            b.iter(|| codec::encode(std::hint::black_box(&packet)).unwrap())
+        });
+        g.bench_function(format!("decode_data_{len}B"), |b| {
+            b.iter(|| codec::decode(std::hint::black_box(&wire)).unwrap())
+        });
+    }
+    let hello = hello_packet(30);
+    let wire = codec::encode(&hello).unwrap();
+    g.bench_function("encode_hello_30_routes", |b| {
+        b.iter(|| codec::encode(std::hint::black_box(&hello)).unwrap())
+    });
+    g.bench_function("decode_hello_30_routes", |b| {
+        b.iter(|| codec::decode(std::hint::black_box(&wire)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    for n in [8usize, 32, 61] {
+        let me = Address::new(1);
+        let neighbour = Address::new(2);
+        let entries: Vec<RouteEntry> = (0..n)
+            .map(|i| RouteEntry {
+                address: Address::new(100 + i as u16),
+                metric: (i % 14) as u8 + 1,
+                role: 0,
+            })
+            .collect();
+        g.bench_function(format!("apply_hello_{n}_entries"), |b| {
+            b.iter_batched(
+                RoutingTable::new,
+                |mut table| {
+                    table.apply_hello(me, neighbour, 0, &entries, 5.0, Duration::from_secs(1))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let mut table = RoutingTable::new();
+        table.apply_hello(me, neighbour, 0, &entries, 5.0, Duration::from_secs(1));
+        g.bench_function(format!("next_hop_of_{n}"), |b| {
+            b.iter(|| table.next_hop(std::hint::black_box(Address::new(100 + (n as u16) / 2))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_airtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("airtime");
+    for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf12] {
+        let m = LoRaModulation::new(sf, Bandwidth::Khz125, CodingRate::Cr4_5);
+        g.bench_function(format!("time_on_air_SF{}", sf.value()), |b| {
+            b.iter(|| m.time_on_air(std::hint::black_box(64)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("next_u64", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| rng.next_u64())
+    });
+    g.bench_function("gen_range_1000", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| rng.gen_range(1000))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    // Simulated minutes of a 9-node mesh per iteration: measures event
+    // throughput of the whole stack.
+    g.bench_function("grid9_mesh_60s_simulated", |b| {
+        b.iter(|| {
+            let spacing = topology::radio_range_m(
+                &radio_sim::sim::SimConfig::default().rf,
+            ) * 0.8;
+            let mut runner = NetworkBuilder::mesh(topology::grid(3, 3, spacing), 42).build();
+            runner.run_until(Duration::from_secs(60));
+            std::hint::black_box(runner.phy_metrics().frames_transmitted)
+        })
+    });
+    g.bench_function("line4_convergence", |b| {
+        b.iter(|| {
+            let spacing = topology::radio_range_m(
+                &radio_sim::sim::SimConfig::default().rf,
+            ) * 0.8;
+            let mut runner = NetworkBuilder::mesh(topology::line(4, spacing), 42).build();
+            std::hint::black_box(
+                runner.run_until_converged(Duration::from_secs(2), Duration::from_secs(600)),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_medium(c: &mut Criterion) {
+    use radio_sim::medium::{Medium, RfConfig};
+    let mut g = c.benchmark_group("medium");
+    let medium = Medium::new(RfConfig::default());
+    let a = Position::new(0.0, 0.0);
+    let b = Position::new(250.0, 100.0);
+    g.bench_function("received_power", |bch| {
+        bch.iter(|| {
+            medium.received_power(
+                std::hint::black_box(&a),
+                std::hint::black_box(&b),
+                radio_sim::firmware::NodeId(0),
+                radio_sim::firmware::NodeId(1),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_routing,
+    bench_airtime,
+    bench_rng,
+    bench_simulator,
+    bench_medium
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates ablation A1 (CSMA vs. ALOHA).
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::a1_csma_ablation(&opt));
+}

@@ -1,0 +1,5 @@
+//! Regenerates ablation A2 (capture effect on/off).
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::a2_capture_ablation(&opt));
+}

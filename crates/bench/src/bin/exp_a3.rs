@@ -1,0 +1,5 @@
+//! Regenerates ablation A3 (hello jitter on/off).
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::a3_jitter_ablation(&opt));
+}

@@ -1,0 +1,5 @@
+//! Regenerates ablation A4 (SNR route tie-break on/off).
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::a4_snr_tiebreak(&opt));
+}

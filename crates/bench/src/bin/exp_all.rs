@@ -1,0 +1,36 @@
+//! Runs the complete evaluation suite (E1–E11 and the A1–A3 ablations)
+//! and prints every table.
+//!
+//! With `--markdown`, emits GitHub-flavoured markdown (used to fill
+//! EXPERIMENTS.md); with `--csv`, RFC 4180 CSV blocks for plotting;
+//! otherwise aligned plain text.
+fn main() {
+    let mut markdown = false;
+    let mut csv = false;
+    let mut opt = scenario::experiments::ExpOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opt.quick = true,
+            "--markdown" => markdown = true,
+            "--csv" => csv = true,
+            "--seed" => {
+                opt.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    for table in scenario::experiments::all(&opt) {
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else if csv {
+            println!("# {}", table.title);
+            println!("{}", table.to_csv());
+        } else {
+            println!("{table}");
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E10 (wire-format table) of the evaluation.
+fn main() {
+    let _ = bench::options_from_args();
+    println!("{}", scenario::experiments::e10_wire_format());
+}

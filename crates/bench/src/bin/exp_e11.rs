@@ -1,0 +1,5 @@
+//! Regenerates experiment E11 (mobility extension) of the evaluation.
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::e11_mobility(&opt));
+}

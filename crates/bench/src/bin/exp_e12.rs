@@ -1,0 +1,5 @@
+//! Regenerates experiment E12 (airtime fairness) of the evaluation.
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::e12_fairness(&opt));
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E2 of the LoRaMesher evaluation.
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::e2_overhead(&opt));
+}

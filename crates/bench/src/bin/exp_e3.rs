@@ -1,0 +1,5 @@
+//! Regenerates experiment E3 of the LoRaMesher evaluation.
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::e3_pdr_vs_hops(&opt));
+}

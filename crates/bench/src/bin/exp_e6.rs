@@ -1,0 +1,5 @@
+//! Regenerates experiment E6 of the LoRaMesher evaluation.
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::e6_reliable_goodput(&opt));
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E7 of the LoRaMesher evaluation.
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::e7_route_repair(&opt));
+}

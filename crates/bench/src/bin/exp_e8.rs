@@ -1,0 +1,5 @@
+//! Regenerates experiment E8 of the LoRaMesher evaluation.
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::e8_duty_cycle(&opt));
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E9 of the LoRaMesher evaluation.
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::e9_state_size(&opt));
+}

@@ -1,0 +1,54 @@
+//! Benchmark harness for the LoRaMesher reproduction.
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Experiment binaries** (`src/bin/exp_e1.rs` … `exp_e10.rs`, plus
+//!   `exp_all`): each regenerates one table/figure of the evaluation by
+//!   calling into [`scenario::experiments`] and printing the result
+//!   table. Pass `--quick` for a scaled-down run.
+//! * **Bench targets** (`cargo bench`): `experiments` re-runs the whole
+//!   evaluation suite (set `LORAMESHER_QUICK=1` for the scaled-down
+//!   version) and `micro` holds the Criterion micro-benchmarks for the
+//!   codec, routing table, time-on-air math, PRNG and simulator core.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use scenario::experiments::ExpOptions;
+
+/// Parses the common CLI of the experiment binaries: `--quick` shrinks
+/// sweeps, `--seed N` overrides the master seed.
+#[must_use]
+pub fn options_from_args() -> ExpOptions {
+    let mut opt = ExpOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opt.quick = true,
+            "--seed" => {
+                opt.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed requires an integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: exp_eN [--quick] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_full() {
+        let opt = options_from_args();
+        assert!(!opt.quick);
+        assert_eq!(opt.seed, 42);
+    }
+}

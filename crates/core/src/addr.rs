@@ -1,0 +1,98 @@
+//! Node addresses.
+//!
+//! LoRaMesher identifies nodes with 16-bit addresses derived from the last
+//! two bytes of the device MAC. `0xFFFF` is the broadcast address.
+
+use core::fmt;
+
+/// A 16-bit LoRaMesher node address.
+///
+/// ```
+/// use loramesher::Address;
+///
+/// let a = Address::new(0x1A2B);
+/// assert_eq!(a.to_string(), "1A2B");
+/// assert!(!a.is_broadcast());
+/// assert!(Address::BROADCAST.is_broadcast());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Address(u16);
+
+impl Address {
+    /// The broadcast address, `0xFFFF`.
+    pub const BROADCAST: Address = Address(0xFFFF);
+
+    /// Creates an address from its 16-bit value.
+    #[must_use]
+    pub const fn new(value: u16) -> Self {
+        Address(value)
+    }
+
+    /// Derives an address from a 6-byte MAC, as the LoRaMesher firmware
+    /// does (last two bytes, big-endian).
+    #[must_use]
+    pub fn from_mac(mac: [u8; 6]) -> Self {
+        Address(u16::from_be_bytes([mac[4], mac[5]]))
+    }
+
+    /// The raw 16-bit value.
+    #[must_use]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the broadcast address.
+    #[must_use]
+    pub const fn is_broadcast(self) -> bool {
+        self.0 == 0xFFFF
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04X}", self.0)
+    }
+}
+
+impl From<u16> for Address {
+    fn from(value: u16) -> Self {
+        Address(value)
+    }
+}
+
+impl From<Address> for u16 {
+    fn from(a: Address) -> Self {
+        a.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_u16() {
+        let a = Address::new(0x0042);
+        assert_eq!(u16::from(a), 0x0042);
+        assert_eq!(Address::from(0x0042u16), a);
+        assert_eq!(a.value(), 0x0042);
+    }
+
+    #[test]
+    fn broadcast_detection() {
+        assert!(Address::new(0xFFFF).is_broadcast());
+        assert!(!Address::new(0xFFFE).is_broadcast());
+        assert_eq!(Address::BROADCAST, Address::new(0xFFFF));
+    }
+
+    #[test]
+    fn from_mac_uses_last_two_bytes() {
+        let a = Address::from_mac([0xDE, 0xAD, 0xBE, 0xEF, 0x12, 0x34]);
+        assert_eq!(a.value(), 0x1234);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Address::new(0x00FF).to_string(), "00FF");
+    }
+}

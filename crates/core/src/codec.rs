@@ -1,0 +1,469 @@
+//! The compact binary wire format.
+//!
+//! Matching the C++ library's packed structs, every frame starts with a
+//! 7-byte common header; unicast kinds add a 3-byte forwarding extension:
+//!
+//! ```text
+//! offset  0        2        4      5    6       7
+//!         +--------+--------+------+----+-------+----------------------
+//!         | dst LE | src LE | kind | id | plen  | payload (plen bytes)
+//!         +--------+--------+------+----+-------+----------------------
+//!
+//! unicast payload:   via LE (2) | ttl (1) | kind-specific body
+//! Hello payload:     role (1)   | entries: [addr LE (2) | metric | role] *
+//! Data body:         application bytes
+//! Sync body:         seq (1) | frag_count LE (2) | total_len LE (4)
+//! Frag body:         seq (1) | index LE (2) | fragment bytes
+//! Ack body:          seq (1) | index LE (2)
+//! Lost body:         seq (1) | missing: index LE (2) *
+//! ```
+//!
+//! `plen` counts every byte after the common header, so a frame is always
+//! `7 + plen ≤ 255` bytes and the length is verifiable on receipt.
+
+use crate::addr::Address;
+use crate::error::CodecError;
+use crate::packet::{Forwarding, Packet, PacketKind, RouteEntry};
+
+/// Size of the common header present in every frame.
+pub const COMMON_HEADER_LEN: usize = 7;
+/// Size of the forwarding extension in unicast frames.
+pub const FORWARDING_LEN: usize = 3;
+/// Total header overhead of a Data frame.
+pub const DATA_OVERHEAD: usize = COMMON_HEADER_LEN + FORWARDING_LEN;
+/// Bytes each routing entry occupies in a Hello frame.
+pub const ROUTE_ENTRY_LEN: usize = 4;
+/// Largest encoded frame (the LoRa PHY limit).
+pub const MAX_FRAME_LEN: usize = 255;
+/// Largest `plen` value (frame minus common header).
+pub const MAX_PAYLOAD_LEN: usize = MAX_FRAME_LEN - COMMON_HEADER_LEN;
+/// Largest application payload of a single Data frame.
+pub const MAX_DATA_PAYLOAD: usize = MAX_FRAME_LEN - DATA_OVERHEAD;
+/// Header overhead of a Frag frame (forwarding + seq + index).
+pub const FRAG_OVERHEAD: usize = DATA_OVERHEAD + 3;
+/// Largest fragment body of a reliable transfer.
+pub const MAX_FRAG_PAYLOAD: usize = MAX_FRAME_LEN - FRAG_OVERHEAD;
+/// Largest number of routing entries a single Hello frame can carry.
+pub const MAX_HELLO_ENTRIES: usize = (MAX_PAYLOAD_LEN - 1) / ROUTE_ENTRY_LEN;
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([buf[at], buf[at + 1]])
+}
+
+fn get_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
+/// Encodes a packet into its wire representation.
+///
+/// ```
+/// use loramesher::codec::{decode, encode};
+/// use loramesher::packet::{Forwarding, Packet};
+/// use loramesher::Address;
+///
+/// let packet = Packet::Data {
+///     dst: Address::new(2),
+///     src: Address::new(1),
+///     id: 0,
+///     fwd: Forwarding { via: Address::new(2), ttl: 10 },
+///     payload: b"sensor reading".to_vec(),
+/// };
+/// let wire = encode(&packet)?;
+/// assert_eq!(decode(&wire)?, packet);
+/// # Ok::<(), loramesher::CodecError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CodecError::FrameTooLarge`] when the encoded frame would
+/// exceed the 255-byte PHY limit.
+pub fn encode(packet: &Packet) -> Result<Vec<u8>, CodecError> {
+    let mut buf = Vec::with_capacity(64);
+    put_u16(&mut buf, packet.dst().value());
+    put_u16(&mut buf, packet.src().value());
+    buf.push(packet.kind() as u8);
+    buf.push(packet.id());
+    buf.push(0); // plen patched below
+
+    if let Some(Forwarding { via, ttl }) = packet.forwarding() {
+        put_u16(&mut buf, via.value());
+        buf.push(ttl);
+    }
+
+    match packet {
+        Packet::Hello { role, entries, .. } => {
+            buf.push(*role);
+            for e in entries {
+                put_u16(&mut buf, e.address.value());
+                buf.push(e.metric);
+                buf.push(e.role);
+            }
+        }
+        Packet::Data { payload, .. } => buf.extend_from_slice(payload),
+        Packet::Sync { seq, frag_count, total_len, .. } => {
+            buf.push(*seq);
+            put_u16(&mut buf, *frag_count);
+            put_u32(&mut buf, *total_len);
+        }
+        Packet::Frag { seq, index, data, .. } => {
+            buf.push(*seq);
+            put_u16(&mut buf, *index);
+            buf.extend_from_slice(data);
+        }
+        Packet::Ack { seq, index, .. } => {
+            buf.push(*seq);
+            put_u16(&mut buf, *index);
+        }
+        Packet::Lost { seq, missing, .. } => {
+            buf.push(*seq);
+            for m in missing {
+                put_u16(&mut buf, *m);
+            }
+        }
+    }
+
+    if buf.len() > MAX_FRAME_LEN {
+        return Err(CodecError::FrameTooLarge(buf.len()));
+    }
+    buf[6] = (buf.len() - COMMON_HEADER_LEN) as u8;
+    Ok(buf)
+}
+
+/// Decodes a wire frame into a packet.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when the frame is truncated, declares a wrong
+/// length, uses an unknown kind, or carries a malformed payload.
+pub fn decode(frame: &[u8]) -> Result<Packet, CodecError> {
+    if frame.len() < COMMON_HEADER_LEN {
+        return Err(CodecError::Truncated {
+            needed: COMMON_HEADER_LEN,
+            got: frame.len(),
+        });
+    }
+    let dst = Address::new(get_u16(frame, 0));
+    let src = Address::new(get_u16(frame, 2));
+    let kind = PacketKind::from_wire(frame[4]).ok_or(CodecError::UnknownKind(frame[4]))?;
+    let id = frame[5];
+    let declared = frame[6] as usize;
+    let actual = frame.len() - COMMON_HEADER_LEN;
+    if declared != actual {
+        return Err(CodecError::LengthMismatch { declared, actual });
+    }
+    let body = &frame[COMMON_HEADER_LEN..];
+
+    if kind == PacketKind::Hello {
+        if body.is_empty() || !(body.len() - 1).is_multiple_of(ROUTE_ENTRY_LEN) {
+            return Err(CodecError::MalformedRoutingPayload);
+        }
+        let role = body[0];
+        let entries = body[1..]
+            .chunks_exact(ROUTE_ENTRY_LEN)
+            .map(|c| RouteEntry {
+                address: Address::new(u16::from_le_bytes([c[0], c[1]])),
+                metric: c[2],
+                role: c[3],
+            })
+            .collect();
+        return Ok(Packet::Hello { src, id, role, entries });
+    }
+
+    // All remaining kinds carry the forwarding extension.
+    if body.len() < FORWARDING_LEN {
+        return Err(CodecError::Truncated {
+            needed: COMMON_HEADER_LEN + FORWARDING_LEN,
+            got: frame.len(),
+        });
+    }
+    let fwd = Forwarding {
+        via: Address::new(u16::from_le_bytes([body[0], body[1]])),
+        ttl: body[2],
+    };
+    let rest = &body[FORWARDING_LEN..];
+
+    let need = |n: usize| -> Result<(), CodecError> {
+        if rest.len() < n {
+            Err(CodecError::Truncated {
+                needed: COMMON_HEADER_LEN + FORWARDING_LEN + n,
+                got: frame.len(),
+            })
+        } else {
+            Ok(())
+        }
+    };
+
+    match kind {
+        PacketKind::Hello => unreachable!("handled above"),
+        PacketKind::Data => Ok(Packet::Data {
+            dst,
+            src,
+            id,
+            fwd,
+            payload: rest.to_vec(),
+        }),
+        PacketKind::Sync => {
+            need(7)?;
+            Ok(Packet::Sync {
+                dst,
+                src,
+                id,
+                fwd,
+                seq: rest[0],
+                frag_count: get_u16(rest, 1),
+                total_len: get_u32(rest, 3),
+            })
+        }
+        PacketKind::Frag => {
+            need(3)?;
+            Ok(Packet::Frag {
+                dst,
+                src,
+                id,
+                fwd,
+                seq: rest[0],
+                index: get_u16(rest, 1),
+                data: rest[3..].to_vec(),
+            })
+        }
+        PacketKind::Ack => {
+            need(3)?;
+            Ok(Packet::Ack {
+                dst,
+                src,
+                id,
+                fwd,
+                seq: rest[0],
+                index: get_u16(rest, 1),
+            })
+        }
+        PacketKind::Lost => {
+            need(1)?;
+            if !(rest.len() - 1).is_multiple_of(2) {
+                return Err(CodecError::MalformedRoutingPayload);
+            }
+            let missing = rest[1..]
+                .chunks_exact(2)
+                .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                .collect();
+            Ok(Packet::Lost {
+                dst,
+                src,
+                id,
+                fwd,
+                seq: rest[0],
+                missing,
+            })
+        }
+    }
+}
+
+/// The encoded size of a packet without actually encoding it.
+#[must_use]
+pub fn encoded_len(packet: &Packet) -> usize {
+    COMMON_HEADER_LEN
+        + match packet {
+            Packet::Hello { entries, .. } => 1 + entries.len() * ROUTE_ENTRY_LEN,
+            Packet::Data { payload, .. } => FORWARDING_LEN + payload.len(),
+            Packet::Sync { .. } => FORWARDING_LEN + 7,
+            Packet::Frag { data, .. } => FORWARDING_LEN + 3 + data.len(),
+            Packet::Ack { .. } => FORWARDING_LEN + 3,
+            Packet::Lost { missing, .. } => FORWARDING_LEN + 1 + 2 * missing.len(),
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::SYNC_ACK_INDEX;
+
+    fn fwd() -> Forwarding {
+        Forwarding {
+            via: Address::new(0x0202),
+            ttl: 10,
+        }
+    }
+
+    fn samples() -> Vec<Packet> {
+        let src = Address::new(0x0A0A);
+        let dst = Address::new(0x1414);
+        vec![
+            Packet::Hello {
+                src,
+                id: 7,
+                role: 1,
+                entries: vec![
+                    RouteEntry { address: Address::new(3), metric: 1, role: 0 },
+                    RouteEntry { address: Address::new(4), metric: 2, role: 1 },
+                ],
+            },
+            Packet::Data { dst, src, id: 8, fwd: fwd(), payload: b"hello mesh".to_vec() },
+            Packet::Sync { dst, src, id: 9, fwd: fwd(), seq: 3, frag_count: 12, total_len: 2800 },
+            Packet::Frag { dst, src, id: 10, fwd: fwd(), seq: 3, index: 5, data: vec![0xAA; 100] },
+            Packet::Ack { dst, src, id: 11, fwd: fwd(), seq: 3, index: SYNC_ACK_INDEX },
+            Packet::Lost { dst, src, id: 12, fwd: fwd(), seq: 3, missing: vec![2, 7, 9] },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_kinds() {
+        for p in samples() {
+            let wire = encode(&p).unwrap();
+            let back = decode(&wire).unwrap();
+            assert_eq!(back, p, "kind {}", p.kind());
+            assert_eq!(wire.len(), encoded_len(&p), "encoded_len for {}", p.kind());
+        }
+    }
+
+    #[test]
+    fn header_layout_matches_spec() {
+        let p = Packet::Data {
+            dst: Address::new(0x2211),
+            src: Address::new(0x4433),
+            id: 0x55,
+            fwd: Forwarding { via: Address::new(0x7766), ttl: 0x08 },
+            payload: vec![0xAB, 0xCD],
+        };
+        let wire = encode(&p).unwrap();
+        assert_eq!(
+            wire,
+            vec![
+                0x11, 0x22, // dst LE
+                0x33, 0x44, // src LE
+                0x02, // kind Data
+                0x55, // id
+                0x05, // plen: via(2)+ttl(1)+payload(2)
+                0x66, 0x77, // via LE
+                0x08, // ttl
+                0xAB, 0xCD,
+            ]
+        );
+    }
+
+    #[test]
+    fn overhead_constants_match_reality() {
+        let data = Packet::Data {
+            dst: Address::new(1),
+            src: Address::new(2),
+            id: 0,
+            fwd: fwd(),
+            payload: vec![],
+        };
+        assert_eq!(encode(&data).unwrap().len(), DATA_OVERHEAD);
+        let frag = Packet::Frag {
+            dst: Address::new(1),
+            src: Address::new(2),
+            id: 0,
+            fwd: fwd(),
+            seq: 0,
+            index: 0,
+            data: vec![],
+        };
+        assert_eq!(encode(&frag).unwrap().len(), FRAG_OVERHEAD);
+    }
+
+    #[test]
+    fn max_payload_fits_min_over_does_not() {
+        let mk = |n: usize| Packet::Data {
+            dst: Address::new(1),
+            src: Address::new(2),
+            id: 0,
+            fwd: fwd(),
+            payload: vec![0; n],
+        };
+        assert_eq!(encode(&mk(MAX_DATA_PAYLOAD)).unwrap().len(), MAX_FRAME_LEN);
+        assert_eq!(
+            encode(&mk(MAX_DATA_PAYLOAD + 1)),
+            Err(CodecError::FrameTooLarge(MAX_FRAME_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn hello_with_max_entries_fits() {
+        let entries = vec![
+            RouteEntry { address: Address::new(9), metric: 3, role: 0 };
+            MAX_HELLO_ENTRIES
+        ];
+        let p = Packet::Hello { src: Address::new(1), id: 0, role: 0, entries };
+        let wire = encode(&p).unwrap();
+        assert!(wire.len() <= MAX_FRAME_LEN);
+        assert!(matches!(decode(&wire).unwrap(), Packet::Hello { entries, .. } if entries.len() == MAX_HELLO_ENTRIES));
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        assert_eq!(
+            decode(&[0, 0, 0]),
+            Err(CodecError::Truncated { needed: 7, got: 3 })
+        );
+        // Unicast frame cut before its forwarding extension.
+        let mut wire = encode(&samples()[1]).unwrap();
+        wire.truncate(8);
+        wire[6] = 1; // make declared length consistent with the cut
+        assert!(matches!(decode(&wire), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_kind() {
+        let mut wire = encode(&samples()[1]).unwrap();
+        wire[4] = 0x7F;
+        assert_eq!(decode(&wire), Err(CodecError::UnknownKind(0x7F)));
+    }
+
+    #[test]
+    fn decode_rejects_length_mismatch() {
+        let mut wire = encode(&samples()[1]).unwrap();
+        wire[6] += 1;
+        assert!(matches!(decode(&wire), Err(CodecError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_ragged_hello() {
+        let mut wire = encode(&samples()[0]).unwrap();
+        wire.push(0xEE); // half an entry
+        wire[6] += 1;
+        assert_eq!(decode(&wire), Err(CodecError::MalformedRoutingPayload));
+    }
+
+    #[test]
+    fn decode_rejects_ragged_lost() {
+        let p = Packet::Lost {
+            dst: Address::new(1),
+            src: Address::new(2),
+            id: 0,
+            fwd: fwd(),
+            seq: 1,
+            missing: vec![4],
+        };
+        let mut wire = encode(&p).unwrap();
+        wire.push(0x01);
+        wire[6] += 1;
+        assert_eq!(decode(&wire), Err(CodecError::MalformedRoutingPayload));
+    }
+
+    #[test]
+    fn empty_data_payload_round_trips() {
+        let p = Packet::Data {
+            dst: Address::new(1),
+            src: Address::new(2),
+            id: 0,
+            fwd: fwd(),
+            payload: vec![],
+        };
+        assert_eq!(decode(&encode(&p).unwrap()).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_hello_round_trips() {
+        let p = Packet::Hello { src: Address::new(2), id: 0, role: 3, entries: vec![] };
+        assert_eq!(decode(&encode(&p).unwrap()).unwrap(), p);
+    }
+}

@@ -1,0 +1,295 @@
+//! Node configuration.
+
+use std::time::Duration;
+
+use lora_phy::modulation::LoRaModulation;
+use lora_phy::region::Region;
+
+use crate::addr::Address;
+use crate::codec::MAX_DATA_PAYLOAD;
+
+/// Complete configuration of a [`crate::MeshNode`].
+///
+/// Construct with [`MeshConfig::builder`]; the defaults follow the
+/// LoRaMesher firmware (2-minute hellos, 10-minute route timeout, SF7
+/// radio profile, EU868 1 % duty cycle).
+#[derive(Clone, Debug)]
+pub struct MeshConfig {
+    /// This node's address.
+    pub address: Address,
+    /// Role bits advertised in Hello broadcasts (0 = plain node).
+    pub role: u8,
+    /// The radio profile, used for airtime/duty-cycle arithmetic.
+    pub modulation: LoRaModulation,
+    /// Regulatory region providing the duty-cycle limit.
+    pub region: Region,
+    /// Interval between routing broadcasts (jittered ±10 %).
+    pub hello_interval: Duration,
+    /// Age after which an unrefreshed route is purged.
+    pub route_timeout: Duration,
+    /// Initial TTL of originated unicast packets.
+    pub max_ttl: u8,
+    /// Maximum queued outbound frames.
+    pub tx_queue_capacity: usize,
+    /// CSMA backoff slot length.
+    pub backoff_slot: Duration,
+    /// Maximum CSMA backoff exponent (window = `2^exponent` slots).
+    pub max_backoff_exponent: u32,
+    /// CAD retries before an outbound frame is dropped as undeliverable.
+    pub max_cad_retries: u32,
+    /// Largest application payload accepted per datagram frame.
+    pub max_datagram_payload: usize,
+    /// Acknowledgement timeout of the reliable transfer protocol.
+    pub reliable_timeout: Duration,
+    /// Retransmissions before a reliable transfer is aborted.
+    pub reliable_max_retries: u32,
+    /// Idle time after which a half-finished inbound transfer is dropped.
+    pub reassembly_timeout: Duration,
+    /// Seed of the protocol's jitter/backoff randomness (defaults to the
+    /// node address so every node draws a distinct sequence).
+    pub seed: u64,
+    /// Listen-before-talk (CAD + backoff). Disabling it degrades the MAC
+    /// to pure ALOHA — an ablation knob, not a deployment option.
+    pub csma: bool,
+    /// Randomise hello timing (±10 % interval, randomised first hello).
+    /// Disabling it synchronises co-booted nodes — an ablation knob.
+    pub hello_jitter: bool,
+    /// Route-selection policy (hop count only by default; optionally
+    /// SNR-tie-broken, the LoRaMesher v2 extension).
+    pub routing_policy: crate::routing::RoutingPolicy,
+}
+
+impl MeshConfig {
+    /// Starts building a configuration for `address`.
+    #[must_use]
+    pub fn builder(address: Address) -> MeshConfigBuilder {
+        MeshConfigBuilder {
+            config: MeshConfig {
+                address,
+                role: 0,
+                modulation: LoRaModulation::default(),
+                region: Region::Eu868,
+                hello_interval: Duration::from_secs(120),
+                route_timeout: Duration::from_secs(600),
+                max_ttl: 10,
+                tx_queue_capacity: 32,
+                backoff_slot: Duration::from_millis(100),
+                max_backoff_exponent: 6,
+                max_cad_retries: 16,
+                max_datagram_payload: MAX_DATA_PAYLOAD,
+                reliable_timeout: Duration::from_secs(8),
+                reliable_max_retries: 5,
+                reassembly_timeout: Duration::from_secs(120),
+                seed: u64::from(address.value()),
+                csma: true,
+                hello_jitter: true,
+                routing_policy: crate::routing::RoutingPolicy::default(),
+            },
+        }
+    }
+}
+
+/// Builder for [`MeshConfig`].
+///
+/// ```
+/// use loramesher::{Address, MeshConfig};
+/// use std::time::Duration;
+///
+/// let cfg = MeshConfig::builder(Address::new(7))
+///     .hello_interval(Duration::from_secs(60))
+///     .max_ttl(5)
+///     .build();
+/// assert_eq!(cfg.hello_interval, Duration::from_secs(60));
+/// assert_eq!(cfg.max_ttl, 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MeshConfigBuilder {
+    config: MeshConfig,
+}
+
+impl MeshConfigBuilder {
+    /// Sets the role bits advertised by this node.
+    #[must_use]
+    pub fn role(mut self, role: u8) -> Self {
+        self.config.role = role;
+        self
+    }
+
+    /// Sets the radio profile.
+    #[must_use]
+    pub fn modulation(mut self, m: LoRaModulation) -> Self {
+        self.config.modulation = m;
+        self
+    }
+
+    /// Sets the regulatory region.
+    #[must_use]
+    pub fn region(mut self, r: Region) -> Self {
+        self.config.region = r;
+        self
+    }
+
+    /// Sets the routing broadcast interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is zero.
+    #[must_use]
+    pub fn hello_interval(mut self, d: Duration) -> Self {
+        assert!(!d.is_zero(), "hello interval must be non-zero");
+        self.config.hello_interval = d;
+        self
+    }
+
+    /// Sets the route timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeout is zero.
+    #[must_use]
+    pub fn route_timeout(mut self, d: Duration) -> Self {
+        assert!(!d.is_zero(), "route timeout must be non-zero");
+        self.config.route_timeout = d;
+        self
+    }
+
+    /// Sets the initial TTL of originated packets (clamped to ≥ 1).
+    #[must_use]
+    pub fn max_ttl(mut self, ttl: u8) -> Self {
+        self.config.max_ttl = ttl.max(1);
+        self
+    }
+
+    /// Sets the transmit queue capacity (clamped to ≥ 1).
+    #[must_use]
+    pub fn tx_queue_capacity(mut self, n: usize) -> Self {
+        self.config.tx_queue_capacity = n.max(1);
+        self
+    }
+
+    /// Sets the CSMA backoff slot.
+    #[must_use]
+    pub fn backoff_slot(mut self, d: Duration) -> Self {
+        self.config.backoff_slot = d;
+        self
+    }
+
+    /// Sets the maximum CSMA backoff exponent.
+    #[must_use]
+    pub fn max_backoff_exponent(mut self, e: u32) -> Self {
+        self.config.max_backoff_exponent = e;
+        self
+    }
+
+    /// Sets the CAD retry limit.
+    #[must_use]
+    pub fn max_cad_retries(mut self, n: u32) -> Self {
+        self.config.max_cad_retries = n;
+        self
+    }
+
+    /// Restricts the per-frame datagram payload (clamped to the PHY max).
+    #[must_use]
+    pub fn max_datagram_payload(mut self, n: usize) -> Self {
+        self.config.max_datagram_payload = n.clamp(1, MAX_DATA_PAYLOAD);
+        self
+    }
+
+    /// Sets the reliable-transfer acknowledgement timeout.
+    #[must_use]
+    pub fn reliable_timeout(mut self, d: Duration) -> Self {
+        self.config.reliable_timeout = d;
+        self
+    }
+
+    /// Sets the reliable-transfer retry limit.
+    #[must_use]
+    pub fn reliable_max_retries(mut self, n: u32) -> Self {
+        self.config.reliable_max_retries = n;
+        self
+    }
+
+    /// Sets the inbound reassembly timeout.
+    #[must_use]
+    pub fn reassembly_timeout(mut self, d: Duration) -> Self {
+        self.config.reassembly_timeout = d;
+        self
+    }
+
+    /// Overrides the protocol randomness seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Enables or disables listen-before-talk (ablation).
+    #[must_use]
+    pub fn csma(mut self, on: bool) -> Self {
+        self.config.csma = on;
+        self
+    }
+
+    /// Enables or disables hello timing jitter (ablation).
+    #[must_use]
+    pub fn hello_jitter(mut self, on: bool) -> Self {
+        self.config.hello_jitter = on;
+        self
+    }
+
+    /// Sets the route-selection policy.
+    #[must_use]
+    pub fn routing_policy(mut self, policy: crate::routing::RoutingPolicy) -> Self {
+        self.config.routing_policy = policy;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> MeshConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_firmware() {
+        let c = MeshConfig::builder(Address::new(0x0042)).build();
+        assert_eq!(c.hello_interval, Duration::from_secs(120));
+        assert_eq!(c.route_timeout, Duration::from_secs(600));
+        assert_eq!(c.region, Region::Eu868);
+        assert_eq!(c.seed, 0x42);
+        assert_eq!(c.max_datagram_payload, MAX_DATA_PAYLOAD);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = MeshConfig::builder(Address::new(1))
+            .role(2)
+            .max_ttl(0) // clamped to 1
+            .tx_queue_capacity(0) // clamped to 1
+            .max_datagram_payload(10_000) // clamped to PHY max
+            .seed(99)
+            .build();
+        assert_eq!(c.role, 2);
+        assert_eq!(c.max_ttl, 1);
+        assert_eq!(c.tx_queue_capacity, 1);
+        assert_eq!(c.max_datagram_payload, MAX_DATA_PAYLOAD);
+        assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "hello interval")]
+    fn zero_hello_interval_rejected() {
+        let _ = MeshConfig::builder(Address::new(1)).hello_interval(Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "route timeout")]
+    fn zero_route_timeout_rejected() {
+        let _ = MeshConfig::builder(Address::new(1)).route_timeout(Duration::ZERO);
+    }
+}

@@ -1,0 +1,89 @@
+//! The sans-IO host interface.
+//!
+//! A [`NodeProtocol`] is a protocol stack expressed as a pure state
+//! machine: the host (real firmware, or the `radio-sim` simulator) calls
+//! the `on_*` methods when radio events happen and executes the returned
+//! [`RadioRequest`]s. Time is passed in as an offset from an arbitrary
+//! epoch, so any monotonic clock works.
+//!
+//! Both [`crate::MeshNode`] and the baseline protocols in the
+//! `mesh-baselines` crate implement this trait, which is what lets the
+//! experiments run them on identical simulated physics.
+
+use std::time::Duration;
+
+use lora_phy::link::SignalQuality;
+
+/// An action the protocol asks its radio to perform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RadioRequest {
+    /// Transmit this frame now. Must only be issued when the radio is
+    /// known idle (after a clear CAD result, or at start-up before any
+    /// reception can be in progress).
+    Transmit(Vec<u8>),
+    /// Perform a channel-activity-detection scan; the result arrives via
+    /// [`NodeProtocol::on_cad_done`].
+    StartCad,
+}
+
+/// An event-driven, sans-IO protocol stack.
+pub trait NodeProtocol {
+    /// Called once when the node boots.
+    fn on_start(&mut self, now: Duration) -> Vec<RadioRequest>;
+
+    /// Called when the wake-up deadline from [`NodeProtocol::next_wake`]
+    /// is reached.
+    fn on_timer(&mut self, now: Duration) -> Vec<RadioRequest>;
+
+    /// Called for every successfully received frame.
+    fn on_frame(&mut self, frame: &[u8], quality: SignalQuality, now: Duration)
+        -> Vec<RadioRequest>;
+
+    /// Called when a requested transmission has completed on air.
+    fn on_tx_done(&mut self, now: Duration) -> Vec<RadioRequest>;
+
+    /// Called when a CAD scan completes; `busy` reports channel activity.
+    fn on_cad_done(&mut self, busy: bool, now: Duration) -> Vec<RadioRequest>;
+
+    /// The next instant at which [`NodeProtocol::on_timer`] should run,
+    /// or `None` when the protocol has nothing scheduled.
+    fn next_wake(&self) -> Option<Duration>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must be object-safe: hosts store heterogeneous protocol
+    /// stacks behind `dyn NodeProtocol`.
+    #[test]
+    fn node_protocol_is_object_safe() {
+        struct Nop;
+        impl NodeProtocol for Nop {
+            fn on_start(&mut self, _: Duration) -> Vec<RadioRequest> {
+                vec![]
+            }
+            fn on_timer(&mut self, _: Duration) -> Vec<RadioRequest> {
+                vec![]
+            }
+            fn on_frame(&mut self, _: &[u8], _: SignalQuality, _: Duration) -> Vec<RadioRequest> {
+                vec![]
+            }
+            fn on_tx_done(&mut self, _: Duration) -> Vec<RadioRequest> {
+                vec![]
+            }
+            fn on_cad_done(&mut self, _: bool, _: Duration) -> Vec<RadioRequest> {
+                vec![RadioRequest::StartCad]
+            }
+            fn next_wake(&self) -> Option<Duration> {
+                None
+            }
+        }
+        let mut boxed: Box<dyn NodeProtocol> = Box::new(Nop);
+        assert!(boxed.on_start(Duration::ZERO).is_empty());
+        assert_eq!(
+            boxed.on_cad_done(false, Duration::ZERO),
+            vec![RadioRequest::StartCad]
+        );
+    }
+}

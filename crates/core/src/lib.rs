@@ -1,0 +1,75 @@
+//! `loramesher` — a Rust implementation of the LoRaMesher mesh protocol.
+//!
+//! LoRaMesher (Solé, Miralles, Centelles, Freitag — ICDCS 2022 demo) is a
+//! library that runs on LoRa IoT nodes and forms a mesh network among
+//! them: every node periodically broadcasts its routing table, a
+//! distance-vector protocol builds multi-hop routes from those broadcasts,
+//! and data packets are forwarded hop by hop with every node acting as a
+//! router. On top of the datagram service a reliable transfer protocol
+//! moves payloads larger than a single LoRa frame.
+//!
+//! This crate is **sans-IO**: [`MeshNode`] is a pure state machine driven
+//! through the [`driver::NodeProtocol`] interface — feed it received
+//! frames, timer expirations and radio completions; it returns radio
+//! requests (transmit / channel-activity-detection). The same state
+//! machine runs unchanged under the `radio-sim` discrete-event simulator
+//! and could be dropped onto real SX127x hardware behind a thin shim.
+//!
+//! # Module map
+//!
+//! * [`addr`] — 16-bit node addresses.
+//! * [`packet`] — the packet types of the protocol.
+//! * [`codec`] — the compact wire format (7–12 byte headers).
+//! * [`routing`] — the distance-vector routing table.
+//! * [`config`] — [`MeshConfig`] and its builder.
+//! * [`queue`] — the prioritised transmit queue.
+//! * [`mac`] — CAD-based listen-before-talk with exponential backoff and
+//!   duty-cycle gating.
+//! * [`reliable`] — the large-payload transfer state machines.
+//! * [`node`] — [`MeshNode`], tying everything together.
+//! * [`driver`] — the sans-IO host interface.
+//! * [`stats`] — per-node protocol counters.
+//! * [`error`] — error types.
+//!
+//! # Example
+//!
+//! ```
+//! use loramesher::{Address, MeshConfig, MeshNode};
+//! use loramesher::driver::NodeProtocol;
+//! use std::time::Duration;
+//!
+//! let config = MeshConfig::builder(Address::new(0x0001)).build();
+//! let mut node = MeshNode::new(config);
+//! // Starting the node schedules its first routing broadcast.
+//! let requests = node.on_start(Duration::ZERO);
+//! assert!(requests.is_empty());
+//! assert!(node.next_wake().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod codec;
+pub mod config;
+pub mod driver;
+pub mod error;
+pub mod mac;
+pub mod node;
+pub mod packet;
+pub mod queue;
+pub mod reliable;
+pub mod rng;
+pub mod role;
+pub mod routing;
+pub mod stats;
+
+pub use addr::Address;
+pub use config::{MeshConfig, MeshConfigBuilder};
+pub use driver::{NodeProtocol, RadioRequest};
+pub use error::{CodecError, SendError};
+pub use node::{MeshEvent, MeshNode};
+pub use packet::{Packet, PacketKind};
+pub use role::{Role, RoleQueries};
+pub use routing::{Route, RoutingTable};
+pub use stats::NodeStats;

@@ -1,0 +1,483 @@
+//! Medium access control: listen-before-talk with exponential backoff and
+//! duty-cycle gating.
+//!
+//! Before every transmission the node performs a channel-activity-
+//! detection (CAD) scan. A busy channel triggers a random backoff drawn
+//! from a binary-exponential window; a clear channel lets the frame out —
+//! unless the regulatory duty-cycle budget is exhausted, in which case the
+//! frame waits until the sliding window frees enough airtime. Frames that
+//! exceed the CAD retry limit, or that could never fit the duty budget,
+//! are dropped and reported.
+//!
+//! The [`Mac`] is a small synchronous state machine owned by
+//! [`crate::MeshNode`]; it never touches the radio itself — it tells the
+//! node what to ask for ([`MacAction`]).
+
+use std::time::Duration;
+
+use lora_phy::region::DutyCycleTracker;
+
+use crate::rng::ProtocolRng;
+
+/// What the MAC wants the node to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MacAction {
+    /// Nothing right now.
+    None,
+    /// Issue a CAD scan.
+    StartCad,
+    /// The channel is ours and the duty budget allows it: transmit the
+    /// front of the queue now.
+    Transmit,
+    /// Give up on the front frame (CAD retries exhausted, or the frame
+    /// can never fit the duty budget).
+    DropFrame,
+}
+
+/// MAC engine state.
+#[derive(Clone, Debug, PartialEq)]
+enum MacState {
+    /// Idle; will CAD when the node has traffic.
+    Ready,
+    /// A CAD scan is in flight.
+    WaitingCad { attempt: u32 },
+    /// Backing off after a busy CAD.
+    Backoff { until: Duration, attempt: u32 },
+    /// Waiting for duty-cycle budget.
+    WaitingDuty { until: Duration },
+    /// A transmission is on the air.
+    Transmitting,
+}
+
+/// The listen-before-talk engine.
+#[derive(Clone, Debug)]
+pub struct Mac {
+    state: MacState,
+    duty: DutyCycleTracker,
+    slot: Duration,
+    max_exponent: u32,
+    max_retries: u32,
+    /// Maximum single-transmission duration (regulatory dwell), if any.
+    max_dwell: Option<Duration>,
+    /// Duty-cycle deferrals observed (for statistics).
+    pub duty_deferrals: u64,
+    /// Frames dropped after exhausting CAD retries.
+    pub cad_drops: u64,
+    /// Frames dropped for exceeding the dwell limit.
+    pub dwell_drops: u64,
+}
+
+impl Mac {
+    /// Creates a MAC with the given backoff parameters and duty tracker.
+    #[must_use]
+    pub fn new(
+        duty: DutyCycleTracker,
+        slot: Duration,
+        max_exponent: u32,
+        max_retries: u32,
+    ) -> Self {
+        Mac {
+            state: MacState::Ready,
+            duty,
+            slot,
+            max_exponent,
+            max_retries,
+            max_dwell: None,
+            duty_deferrals: 0,
+            cad_drops: 0,
+            dwell_drops: 0,
+        }
+    }
+
+    /// Sets the regulatory dwell limit (maximum single-transmission
+    /// duration); frames whose airtime exceeds it are dropped.
+    pub fn set_max_dwell(&mut self, dwell: Option<Duration>) {
+        self.max_dwell = dwell;
+    }
+
+    /// Whether a frame of the given airtime violates the dwell limit.
+    #[must_use]
+    pub fn violates_dwell(&self, airtime: Duration) -> bool {
+        self.max_dwell.is_some_and(|d| airtime > d)
+    }
+
+    /// Whether the MAC is idle and can take on a new frame.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        matches!(self.state, MacState::Ready)
+    }
+
+    /// The duty-cycle tracker (for reporting).
+    #[must_use]
+    pub fn duty(&self) -> &DutyCycleTracker {
+        &self.duty
+    }
+
+    /// Called when the node has traffic queued and time has come to act.
+    /// Starts the CAD cycle when idle or when a backoff/duty wait has
+    /// elapsed.
+    #[must_use]
+    pub fn kick(&mut self, now: Duration) -> MacAction {
+        match self.state {
+            MacState::Ready => {
+                self.state = MacState::WaitingCad { attempt: 0 };
+                MacAction::StartCad
+            }
+            MacState::Backoff { until, attempt } if now >= until => {
+                self.state = MacState::WaitingCad { attempt };
+                MacAction::StartCad
+            }
+            MacState::WaitingDuty { until } if now >= until => {
+                self.state = MacState::WaitingCad { attempt: 0 };
+                MacAction::StartCad
+            }
+            _ => MacAction::None,
+        }
+    }
+
+    /// ALOHA-mode kick (CSMA disabled, used by the ablation experiments):
+    /// transmits without carrier sensing, subject only to the duty-cycle
+    /// budget and any pending duty wait.
+    #[must_use]
+    pub fn kick_aloha(&mut self, airtime: Duration, now: Duration) -> MacAction {
+        match self.state {
+            MacState::Ready => {}
+            MacState::WaitingDuty { until } if now >= until => {}
+            _ => return MacAction::None,
+        }
+        if self.violates_dwell(airtime) {
+            self.state = MacState::Ready;
+            self.dwell_drops += 1;
+            return MacAction::DropFrame;
+        }
+        if self.duty.try_transmit(now, airtime) {
+            self.state = MacState::Transmitting;
+            MacAction::Transmit
+        } else {
+            self.duty_deferrals += 1;
+            match self.duty.next_allowed(now, airtime) {
+                Some(until) => {
+                    self.state = MacState::WaitingDuty { until };
+                    MacAction::None
+                }
+                None => {
+                    self.state = MacState::Ready;
+                    MacAction::DropFrame
+                }
+            }
+        }
+    }
+
+    /// Handles a CAD result for the frame at the front of the queue
+    /// (whose on-air duration is `airtime`).
+    #[must_use]
+    pub fn on_cad_done(
+        &mut self,
+        busy: bool,
+        airtime: Duration,
+        now: Duration,
+        rng: &mut ProtocolRng,
+    ) -> MacAction {
+        let MacState::WaitingCad { attempt } = self.state else {
+            return MacAction::None; // spurious
+        };
+        if self.violates_dwell(airtime) {
+            self.state = MacState::Ready;
+            self.dwell_drops += 1;
+            return MacAction::DropFrame;
+        }
+        if busy {
+            let next_attempt = attempt + 1;
+            if next_attempt > self.max_retries {
+                self.state = MacState::Ready;
+                self.cad_drops += 1;
+                return MacAction::DropFrame;
+            }
+            let window = 1u64 << next_attempt.min(self.max_exponent);
+            let slots = 1 + rng.gen_range(window);
+            self.state = MacState::Backoff {
+                until: now + self.slot * u32::try_from(slots).unwrap_or(u32::MAX),
+                attempt: next_attempt,
+            };
+            return MacAction::None;
+        }
+        // Channel clear: check the regulatory budget.
+        if self.duty.try_transmit(now, airtime) {
+            self.state = MacState::Transmitting;
+            MacAction::Transmit
+        } else {
+            self.duty_deferrals += 1;
+            match self.duty.next_allowed(now, airtime) {
+                Some(until) => {
+                    self.state = MacState::WaitingDuty { until };
+                    MacAction::None
+                }
+                None => {
+                    // The frame is larger than the entire budget window.
+                    self.state = MacState::Ready;
+                    MacAction::DropFrame
+                }
+            }
+        }
+    }
+
+    /// Called when the transmission completes.
+    pub fn on_tx_done(&mut self) {
+        if matches!(self.state, MacState::Transmitting) {
+            self.state = MacState::Ready;
+        }
+    }
+
+    /// The instant the MAC needs to be woken to make progress, if it is
+    /// waiting on a deadline (backoff or duty budget).
+    #[must_use]
+    pub fn next_wake(&self) -> Option<Duration> {
+        match self.state {
+            MacState::Backoff { until, .. } | MacState::WaitingDuty { until } => Some(until),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> Mac {
+        Mac::new(
+            DutyCycleTracker::unlimited(),
+            Duration::from_millis(100),
+            6,
+            3,
+        )
+    }
+
+    fn rng() -> ProtocolRng {
+        ProtocolRng::new(42)
+    }
+
+    const AIR: Duration = Duration::from_millis(50);
+
+    #[test]
+    fn clear_channel_transmits_immediately() {
+        let mut m = mac();
+        let mut r = rng();
+        assert_eq!(m.kick(Duration::ZERO), MacAction::StartCad);
+        assert!(!m.is_ready());
+        assert_eq!(m.on_cad_done(false, AIR, Duration::ZERO, &mut r), MacAction::Transmit);
+        m.on_tx_done();
+        assert!(m.is_ready());
+    }
+
+    #[test]
+    fn busy_channel_backs_off_then_retries() {
+        let mut m = mac();
+        let mut r = rng();
+        assert_eq!(m.kick(Duration::ZERO), MacAction::StartCad);
+        assert_eq!(m.on_cad_done(true, AIR, Duration::ZERO, &mut r), MacAction::None);
+        let until = m.next_wake().expect("backoff deadline");
+        assert!(until > Duration::ZERO);
+        assert!(until <= Duration::from_millis(100) * 3, "window: 1..=2 slots");
+        // Too early: nothing happens.
+        assert_eq!(m.kick(until - Duration::from_millis(1)), MacAction::None);
+        // At the deadline: CAD again.
+        assert_eq!(m.kick(until), MacAction::StartCad);
+        assert_eq!(m.on_cad_done(false, AIR, until, &mut r), MacAction::Transmit);
+    }
+
+    #[test]
+    fn backoff_window_grows_exponentially() {
+        let mut m = mac();
+        let mut r = rng();
+        let mut max_seen = Duration::ZERO;
+        let mut now = Duration::ZERO;
+        for _ in 0..3 {
+            let _ = m.kick(now);
+            if m.on_cad_done(true, AIR, now, &mut r) == MacAction::DropFrame {
+                break;
+            }
+            let until = m.next_wake().unwrap();
+            max_seen = max_seen.max(until - now);
+            now = until;
+        }
+        // With three busy CADs the window reaches 2^3 = 8 slots.
+        assert!(max_seen > Duration::from_millis(100));
+    }
+
+    #[test]
+    fn cad_retries_exhaust_to_drop() {
+        let mut m = mac();
+        let mut r = rng();
+        let mut now = Duration::ZERO;
+        let mut dropped = false;
+        for _ in 0..10 {
+            let _ = m.kick(now);
+            match m.on_cad_done(true, AIR, now, &mut r) {
+                MacAction::DropFrame => {
+                    dropped = true;
+                    break;
+                }
+                _ => now = m.next_wake().unwrap(),
+            }
+        }
+        assert!(dropped);
+        assert_eq!(m.cad_drops, 1);
+        assert!(m.is_ready());
+    }
+
+    #[test]
+    fn duty_budget_defers_transmission() {
+        // 1% of 1 hour = 36 s budget.
+        let mut m = Mac::new(
+            DutyCycleTracker::eu868_one_percent(),
+            Duration::from_millis(100),
+            6,
+            3,
+        );
+        let mut r = rng();
+        // Burn the whole budget with one 36 s frame.
+        let _ = m.kick(Duration::ZERO);
+        assert_eq!(
+            m.on_cad_done(false, Duration::from_secs(36), Duration::ZERO, &mut r),
+            MacAction::Transmit
+        );
+        m.on_tx_done();
+        // The next frame must wait ~an hour.
+        let _ = m.kick(Duration::from_secs(40));
+        assert_eq!(
+            m.on_cad_done(false, Duration::from_secs(1), Duration::from_secs(40), &mut r),
+            MacAction::None
+        );
+        assert_eq!(m.duty_deferrals, 1);
+        let until = m.next_wake().unwrap();
+        assert!(until > Duration::from_secs(3600));
+        // At the deadline the MAC kicks back into CAD and can transmit.
+        assert_eq!(m.kick(until), MacAction::StartCad);
+        assert_eq!(m.on_cad_done(false, Duration::from_secs(1), until, &mut r), MacAction::Transmit);
+    }
+
+    #[test]
+    fn impossible_frame_is_dropped() {
+        let mut m = Mac::new(
+            DutyCycleTracker::eu868_one_percent(),
+            Duration::from_millis(100),
+            6,
+            3,
+        );
+        let mut r = rng();
+        let _ = m.kick(Duration::ZERO);
+        // 37 s of airtime can never fit a 36 s budget.
+        assert_eq!(
+            m.on_cad_done(false, Duration::from_secs(37), Duration::ZERO, &mut r),
+            MacAction::DropFrame
+        );
+        assert!(m.is_ready());
+    }
+
+    #[test]
+    fn dwell_limit_drops_long_frames() {
+        let mut m = mac();
+        m.set_max_dwell(Some(Duration::from_millis(400)));
+        let mut r = rng();
+        // A 500 ms frame exceeds the 400 ms dwell: dropped at CAD time.
+        let _ = m.kick(Duration::ZERO);
+        assert_eq!(
+            m.on_cad_done(false, Duration::from_millis(500), Duration::ZERO, &mut r),
+            MacAction::DropFrame
+        );
+        assert_eq!(m.dwell_drops, 1);
+        assert!(m.is_ready());
+        // A 300 ms frame is fine.
+        let _ = m.kick(Duration::from_secs(1));
+        assert_eq!(
+            m.on_cad_done(false, Duration::from_millis(300), Duration::from_secs(1), &mut r),
+            MacAction::Transmit
+        );
+        // ALOHA path enforces the same limit.
+        let mut m = mac();
+        m.set_max_dwell(Some(Duration::from_millis(400)));
+        m.on_tx_done();
+        assert_eq!(
+            m.kick_aloha(Duration::from_millis(500), Duration::from_secs(2)),
+            MacAction::DropFrame
+        );
+    }
+
+    #[test]
+    fn no_dwell_limit_by_default() {
+        let mut m = mac();
+        assert!(!m.violates_dwell(Duration::from_secs(10)));
+        let mut r = rng();
+        let _ = m.kick(Duration::ZERO);
+        assert_eq!(
+            m.on_cad_done(false, Duration::from_secs(10), Duration::ZERO, &mut r),
+            MacAction::Transmit
+        );
+    }
+
+    #[test]
+    fn spurious_cad_result_ignored() {
+        let mut m = mac();
+        let mut r = rng();
+        assert_eq!(m.on_cad_done(false, AIR, Duration::ZERO, &mut r), MacAction::None);
+        assert!(m.is_ready());
+    }
+
+    #[test]
+    fn kick_while_waiting_cad_is_noop() {
+        let mut m = mac();
+        assert_eq!(m.kick(Duration::ZERO), MacAction::StartCad);
+        assert_eq!(m.kick(Duration::from_millis(1)), MacAction::None);
+    }
+
+    #[test]
+    fn aloha_transmits_without_cad() {
+        let mut m = mac();
+        assert_eq!(m.kick_aloha(AIR, Duration::ZERO), MacAction::Transmit);
+        // Busy until tx done.
+        assert_eq!(m.kick_aloha(AIR, Duration::from_millis(1)), MacAction::None);
+        m.on_tx_done();
+        assert_eq!(m.kick_aloha(AIR, Duration::from_millis(60)), MacAction::Transmit);
+    }
+
+    #[test]
+    fn aloha_still_respects_duty_cycle() {
+        let mut m = Mac::new(
+            DutyCycleTracker::eu868_one_percent(),
+            Duration::from_millis(100),
+            6,
+            3,
+        );
+        assert_eq!(m.kick_aloha(Duration::from_secs(36), Duration::ZERO), MacAction::Transmit);
+        m.on_tx_done();
+        assert_eq!(
+            m.kick_aloha(Duration::from_secs(1), Duration::from_secs(40)),
+            MacAction::None
+        );
+        let until = m.next_wake().unwrap();
+        assert!(until > Duration::from_secs(3600));
+        assert_eq!(m.kick_aloha(Duration::from_secs(1), until), MacAction::Transmit);
+    }
+
+    #[test]
+    fn aloha_drops_impossible_frame() {
+        let mut m = Mac::new(
+            DutyCycleTracker::eu868_one_percent(),
+            Duration::from_millis(100),
+            6,
+            3,
+        );
+        assert_eq!(
+            m.kick_aloha(Duration::from_secs(37), Duration::ZERO),
+            MacAction::DropFrame
+        );
+        assert!(m.is_ready());
+    }
+
+    #[test]
+    fn tx_done_only_from_transmitting() {
+        let mut m = mac();
+        m.on_tx_done(); // spurious, stays Ready
+        assert!(m.is_ready());
+    }
+}

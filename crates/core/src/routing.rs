@@ -1,0 +1,640 @@
+//! The distance-vector routing table.
+//!
+//! This is the heart of LoRaMesher: each node stores, per known
+//! destination, the hop-count metric and the neighbour (`via`) through
+//! which it is reached. Tables are learned entirely from the periodic
+//! Hello broadcasts:
+//!
+//! * hearing *any* packet from a neighbour establishes (or refreshes) a
+//!   direct route to it with metric 1;
+//! * each entry `(dst, m)` advertised by neighbour `v` is a candidate
+//!   route `dst via v` with metric `m + 1`, adopted when it is new or
+//!   strictly better, and always refreshed when it comes from the
+//!   neighbour we already route through (so a worsening path updates
+//!   rather than sticks);
+//! * entries not refreshed within the route timeout are purged.
+//!
+//! Metrics are capped at [`RoutingTable::INFINITY_METRIC`]; a route at or
+//! beyond the cap is treated as unreachable, which bounds count-to-infinity
+//! in the classic Bellman–Ford way.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::addr::Address;
+use crate::codec::ROUTE_ENTRY_LEN;
+use crate::packet::RouteEntry;
+
+/// One route: how to reach `destination`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Route {
+    /// The destination node.
+    pub destination: Address,
+    /// The neighbour to forward through (equals `destination` for
+    /// direct neighbours).
+    pub via: Address,
+    /// Hop count (1 = direct neighbour).
+    pub metric: u8,
+    /// Role bits advertised by the destination.
+    pub role: u8,
+    /// When this route was last confirmed.
+    pub last_seen: Duration,
+    /// SNR of the last packet from the `via` neighbour, in dB (receiver
+    /// side bookkeeping; 0 until measured).
+    pub snr: f64,
+    /// Exponentially weighted moving average of the `via` link's SNR
+    /// (α = 0.25), smoothing out per-frame fading for link monitoring.
+    pub snr_ewma: f64,
+    /// How many times this route has been confirmed (direct routes:
+    /// packets heard from the neighbour).
+    pub heard_count: u64,
+}
+
+/// EWMA smoothing factor for link SNR.
+const SNR_EWMA_ALPHA: f64 = 0.25;
+
+fn ewma(old: f64, new: f64) -> f64 {
+    (1.0 - SNR_EWMA_ALPHA) * old + SNR_EWMA_ALPHA * new
+}
+
+/// Route-selection policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoutingPolicy {
+    /// Break metric ties in favour of the next hop with the better
+    /// last-heard SNR (requires a margin of
+    /// [`RoutingPolicy::snr_hysteresis_db`] to switch, so equal-quality
+    /// paths do not flap). Off by default — hop count only, as in the
+    /// demo paper's prototype.
+    pub snr_tiebreak: bool,
+    /// Minimum SNR advantage (dB) before an equal-metric route switches.
+    pub snr_hysteresis_db: f64,
+}
+
+impl Default for RoutingPolicy {
+    fn default() -> Self {
+        RoutingPolicy {
+            snr_tiebreak: false,
+            snr_hysteresis_db: 3.0,
+        }
+    }
+}
+
+/// The LoRaMesher routing table.
+///
+/// ```
+/// use loramesher::routing::RoutingTable;
+/// use loramesher::packet::RouteEntry;
+/// use loramesher::Address;
+/// use std::time::Duration;
+///
+/// let me = Address::new(1);
+/// let neighbour = Address::new(2);
+/// let mut table = RoutingTable::new();
+/// // A hello from node 2 advertising a route to node 3 at 1 hop:
+/// table.apply_hello(
+///     me,
+///     neighbour,
+///     0,
+///     &[RouteEntry { address: Address::new(3), metric: 1, role: 0 }],
+///     5.0,
+///     Duration::from_secs(10),
+/// );
+/// assert_eq!(table.next_hop(Address::new(2)), Some(neighbour));
+/// assert_eq!(table.next_hop(Address::new(3)), Some(neighbour));
+/// assert_eq!(table.route(Address::new(3)).unwrap().metric, 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RoutingTable {
+    routes: BTreeMap<Address, Route>,
+    policy: RoutingPolicy,
+}
+
+impl RoutingTable {
+    /// Metric value treated as unreachable.
+    ///
+    /// Bounds count-to-infinity while still admitting the deepest
+    /// topologies the evaluation uses (a 24-node line has 23-hop routes).
+    pub const INFINITY_METRIC: u8 = 32;
+
+    /// An empty table with the default (hop-count-only) policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty table with the given selection policy.
+    #[must_use]
+    pub fn with_policy(policy: RoutingPolicy) -> Self {
+        RoutingTable {
+            routes: BTreeMap::new(),
+            policy,
+        }
+    }
+
+    /// The active selection policy.
+    #[must_use]
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Number of known destinations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether no destinations are known.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The route to `dst`, if known.
+    #[must_use]
+    pub fn route(&self, dst: Address) -> Option<&Route> {
+        self.routes.get(&dst)
+    }
+
+    /// The next hop toward `dst`, if a usable route exists.
+    #[must_use]
+    pub fn next_hop(&self, dst: Address) -> Option<Address> {
+        self.routes
+            .get(&dst)
+            .filter(|r| r.metric < Self::INFINITY_METRIC)
+            .map(|r| r.via)
+    }
+
+    /// Iterates over all routes in address order (deterministic).
+    pub fn routes(&self) -> impl Iterator<Item = &Route> {
+        self.routes.values()
+    }
+
+    /// Records that a packet was heard directly from `neighbour`,
+    /// creating or refreshing its metric-1 route.
+    pub fn heard_from(&mut self, neighbour: Address, snr: f64, now: Duration) {
+        debug_assert!(!neighbour.is_broadcast());
+        let entry = self.routes.entry(neighbour).or_insert(Route {
+            destination: neighbour,
+            via: neighbour,
+            metric: 1,
+            role: 0,
+            last_seen: now,
+            snr,
+            snr_ewma: snr,
+            heard_count: 0,
+        });
+        // A direct observation always beats any multi-hop route.
+        if entry.via != neighbour {
+            // Switching from a multi-hop route: restart link statistics.
+            entry.snr_ewma = snr;
+        } else {
+            entry.snr_ewma = ewma(entry.snr_ewma, snr);
+        }
+        entry.via = neighbour;
+        entry.metric = 1;
+        entry.last_seen = now;
+        entry.snr = snr;
+        entry.heard_count += 1;
+    }
+
+    /// The direct neighbours (metric-1 routes) with their link statistics.
+    pub fn neighbours(&self) -> impl Iterator<Item = &Route> {
+        self.routes.values().filter(|r| r.metric == 1)
+    }
+
+    /// Applies a Hello broadcast heard from `neighbour` advertising
+    /// `role` for itself and `entries` from its table. `me` filters out
+    /// routes to ourselves. Returns the number of entries that changed.
+    pub fn apply_hello(
+        &mut self,
+        me: Address,
+        neighbour: Address,
+        role: u8,
+        entries: &[RouteEntry],
+        snr: f64,
+        now: Duration,
+    ) -> usize {
+        let mut changed = 0;
+        self.heard_from(neighbour, snr, now);
+        if let Some(r) = self.routes.get_mut(&neighbour) {
+            if r.role != role {
+                r.role = role;
+                changed += 1;
+            }
+        }
+        for e in entries {
+            if e.address == me || e.address == neighbour || e.address.is_broadcast() {
+                continue;
+            }
+            let candidate_metric = e.metric.saturating_add(1).min(Self::INFINITY_METRIC);
+            match self.routes.get_mut(&e.address) {
+                None => {
+                    if candidate_metric < Self::INFINITY_METRIC {
+                        self.routes.insert(
+                            e.address,
+                            Route {
+                                destination: e.address,
+                                via: neighbour,
+                                metric: candidate_metric,
+                                role: e.role,
+                                last_seen: now,
+                                snr,
+                                snr_ewma: snr,
+                                heard_count: 1,
+                            },
+                        );
+                        changed += 1;
+                    }
+                }
+                Some(r) => {
+                    let better_metric = candidate_metric < r.metric;
+                    // Optional SNR tie-break: same hop count, audibly
+                    // stronger neighbour (beyond the hysteresis margin).
+                    let better_snr = self.policy.snr_tiebreak
+                        && candidate_metric == r.metric
+                        && neighbour != r.via
+                        && snr > r.snr + self.policy.snr_hysteresis_db;
+                    if better_metric || better_snr {
+                        // Strictly better: adopt.
+                        if r.via != neighbour || r.metric != candidate_metric {
+                            changed += 1;
+                        }
+                        if r.via != neighbour {
+                            r.snr_ewma = snr; // new link: restart stats
+                        } else {
+                            r.snr_ewma = ewma(r.snr_ewma, snr);
+                        }
+                        r.via = neighbour;
+                        r.metric = candidate_metric;
+                        r.role = e.role;
+                        r.last_seen = now;
+                        r.snr = snr;
+                        r.heard_count += 1;
+                    } else if r.via == neighbour {
+                        // Same next hop: follow the (possibly worse)
+                        // metric so a degraded path is noticed. If our own
+                        // next hop now reports the destination
+                        // unreachable, the route is gone — remove it
+                        // rather than keeping infinity clutter that would
+                        // be re-advertised across the mesh.
+                        if candidate_metric >= Self::INFINITY_METRIC {
+                            self.routes.remove(&e.address);
+                            changed += 1;
+                        } else {
+                            if r.metric != candidate_metric {
+                                changed += 1;
+                            }
+                            r.metric = candidate_metric;
+                            r.role = e.role;
+                            r.last_seen = now;
+                            r.snr_ewma = ewma(r.snr_ewma, snr);
+                            r.snr = snr;
+                            r.heard_count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Removes routes not refreshed within `timeout` and unreachable
+    /// (metric-capped) routes, returning the purged destinations.
+    pub fn purge(&mut self, now: Duration, timeout: Duration) -> Vec<Address> {
+        let dead: Vec<Address> = self
+            .routes
+            .values()
+            .filter(|r| {
+                now.saturating_sub(r.last_seen) >= timeout || r.metric >= Self::INFINITY_METRIC
+            })
+            .map(|r| r.destination)
+            .collect();
+        for d in &dead {
+            self.routes.remove(d);
+        }
+        dead
+    }
+
+    /// Removes every route through `via` (used when a neighbour is deemed
+    /// lost), returning the affected destinations.
+    pub fn drop_via(&mut self, via: Address) -> Vec<Address> {
+        let dead: Vec<Address> = self
+            .routes
+            .values()
+            .filter(|r| r.via == via)
+            .map(|r| r.destination)
+            .collect();
+        for d in &dead {
+            self.routes.remove(d);
+        }
+        dead
+    }
+
+    /// The earliest instant at which some route will time out, given the
+    /// configured timeout — the node's next purge deadline.
+    #[must_use]
+    pub fn next_expiry(&self, timeout: Duration) -> Option<Duration> {
+        self.routes
+            .values()
+            .map(|r| r.last_seen + timeout)
+            .min()
+    }
+
+    /// The table as Hello-broadcast entries (address order).
+    #[must_use]
+    pub fn as_entries(&self) -> Vec<RouteEntry> {
+        self.routes
+            .values()
+            .map(|r| RouteEntry {
+                address: r.destination,
+                metric: r.metric,
+                role: r.role,
+            })
+            .collect()
+    }
+
+    /// The bytes this table occupies in a Hello frame.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        self.routes.len() * ROUTE_ENTRY_LEN
+    }
+}
+
+impl core::fmt::Display for RoutingTable {
+    /// A human-readable dump, one route per line:
+    /// `dst via next_hop metric=N role=R snr=S age@T`.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.routes.is_empty() {
+            return writeln!(f, "(no routes)");
+        }
+        for r in self.routes.values() {
+            writeln!(
+                f,
+                "{} via {}  metric={:<2} role={:#04x} snr={:+.1} seen@{:.0}s",
+                r.destination,
+                r.via,
+                r.metric,
+                r.role,
+                r.snr,
+                r.last_seen.as_secs_f64(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NOW: Duration = Duration::from_secs(100);
+    const ME: Address = Address::new(0x0001);
+    const N2: Address = Address::new(0x0002);
+    const N3: Address = Address::new(0x0003);
+    const N4: Address = Address::new(0x0004);
+
+    fn entry(addr: Address, metric: u8) -> RouteEntry {
+        RouteEntry { address: addr, metric, role: 0 }
+    }
+
+    #[test]
+    fn heard_from_creates_direct_route() {
+        let mut t = RoutingTable::new();
+        t.heard_from(N2, 5.5, NOW);
+        let r = t.route(N2).unwrap();
+        assert_eq!(r.via, N2);
+        assert_eq!(r.metric, 1);
+        assert_eq!(r.snr, 5.5);
+        assert_eq!(t.next_hop(N2), Some(N2));
+    }
+
+    #[test]
+    fn direct_observation_beats_multi_hop() {
+        let mut t = RoutingTable::new();
+        // Learn N3 via N2 at 2 hops first.
+        t.apply_hello(ME, N2, 0, &[entry(N3, 1)], 0.0, NOW);
+        assert_eq!(t.route(N3).unwrap().metric, 2);
+        // Then hear N3 directly.
+        t.heard_from(N3, 1.0, NOW + Duration::from_secs(1));
+        let r = t.route(N3).unwrap();
+        assert_eq!(r.metric, 1);
+        assert_eq!(r.via, N3);
+    }
+
+    #[test]
+    fn hello_learns_and_improves_routes() {
+        let mut t = RoutingTable::new();
+        let changed = t.apply_hello(ME, N2, 0, &[entry(N3, 2), entry(N4, 1)], 0.0, NOW);
+        assert_eq!(changed, 2);
+        assert_eq!(t.route(N3).unwrap().metric, 3);
+        assert_eq!(t.route(N4).unwrap().metric, 2);
+        // A better path to N3 through N4.
+        let changed = t.apply_hello(ME, N4, 0, &[entry(N3, 1)], 0.0, NOW);
+        assert_eq!(changed, 1);
+        let r = t.route(N3).unwrap();
+        assert_eq!((r.via, r.metric), (N4, 2));
+    }
+
+    #[test]
+    fn worse_route_from_other_neighbour_is_ignored() {
+        let mut t = RoutingTable::new();
+        t.apply_hello(ME, N2, 0, &[entry(N4, 1)], 0.0, NOW);
+        let before = *t.route(N4).unwrap();
+        let changed = t.apply_hello(ME, N3, 0, &[entry(N4, 5)], 0.0, NOW);
+        assert_eq!(changed, 0);
+        assert_eq!(*t.route(N4).unwrap(), before);
+    }
+
+    #[test]
+    fn same_via_tracks_degradation() {
+        let mut t = RoutingTable::new();
+        t.apply_hello(ME, N2, 0, &[entry(N4, 1)], 0.0, NOW);
+        assert_eq!(t.route(N4).unwrap().metric, 2);
+        // N2 now reports N4 further away: we must follow it.
+        t.apply_hello(ME, N2, 0, &[entry(N4, 4)], 0.0, NOW + Duration::from_secs(1));
+        assert_eq!(t.route(N4).unwrap().metric, 5);
+    }
+
+    #[test]
+    fn routes_to_self_and_broadcast_are_ignored() {
+        let mut t = RoutingTable::new();
+        t.apply_hello(
+            ME,
+            N2,
+            0,
+            &[entry(ME, 3), entry(Address::BROADCAST, 1)],
+            0.0,
+            NOW,
+        );
+        assert!(t.route(ME).is_none());
+        assert!(t.route(Address::BROADCAST).is_none());
+        // Only the neighbour itself was learned.
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn metric_saturates_at_infinity() {
+        let mut t = RoutingTable::new();
+        t.apply_hello(ME, N2, 0, &[entry(N3, RoutingTable::INFINITY_METRIC - 1)], 0.0, NOW);
+        // 15 + 1 = 16 = infinity: not usable, not inserted.
+        assert!(t.route(N3).is_none());
+        assert_eq!(t.next_hop(N3), None);
+    }
+
+    #[test]
+    fn unreachable_report_from_next_hop_removes_route() {
+        let mut t = RoutingTable::new();
+        t.apply_hello(ME, N2, 0, &[entry(N3, 1)], 0.0, NOW);
+        assert!(t.next_hop(N3).is_some());
+        // Our next hop now reports N3 unreachable: the route disappears
+        // immediately instead of lingering as infinity clutter.
+        let changed =
+            t.apply_hello(ME, N2, 0, &[entry(N3, RoutingTable::INFINITY_METRIC)], 0.0, NOW);
+        assert_eq!(changed, 1);
+        assert!(t.route(N3).is_none());
+        // Other neighbours' unreachable reports do not touch our route.
+        t.apply_hello(ME, N2, 0, &[entry(N3, 1)], 0.0, NOW);
+        t.apply_hello(ME, N4, 0, &[entry(N3, RoutingTable::INFINITY_METRIC)], 0.0, NOW);
+        assert!(t.next_hop(N3).is_some());
+    }
+
+    #[test]
+    fn purge_removes_stale_routes() {
+        let mut t = RoutingTable::new();
+        t.heard_from(N2, 0.0, NOW);
+        t.heard_from(N3, 0.0, NOW + Duration::from_secs(100));
+        let purged = t.purge(NOW + Duration::from_secs(650), Duration::from_secs(600));
+        assert_eq!(purged, vec![N2]);
+        assert!(t.route(N2).is_none());
+        assert!(t.route(N3).is_some());
+    }
+
+    #[test]
+    fn drop_via_removes_dependents() {
+        let mut t = RoutingTable::new();
+        t.apply_hello(ME, N2, 0, &[entry(N3, 1), entry(N4, 2)], 0.0, NOW);
+        let dropped = t.drop_via(N2);
+        assert_eq!(dropped.len(), 3); // N2 itself + N3 + N4
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn next_expiry_is_earliest() {
+        let mut t = RoutingTable::new();
+        assert_eq!(t.next_expiry(Duration::from_secs(600)), None);
+        t.heard_from(N2, 0.0, Duration::from_secs(10));
+        t.heard_from(N3, 0.0, Duration::from_secs(50));
+        assert_eq!(
+            t.next_expiry(Duration::from_secs(600)),
+            Some(Duration::from_secs(610))
+        );
+    }
+
+    #[test]
+    fn as_entries_round_trips_metrics() {
+        let mut t = RoutingTable::new();
+        t.apply_hello(ME, N2, 7, &[entry(N3, 1)], 0.0, NOW);
+        let entries = t.as_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].address, N2);
+        assert_eq!(entries[0].metric, 1);
+        assert_eq!(entries[0].role, 7);
+        assert_eq!(entries[1].address, N3);
+        assert_eq!(entries[1].metric, 2);
+        assert_eq!(t.wire_size(), 2 * ROUTE_ENTRY_LEN);
+    }
+
+    #[test]
+    fn snr_tiebreak_prefers_stronger_equal_metric_path() {
+        let mut t = RoutingTable::with_policy(RoutingPolicy {
+            snr_tiebreak: true,
+            snr_hysteresis_db: 3.0,
+        });
+        // N4 reachable at 2 hops via N2 (weak link, -5 dB).
+        t.apply_hello(ME, N2, 0, &[entry(N4, 1)], -5.0, NOW);
+        assert_eq!(t.route(N4).unwrap().via, N2);
+        // N3 offers the same 2-hop path over a +2 dB link: switch.
+        t.apply_hello(ME, N3, 0, &[entry(N4, 1)], 2.0, NOW);
+        let r = *t.route(N4).unwrap();
+        assert_eq!(r.via, N3);
+        assert_eq!(r.metric, 2);
+        assert_eq!(r.snr, 2.0);
+        // A third path only 1 dB better than the current: hysteresis
+        // keeps the route stable.
+        t.apply_hello(ME, Address::new(9), 0, &[entry(N4, 1)], 3.0, NOW);
+        assert_eq!(t.route(N4).unwrap().via, N3);
+    }
+
+    #[test]
+    fn snr_tiebreak_disabled_by_default() {
+        let mut t = RoutingTable::new();
+        assert!(!t.policy().snr_tiebreak);
+        t.apply_hello(ME, N2, 0, &[entry(N4, 1)], -20.0, NOW);
+        t.apply_hello(ME, N3, 0, &[entry(N4, 1)], 10.0, NOW);
+        // Hop-count-only: the first learned route wins ties.
+        assert_eq!(t.route(N4).unwrap().via, N2);
+    }
+
+    #[test]
+    fn snr_refreshes_on_same_via_updates() {
+        let mut t = RoutingTable::new();
+        t.apply_hello(ME, N2, 0, &[entry(N4, 1)], -5.0, NOW);
+        t.apply_hello(ME, N2, 0, &[entry(N4, 1)], 4.0, NOW + Duration::from_secs(1));
+        assert_eq!(t.route(N4).unwrap().snr, 4.0);
+    }
+
+    #[test]
+    fn link_statistics_smooth_snr_and_count_packets() {
+        let mut t = RoutingTable::new();
+        t.heard_from(N2, 8.0, NOW);
+        let r = t.route(N2).unwrap();
+        assert_eq!(r.snr_ewma, 8.0);
+        assert_eq!(r.heard_count, 1);
+        // A deep fade on one frame barely moves the average.
+        t.heard_from(N2, -8.0, NOW + Duration::from_secs(1));
+        let r = t.route(N2).unwrap();
+        assert_eq!(r.snr, -8.0);
+        assert!((r.snr_ewma - 4.0).abs() < 1e-12, "ewma {}", r.snr_ewma);
+        assert_eq!(r.heard_count, 2);
+    }
+
+    #[test]
+    fn neighbours_lists_only_direct_routes() {
+        let mut t = RoutingTable::new();
+        t.apply_hello(ME, N2, 0, &[entry(N3, 1)], 5.0, NOW);
+        let direct: Vec<Address> = t.neighbours().map(|r| r.destination).collect();
+        assert_eq!(direct, vec![N2]);
+    }
+
+    #[test]
+    fn via_switch_restarts_link_statistics() {
+        let mut t = RoutingTable::new();
+        // Route to N4 via N2 with poor SNR...
+        t.apply_hello(ME, N2, 0, &[entry(N4, 2)], -10.0, NOW);
+        // ...replaced by a strictly better path via N3: stats restart.
+        t.apply_hello(ME, N3, 0, &[entry(N4, 1)], 6.0, NOW);
+        let r = t.route(N4).unwrap();
+        assert_eq!(r.via, N3);
+        assert_eq!(r.snr_ewma, 6.0);
+    }
+
+    #[test]
+    fn display_lists_routes() {
+        let mut t = RoutingTable::new();
+        assert_eq!(t.to_string(), "(no routes)\n");
+        t.apply_hello(ME, N2, 0, &[entry(N3, 1)], 4.5, NOW);
+        let s = t.to_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("0002 via 0002"), "{s}");
+        assert!(s.contains("0003 via 0002"), "{s}");
+        assert!(s.contains("metric=2"), "{s}");
+    }
+
+    #[test]
+    fn role_updates_count_as_changes() {
+        let mut t = RoutingTable::new();
+        assert_eq!(t.apply_hello(ME, N2, 0, &[], 0.0, NOW), 0);
+        assert_eq!(t.apply_hello(ME, N2, 1, &[], 0.0, NOW), 1);
+        assert_eq!(t.route(N2).unwrap().role, 1);
+    }
+}

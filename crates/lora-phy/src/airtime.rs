@@ -1,0 +1,218 @@
+//! LoRa time-on-air computation.
+//!
+//! Implements the frame-duration formula from the Semtech SX1276 datasheet
+//! (§4.1.1.6) and the LoRa modem calculator:
+//!
+//! ```text
+//! T_sym      = 2^SF / BW
+//! T_preamble = (n_preamble + 4.25) * T_sym
+//! n_payload  = 8 + max(ceil((8*PL - 4*SF + 28 + 16*CRC - 20*IH)
+//!                           / (4*(SF - 2*DE))) * (CR + 4), 0)
+//! T_payload  = n_payload * T_sym
+//! T_frame    = T_preamble + T_payload
+//! ```
+//!
+//! where `PL` is payload bytes, `IH=1` for implicit header, `CRC=1` when
+//! the CRC is on, `DE=1` with low-data-rate optimization and `CR` is the
+//! coding-rate offset (1–4).
+
+use std::time::Duration;
+
+use crate::modulation::LoRaModulation;
+
+impl LoRaModulation {
+    /// Number of symbols in the payload part of a frame carrying
+    /// `payload_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_len` exceeds [`LoRaModulation::MAX_PHY_PAYLOAD`].
+    #[must_use]
+    pub fn payload_symbols(&self, payload_len: usize) -> u32 {
+        assert!(
+            payload_len <= Self::MAX_PHY_PAYLOAD,
+            "payload of {payload_len} bytes exceeds the {}-byte LoRa PHY limit",
+            Self::MAX_PHY_PAYLOAD
+        );
+        let pl = payload_len as i64;
+        let sf = i64::from(self.spreading_factor.value());
+        let crc = i64::from(self.crc_on);
+        let ih = i64::from(!self.explicit_header);
+        let de = i64::from(self.low_data_rate_optimize);
+        let cr = i64::from(self.coding_rate.denominator_offset());
+
+        let numerator = 8 * pl - 4 * sf + 28 + 16 * crc - 20 * ih;
+        let denominator = 4 * (sf - 2 * de);
+        debug_assert!(denominator > 0);
+        let blocks = if numerator > 0 {
+            // ceiling division
+            (numerator + denominator - 1) / denominator
+        } else {
+            0
+        };
+        (8 + blocks * (cr + 4)).max(8) as u32
+    }
+
+    /// Duration of the preamble, `(n_preamble + 4.25)` symbols.
+    #[must_use]
+    pub fn preamble_time(&self) -> Duration {
+        let sym = self.symbol_time().as_secs_f64();
+        Duration::from_secs_f64((f64::from(self.preamble_symbols) + 4.25) * sym)
+    }
+
+    /// Total on-air duration of a frame carrying `payload_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_len` exceeds [`LoRaModulation::MAX_PHY_PAYLOAD`].
+    #[must_use]
+    pub fn time_on_air(&self, payload_len: usize) -> Duration {
+        let sym = self.symbol_time().as_secs_f64();
+        let payload = f64::from(self.payload_symbols(payload_len)) * sym;
+        self.preamble_time() + Duration::from_secs_f64(payload)
+    }
+
+    /// Effective goodput in bytes per second for frames of `payload_len`
+    /// bytes sent back to back (ignoring regulatory duty cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_len` exceeds [`LoRaModulation::MAX_PHY_PAYLOAD`].
+    #[must_use]
+    pub fn goodput_bytes_per_sec(&self, payload_len: usize) -> f64 {
+        payload_len as f64 / self.time_on_air(payload_len).as_secs_f64()
+    }
+
+    /// The largest payload whose frame fits within `budget` of airtime, or
+    /// `None` if not even an empty frame fits.
+    #[must_use]
+    pub fn max_payload_within(&self, budget: Duration) -> Option<usize> {
+        if self.time_on_air(0) > budget {
+            return None;
+        }
+        // time_on_air is monotone in payload_len; binary search the largest fit.
+        let (mut lo, mut hi) = (0usize, Self::MAX_PHY_PAYLOAD);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.time_on_air(mid) <= budget {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        Some(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::modulation::{Bandwidth, CodingRate, LoRaModulation, SpreadingFactor};
+    use std::time::Duration;
+
+    fn toa_ms(sf: SpreadingFactor, bw: Bandwidth, cr: CodingRate, pl: usize) -> f64 {
+        LoRaModulation::new(sf, bw, cr).time_on_air(pl).as_secs_f64() * 1000.0
+    }
+
+    #[test]
+    fn matches_semtech_calculator_sf7() {
+        // Semtech LoRa calculator: SF7, 125 kHz, CR4/5, 8 preamble symbols,
+        // explicit header, CRC on, 10-byte payload -> 41.216 ms
+        // (preamble 12.25 sym + 28 payload sym, T_sym = 1.024 ms).
+        let ms = toa_ms(SpreadingFactor::Sf7, Bandwidth::Khz125, CodingRate::Cr4_5, 10);
+        assert!((ms - 41.216).abs() < 0.01, "got {ms} ms");
+    }
+
+    #[test]
+    fn matches_semtech_calculator_sf12() {
+        // SF12, 125 kHz, CR4/5, 10-byte payload, LDRO on -> 991.23 ms.
+        let ms = toa_ms(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_5, 10);
+        assert!((ms - 991.232).abs() < 0.5, "got {ms} ms");
+    }
+
+    #[test]
+    fn matches_semtech_calculator_sf9_51_bytes() {
+        // SF9, 125 kHz, CR4/5, 51-byte payload -> 328.704 ms
+        // (preamble 12.25 sym + 68 payload sym, T_sym = 4.096 ms).
+        let ms = toa_ms(SpreadingFactor::Sf9, Bandwidth::Khz125, CodingRate::Cr4_5, 51);
+        assert!((ms - 328.704).abs() < 0.1, "got {ms} ms");
+    }
+
+    #[test]
+    fn payload_symbols_has_floor_of_8() {
+        // Tiny payloads still cost 8 payload symbols.
+        let m = LoRaModulation::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_5);
+        assert!(m.payload_symbols(0) >= 8);
+    }
+
+    #[test]
+    fn time_on_air_monotone_in_payload() {
+        for sf in SpreadingFactor::ALL {
+            let m = LoRaModulation::new(sf, Bandwidth::Khz125, CodingRate::Cr4_7);
+            let mut last = Duration::ZERO;
+            for pl in 0..=LoRaModulation::MAX_PHY_PAYLOAD {
+                let t = m.time_on_air(pl);
+                assert!(t >= last, "{sf:?} payload {pl}");
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn time_on_air_monotone_in_sf() {
+        let mut last = Duration::ZERO;
+        for sf in SpreadingFactor::ALL {
+            let t = LoRaModulation::new(sf, Bandwidth::Khz125, CodingRate::Cr4_5).time_on_air(32);
+            assert!(t > last, "{sf:?}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn wider_bandwidth_is_faster() {
+        let t125 =
+            LoRaModulation::new(SpreadingFactor::Sf9, Bandwidth::Khz125, CodingRate::Cr4_5)
+                .time_on_air(32);
+        let t500 =
+            LoRaModulation::new(SpreadingFactor::Sf9, Bandwidth::Khz500, CodingRate::Cr4_5)
+                .time_on_air(32);
+        assert_eq!(t125.as_micros(), 4 * t500.as_micros());
+    }
+
+    #[test]
+    fn higher_coding_rate_is_slower() {
+        let fast = LoRaModulation::new(SpreadingFactor::Sf8, Bandwidth::Khz125, CodingRate::Cr4_5)
+            .time_on_air(64);
+        let slow = LoRaModulation::new(SpreadingFactor::Sf8, Bandwidth::Khz125, CodingRate::Cr4_8)
+            .time_on_air(64);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn max_payload_within_is_tight() {
+        let m = LoRaModulation::default();
+        let budget = Duration::from_millis(100);
+        let pl = m.max_payload_within(budget).unwrap();
+        assert!(m.time_on_air(pl) <= budget);
+        if pl < LoRaModulation::MAX_PHY_PAYLOAD {
+            assert!(m.time_on_air(pl + 1) > budget);
+        }
+    }
+
+    #[test]
+    fn max_payload_within_none_when_budget_tiny() {
+        let m = LoRaModulation::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_8);
+        assert_eq!(m.max_payload_within(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_payload_panics() {
+        let _ = LoRaModulation::default().time_on_air(256);
+    }
+
+    #[test]
+    fn goodput_increases_with_payload() {
+        let m = LoRaModulation::default();
+        assert!(m.goodput_bytes_per_sec(200) > m.goodput_bytes_per_sec(10));
+    }
+}

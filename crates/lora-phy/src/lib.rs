@@ -1,0 +1,50 @@
+//! Analytic model of the LoRa physical layer.
+//!
+//! This crate provides the radio-physics substrate for the
+//! `loramesher` reproduction: everything the mesh protocol and the
+//! discrete-event simulator need to know about LoRa itself, without any
+//! hardware access.
+//!
+//! The models implemented here are the standard analytic ones published in
+//! the Semtech SX127x datasheet and the LoRa modem calculator:
+//!
+//! * [`modulation`] — spreading factor, bandwidth and coding-rate
+//!   parameters with validity checking ([`LoRaModulation`]).
+//! * [`airtime`] — the exact time-on-air formula, including the
+//!   low-data-rate-optimization rules.
+//! * [`link`] — receiver sensitivity and SNR demodulation limits per
+//!   spreading factor, and link-budget arithmetic ([`LinkBudget`]).
+//! * [`propagation`] — free-space and log-distance path-loss models with
+//!   optional log-normal shadowing.
+//! * [`region`] — regional regulatory parameters (EU868 duty-cycle
+//!   sub-bands) and a [`region::DutyCycleTracker`] enforcing them.
+//! * [`power`] — dBm/milliwatt conversions and a simple radio energy model.
+//! * [`battery`] — battery-lifetime estimation from the energy model.
+//!
+//! # Example
+//!
+//! ```
+//! use lora_phy::modulation::{Bandwidth, CodingRate, LoRaModulation, SpreadingFactor};
+//!
+//! let m = LoRaModulation::new(SpreadingFactor::Sf7, Bandwidth::Khz125, CodingRate::Cr4_5);
+//! // Time on air of a 20-byte payload at SF7/125kHz is about 57 ms.
+//! let toa = m.time_on_air(20);
+//! assert!(toa.as_millis() > 50 && toa.as_millis() < 62);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airtime;
+pub mod battery;
+pub mod link;
+pub mod modulation;
+pub mod power;
+pub mod propagation;
+pub mod region;
+
+pub use link::{LinkBudget, SignalQuality};
+pub use modulation::{Bandwidth, CodingRate, LoRaModulation, SpreadingFactor};
+pub use power::{Dbm, Milliwatts};
+pub use propagation::PathLossModel;
+pub use region::{Region, SubBand};

@@ -1,0 +1,425 @@
+//! LoRa modulation parameters.
+//!
+//! LoRa transmissions are parameterised by a *spreading factor* (SF7–SF12),
+//! a *bandwidth* (125/250/500 kHz in the sub-GHz bands) and a *coding rate*
+//! (4/5–4/8). Together with the preamble length and header mode these fully
+//! determine the on-air duration and robustness of a frame.
+
+use core::fmt;
+use std::time::Duration;
+
+/// LoRa spreading factor (chips per symbol = `2^sf`).
+///
+/// Higher spreading factors trade data rate for range: each step roughly
+/// doubles time-on-air and buys ~2.5 dB of link budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SpreadingFactor {
+    /// SF7 — fastest, shortest range.
+    Sf7 = 7,
+    /// SF8.
+    Sf8 = 8,
+    /// SF9.
+    Sf9 = 9,
+    /// SF10.
+    Sf10 = 10,
+    /// SF11.
+    Sf11 = 11,
+    /// SF12 — slowest, longest range.
+    Sf12 = 12,
+}
+
+impl SpreadingFactor {
+    /// All spreading factors in increasing order.
+    pub const ALL: [SpreadingFactor; 6] = [
+        SpreadingFactor::Sf7,
+        SpreadingFactor::Sf8,
+        SpreadingFactor::Sf9,
+        SpreadingFactor::Sf10,
+        SpreadingFactor::Sf11,
+        SpreadingFactor::Sf12,
+    ];
+
+    /// Numeric spreading factor (7–12).
+    #[must_use]
+    pub fn value(self) -> u8 {
+        self as u8
+    }
+
+    /// Chips per symbol, `2^sf`.
+    #[must_use]
+    pub fn chips_per_symbol(self) -> u32 {
+        1 << self.value()
+    }
+
+    /// Parses a numeric spreading factor.
+    ///
+    /// Returns `None` when `sf` is outside `7..=12`.
+    #[must_use]
+    pub fn from_value(sf: u8) -> Option<Self> {
+        match sf {
+            7 => Some(Self::Sf7),
+            8 => Some(Self::Sf8),
+            9 => Some(Self::Sf9),
+            10 => Some(Self::Sf10),
+            11 => Some(Self::Sf11),
+            12 => Some(Self::Sf12),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SpreadingFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SF{}", self.value())
+    }
+}
+
+/// LoRa channel bandwidth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Bandwidth {
+    /// 125 kHz — the default in the EU868 band.
+    Khz125,
+    /// 250 kHz.
+    Khz250,
+    /// 500 kHz.
+    Khz500,
+}
+
+impl Bandwidth {
+    /// All bandwidths in increasing order.
+    pub const ALL: [Bandwidth; 3] = [Bandwidth::Khz125, Bandwidth::Khz250, Bandwidth::Khz500];
+
+    /// Bandwidth in hertz.
+    #[must_use]
+    pub fn hz(self) -> u32 {
+        match self {
+            Bandwidth::Khz125 => 125_000,
+            Bandwidth::Khz250 => 250_000,
+            Bandwidth::Khz500 => 500_000,
+        }
+    }
+
+    /// Parses a bandwidth given in hertz.
+    ///
+    /// Returns `None` for unsupported values.
+    #[must_use]
+    pub fn from_hz(hz: u32) -> Option<Self> {
+        match hz {
+            125_000 => Some(Bandwidth::Khz125),
+            250_000 => Some(Bandwidth::Khz250),
+            500_000 => Some(Bandwidth::Khz500),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}kHz", self.hz() / 1000)
+    }
+}
+
+/// LoRa forward-error-correction coding rate, `4 / (4 + n)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CodingRate {
+    /// 4/5 — least redundancy.
+    Cr4_5,
+    /// 4/6.
+    Cr4_6,
+    /// 4/7.
+    Cr4_7,
+    /// 4/8 — most redundancy.
+    Cr4_8,
+}
+
+impl CodingRate {
+    /// All coding rates in increasing redundancy order.
+    pub const ALL: [CodingRate; 4] = [
+        CodingRate::Cr4_5,
+        CodingRate::Cr4_6,
+        CodingRate::Cr4_7,
+        CodingRate::Cr4_8,
+    ];
+
+    /// The denominator offset used by the time-on-air formula
+    /// (1 for 4/5 … 4 for 4/8).
+    #[must_use]
+    pub fn denominator_offset(self) -> u32 {
+        match self {
+            CodingRate::Cr4_5 => 1,
+            CodingRate::Cr4_6 => 2,
+            CodingRate::Cr4_7 => 3,
+            CodingRate::Cr4_8 => 4,
+        }
+    }
+
+    /// The code rate as a fraction (e.g. 0.8 for 4/5).
+    #[must_use]
+    pub fn rate(self) -> f64 {
+        4.0 / (4.0 + f64::from(self.denominator_offset()))
+    }
+}
+
+impl fmt::Display for CodingRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "4/{}", 4 + self.denominator_offset())
+    }
+}
+
+/// A complete set of LoRa modulation parameters for one transmission.
+///
+/// Construct with [`LoRaModulation::new`] for datasheet defaults (8-symbol
+/// preamble, explicit header, CRC on, automatic low-data-rate optimization)
+/// or with [`LoRaModulation::builder`] to override individual fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LoRaModulation {
+    /// Spreading factor.
+    pub spreading_factor: SpreadingFactor,
+    /// Channel bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Forward-error-correction coding rate.
+    pub coding_rate: CodingRate,
+    /// Number of programmed preamble symbols (the radio adds 4.25).
+    pub preamble_symbols: u16,
+    /// Whether the explicit (variable-length) header is transmitted.
+    pub explicit_header: bool,
+    /// Whether the payload CRC is transmitted.
+    pub crc_on: bool,
+    /// Low-data-rate optimization: mandated when the symbol time
+    /// exceeds 16 ms (SF11/SF12 at 125 kHz).
+    pub low_data_rate_optimize: bool,
+}
+
+impl LoRaModulation {
+    /// Maximum payload accepted by the SX127x FIFO in a single frame.
+    pub const MAX_PHY_PAYLOAD: usize = 255;
+
+    /// Creates a modulation with datasheet defaults: 8 preamble symbols,
+    /// explicit header, CRC enabled, and low-data-rate optimization applied
+    /// automatically when mandated (symbol time > 16 ms).
+    #[must_use]
+    pub fn new(sf: SpreadingFactor, bw: Bandwidth, cr: CodingRate) -> Self {
+        let mut m = LoRaModulation {
+            spreading_factor: sf,
+            bandwidth: bw,
+            coding_rate: cr,
+            preamble_symbols: 8,
+            explicit_header: true,
+            crc_on: true,
+            low_data_rate_optimize: false,
+        };
+        m.low_data_rate_optimize = m.ldro_mandated();
+        m
+    }
+
+    /// Starts building a modulation with custom parameters.
+    #[must_use]
+    pub fn builder(sf: SpreadingFactor, bw: Bandwidth, cr: CodingRate) -> LoRaModulationBuilder {
+        LoRaModulationBuilder {
+            inner: Self::new(sf, bw, cr),
+            ldro_overridden: false,
+        }
+    }
+
+    /// Duration of a single LoRa symbol: `2^sf / bw`.
+    #[must_use]
+    pub fn symbol_time(&self) -> Duration {
+        let secs = f64::from(self.spreading_factor.chips_per_symbol()) / f64::from(self.bandwidth.hz());
+        Duration::from_secs_f64(secs)
+    }
+
+    /// Whether the datasheet mandates low-data-rate optimization for this
+    /// SF/BW combination (symbol time strictly greater than 16 ms).
+    #[must_use]
+    pub fn ldro_mandated(&self) -> bool {
+        self.symbol_time() > Duration::from_millis(16)
+    }
+
+    /// Raw physical bit rate in bits per second:
+    /// `sf * (bw / 2^sf) * cr`.
+    #[must_use]
+    pub fn bit_rate(&self) -> f64 {
+        let sf = f64::from(self.spreading_factor.value());
+        let bw = f64::from(self.bandwidth.hz());
+        let chips = f64::from(self.spreading_factor.chips_per_symbol());
+        sf * (bw / chips) * self.coding_rate.rate()
+    }
+}
+
+impl fmt::Display for LoRaModulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/CR{}",
+            self.spreading_factor, self.bandwidth, self.coding_rate
+        )
+    }
+}
+
+impl Default for LoRaModulation {
+    /// The LoRaMesher firmware default: SF7, 125 kHz, CR 4/7.
+    fn default() -> Self {
+        LoRaModulation::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_7,
+        )
+    }
+}
+
+/// Builder for [`LoRaModulation`] with non-default framing options.
+///
+/// ```
+/// use lora_phy::modulation::{Bandwidth, CodingRate, LoRaModulation, SpreadingFactor};
+///
+/// let m = LoRaModulation::builder(SpreadingFactor::Sf9, Bandwidth::Khz125, CodingRate::Cr4_5)
+///     .preamble_symbols(12)
+///     .crc_on(false)
+///     .build();
+/// assert_eq!(m.preamble_symbols, 12);
+/// assert!(!m.crc_on);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct LoRaModulationBuilder {
+    inner: LoRaModulation,
+    ldro_overridden: bool,
+}
+
+impl LoRaModulationBuilder {
+    /// Sets the number of programmed preamble symbols (minimum 6).
+    #[must_use]
+    pub fn preamble_symbols(mut self, n: u16) -> Self {
+        self.inner.preamble_symbols = n.max(6);
+        self
+    }
+
+    /// Selects explicit (true) or implicit (false) header mode.
+    #[must_use]
+    pub fn explicit_header(mut self, on: bool) -> Self {
+        self.inner.explicit_header = on;
+        self
+    }
+
+    /// Enables or disables the payload CRC.
+    #[must_use]
+    pub fn crc_on(mut self, on: bool) -> Self {
+        self.inner.crc_on = on;
+        self
+    }
+
+    /// Forces low-data-rate optimization on or off.
+    ///
+    /// Without this call, LDRO follows the datasheet mandate for the chosen
+    /// SF/BW combination.
+    #[must_use]
+    pub fn low_data_rate_optimize(mut self, on: bool) -> Self {
+        self.inner.low_data_rate_optimize = on;
+        self.ldro_overridden = true;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(mut self) -> LoRaModulation {
+        if !self.ldro_overridden {
+            self.inner.low_data_rate_optimize = self.inner.ldro_mandated();
+        }
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spreading_factor_values_round_trip() {
+        for sf in SpreadingFactor::ALL {
+            assert_eq!(SpreadingFactor::from_value(sf.value()), Some(sf));
+        }
+        assert_eq!(SpreadingFactor::from_value(6), None);
+        assert_eq!(SpreadingFactor::from_value(13), None);
+    }
+
+    #[test]
+    fn chips_per_symbol_doubles_per_step() {
+        assert_eq!(SpreadingFactor::Sf7.chips_per_symbol(), 128);
+        assert_eq!(SpreadingFactor::Sf12.chips_per_symbol(), 4096);
+        for w in SpreadingFactor::ALL.windows(2) {
+            assert_eq!(w[1].chips_per_symbol(), 2 * w[0].chips_per_symbol());
+        }
+    }
+
+    #[test]
+    fn bandwidth_hz_round_trip() {
+        for bw in Bandwidth::ALL {
+            assert_eq!(Bandwidth::from_hz(bw.hz()), Some(bw));
+        }
+        assert_eq!(Bandwidth::from_hz(62_500), None);
+    }
+
+    #[test]
+    fn coding_rate_fraction() {
+        assert!((CodingRate::Cr4_5.rate() - 0.8).abs() < 1e-12);
+        assert!((CodingRate::Cr4_8.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symbol_time_sf7_125khz_is_1024us() {
+        let m = LoRaModulation::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+        );
+        assert_eq!(m.symbol_time(), Duration::from_micros(1024));
+    }
+
+    #[test]
+    fn ldro_mandated_only_for_slow_symbols() {
+        // SF11 and SF12 at 125 kHz have 16.4 ms / 32.8 ms symbols.
+        let cases = [
+            (SpreadingFactor::Sf10, Bandwidth::Khz125, false),
+            (SpreadingFactor::Sf11, Bandwidth::Khz125, true),
+            (SpreadingFactor::Sf12, Bandwidth::Khz125, true),
+            (SpreadingFactor::Sf12, Bandwidth::Khz250, true),
+            (SpreadingFactor::Sf12, Bandwidth::Khz500, false),
+        ];
+        for (sf, bw, expect) in cases {
+            let m = LoRaModulation::new(sf, bw, CodingRate::Cr4_5);
+            assert_eq!(m.ldro_mandated(), expect, "{m}");
+            assert_eq!(m.low_data_rate_optimize, expect, "{m}");
+        }
+    }
+
+    #[test]
+    fn builder_respects_overrides() {
+        let m = LoRaModulation::builder(
+            SpreadingFactor::Sf12,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_8,
+        )
+        .low_data_rate_optimize(false)
+        .preamble_symbols(4) // clamped up to 6
+        .build();
+        assert!(!m.low_data_rate_optimize);
+        assert_eq!(m.preamble_symbols, 6);
+    }
+
+    #[test]
+    fn bit_rate_sf7_matches_datasheet() {
+        // SX1276 datasheet: SF7/125kHz/CR4_5 nominal bit rate = 5469 bps.
+        let m = LoRaModulation::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+        );
+        assert!((m.bit_rate() - 5468.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = LoRaModulation::default();
+        assert_eq!(m.to_string(), "SF7/125kHz/CR4/7");
+    }
+}

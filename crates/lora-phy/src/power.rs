@@ -1,0 +1,224 @@
+//! Power units and a radio energy model.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+use std::time::Duration;
+
+/// A power level in dBm (decibel-milliwatts).
+///
+/// A newtype so that transmit powers, RSSI values and sensitivities cannot
+/// be mixed up with plain `f64` gains or losses (which are in dB).
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Default)]
+pub struct Dbm(f64);
+
+impl Dbm {
+    /// Wraps a dBm value.
+    #[must_use]
+    pub const fn new(dbm: f64) -> Self {
+        Dbm(dbm)
+    }
+
+    /// The raw dBm value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to linear milliwatts.
+    #[must_use]
+    pub fn to_milliwatts(self) -> Milliwatts {
+        Milliwatts(10f64.powf(self.0 / 10.0))
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dBm", self.0)
+    }
+}
+
+impl Add<f64> for Dbm {
+    type Output = Dbm;
+    /// Adds a gain in dB.
+    fn add(self, gain_db: f64) -> Dbm {
+        Dbm(self.0 + gain_db)
+    }
+}
+
+impl Sub<f64> for Dbm {
+    type Output = Dbm;
+    /// Subtracts a loss in dB.
+    fn sub(self, loss_db: f64) -> Dbm {
+        Dbm(self.0 - loss_db)
+    }
+}
+
+impl Sub for Dbm {
+    type Output = f64;
+    /// The difference of two absolute levels is a ratio in dB.
+    fn sub(self, other: Dbm) -> f64 {
+        self.0 - other.0
+    }
+}
+
+/// Linear power in milliwatts.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Default)]
+pub struct Milliwatts(f64);
+
+impl Milliwatts {
+    /// Wraps a milliwatt value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mw` is negative or not finite.
+    #[must_use]
+    pub fn new(mw: f64) -> Self {
+        assert!(mw.is_finite() && mw >= 0.0, "power must be non-negative, got {mw}");
+        Milliwatts(mw)
+    }
+
+    /// The raw milliwatt value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to dBm. Zero power maps to negative infinity dBm.
+    #[must_use]
+    pub fn to_dbm(self) -> Dbm {
+        Dbm(10.0 * self.0.log10())
+    }
+}
+
+impl Add for Milliwatts {
+    type Output = Milliwatts;
+    /// Linear powers add (e.g. summing interference).
+    fn add(self, other: Milliwatts) -> Milliwatts {
+        Milliwatts(self.0 + other.0)
+    }
+}
+
+impl core::iter::Sum for Milliwatts {
+    fn sum<I: Iterator<Item = Milliwatts>>(iter: I) -> Milliwatts {
+        iter.fold(Milliwatts(0.0), Add::add)
+    }
+}
+
+impl fmt::Display for Milliwatts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} mW", self.0)
+    }
+}
+
+/// Supply currents of an SX1276-class radio in each operating state,
+/// used to estimate node energy consumption.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Supply voltage in volts.
+    pub supply_volts: f64,
+    /// Transmit current in milliamps (at +14 dBm, PA_BOOST off: ~44 mA).
+    pub tx_milliamps: f64,
+    /// Receive current in milliamps (~12 mA).
+    pub rx_milliamps: f64,
+    /// Idle/standby current in milliamps (~1.6 mA).
+    pub idle_milliamps: f64,
+    /// Sleep current in milliamps (~0.0002 mA).
+    pub sleep_milliamps: f64,
+}
+
+impl Default for EnergyModel {
+    /// SX1276 datasheet typical values at 3.3 V.
+    fn default() -> Self {
+        EnergyModel {
+            supply_volts: 3.3,
+            tx_milliamps: 44.0,
+            rx_milliamps: 12.0,
+            idle_milliamps: 1.6,
+            sleep_milliamps: 0.0002,
+        }
+    }
+}
+
+/// Time spent in each radio state, accumulated by a node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StateDurations {
+    /// Total time transmitting.
+    pub tx: Duration,
+    /// Total time in receive mode.
+    pub rx: Duration,
+    /// Total time idle/standby.
+    pub idle: Duration,
+    /// Total time asleep.
+    pub sleep: Duration,
+}
+
+impl EnergyModel {
+    /// Energy in millijoules consumed over the given state durations.
+    #[must_use]
+    pub fn energy_millijoules(&self, t: &StateDurations) -> f64 {
+        let mj = |ma: f64, d: Duration| ma * self.supply_volts * d.as_secs_f64();
+        mj(self.tx_milliamps, t.tx)
+            + mj(self.rx_milliamps, t.rx)
+            + mj(self.idle_milliamps, t.idle)
+            + mj(self.sleep_milliamps, t.sleep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_milliwatt_round_trip() {
+        for dbm in [-120.0, -30.0, 0.0, 14.0, 20.0] {
+            let back = Dbm::new(dbm).to_milliwatts().to_dbm().value();
+            assert!((back - dbm).abs() < 1e-9, "{dbm}");
+        }
+    }
+
+    #[test]
+    fn zero_dbm_is_one_milliwatt() {
+        assert!((Dbm::new(0.0).to_milliwatts().value() - 1.0).abs() < 1e-12);
+        assert!((Dbm::new(14.0).to_milliwatts().value() - 25.1189).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dbm_arithmetic() {
+        let p = Dbm::new(14.0) + 2.0 - 120.0;
+        assert!((p.value() - (-104.0)).abs() < 1e-12);
+        assert!((Dbm::new(-100.0) - Dbm::new(-106.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn milliwatts_sum_linearly() {
+        let total: Milliwatts = [1.0, 2.0, 3.0].into_iter().map(Milliwatts::new).sum();
+        assert!((total.value() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_milliwatts_rejected() {
+        let _ = Milliwatts::new(-1.0);
+    }
+
+    #[test]
+    fn energy_model_integrates_states() {
+        let m = EnergyModel::default();
+        let t = StateDurations {
+            tx: Duration::from_secs(1),
+            rx: Duration::from_secs(10),
+            idle: Duration::from_secs(100),
+            sleep: Duration::from_secs(1000),
+        };
+        let e = m.energy_millijoules(&t);
+        // tx: 44*3.3*1 = 145.2, rx: 12*3.3*10 = 396, idle: 1.6*3.3*100 = 528,
+        // sleep: 0.0002*3.3*1000 = 0.66 -> 1069.86 mJ
+        assert!((e - 1069.86).abs() < 0.01, "got {e}");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dbm::new(14.0).to_string(), "14.0 dBm");
+        assert_eq!(Milliwatts::new(25.0).to_string(), "25.000 mW");
+    }
+}

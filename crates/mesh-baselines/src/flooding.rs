@@ -1,0 +1,522 @@
+//! Managed flooding — the canonical routing-free LoRa mesh design.
+//!
+//! Each packet carries its originator, an id and a TTL. A node that hears
+//! a packet it has not seen before (a) delivers it if it is the
+//! destination or the packet is a broadcast, and (b) schedules a
+//! rebroadcast with the TTL decremented, after a random jitter that
+//! decorrelates simultaneous relays. Duplicate suppression uses a bounded
+//! `(src, id)` cache. There is no routing state at all — which is the
+//! point of comparing it against LoRaMesher: flooding reaches everything
+//! reachable but pays for it in airtime, and the experiments quantify
+//! that trade.
+//!
+//! The wire format reuses the LoRaMesher `Data` packet (with `via` set to
+//! broadcast, since there is no designated next hop), so frame sizes and
+//! airtime are identical between the protocols.
+
+use std::collections::{HashSet, VecDeque};
+use std::time::Duration;
+
+use lora_phy::link::SignalQuality;
+use lora_phy::modulation::LoRaModulation;
+use lora_phy::region::{DutyCycleTracker, Region};
+
+use loramesher::addr::Address;
+use loramesher::codec;
+use loramesher::driver::{NodeProtocol, RadioRequest};
+use loramesher::error::SendError;
+use loramesher::mac::{Mac, MacAction};
+use loramesher::packet::{Forwarding, Packet};
+use loramesher::queue::TxQueue;
+use loramesher::rng::ProtocolRng;
+
+/// Configuration of a [`FloodingNode`].
+#[derive(Clone, Debug)]
+pub struct FloodingConfig {
+    /// This node's address.
+    pub address: Address,
+    /// The radio profile (must match the network's).
+    pub modulation: LoRaModulation,
+    /// Regulatory region for the duty cycle.
+    pub region: Region,
+    /// Initial TTL of originated packets (= maximum flood radius).
+    pub ttl: u8,
+    /// Upper bound of the random rebroadcast jitter.
+    pub rebroadcast_jitter: Duration,
+    /// Duplicate-suppression cache size.
+    pub seen_cache: usize,
+    /// Transmit queue capacity.
+    pub tx_queue_capacity: usize,
+    /// CSMA backoff slot.
+    pub backoff_slot: Duration,
+    /// Maximum CSMA backoff exponent.
+    pub max_backoff_exponent: u32,
+    /// CAD retries before dropping a frame.
+    pub max_cad_retries: u32,
+    /// Randomness seed (defaults to the address).
+    pub seed: u64,
+}
+
+impl FloodingConfig {
+    /// A configuration with LoRaMesher-compatible defaults.
+    #[must_use]
+    pub fn new(address: Address) -> Self {
+        FloodingConfig {
+            address,
+            modulation: LoRaModulation::default(),
+            region: Region::Eu868,
+            ttl: 7,
+            rebroadcast_jitter: Duration::from_millis(500),
+            seen_cache: 128,
+            tx_queue_capacity: 32,
+            backoff_slot: Duration::from_millis(100),
+            max_backoff_exponent: 6,
+            max_cad_retries: 16,
+            seed: u64::from(address.value()),
+        }
+    }
+}
+
+/// Application events reported by a flooding node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FloodingEvent {
+    /// A packet addressed to this node (or broadcast) arrived.
+    Received {
+        /// Originating node.
+        src: Address,
+        /// Whether it was a broadcast.
+        broadcast: bool,
+        /// Application payload.
+        payload: Vec<u8>,
+    },
+}
+
+/// A pending (jittered) rebroadcast.
+#[derive(Debug)]
+struct PendingRelay {
+    at: Duration,
+    packet: Packet,
+}
+
+/// A managed-flooding node.
+#[derive(Debug)]
+pub struct FloodingNode {
+    config: FloodingConfig,
+    mac: Mac,
+    txq: TxQueue,
+    rng: ProtocolRng,
+    seen: HashSet<(Address, u8)>,
+    seen_order: VecDeque<(Address, u8)>,
+    pending: Vec<PendingRelay>,
+    events: VecDeque<FloodingEvent>,
+    next_id: u8,
+    started: bool,
+    /// Packets this node has rebroadcast for others.
+    pub relayed: u64,
+    /// Duplicates suppressed by the seen-cache.
+    pub duplicates_suppressed: u64,
+    /// Frames transmitted (originated + relayed + retries).
+    pub frames_sent: u64,
+    /// Total airtime transmitted.
+    pub airtime: Duration,
+}
+
+impl FloodingNode {
+    /// Creates a node from its configuration.
+    #[must_use]
+    pub fn new(config: FloodingConfig) -> Self {
+        let duty = config
+            .region
+            .sub_band_for(config.region.default_frequency_hz())
+            .map_or_else(DutyCycleTracker::unlimited, |b| {
+                DutyCycleTracker::new(b.duty_cycle, Duration::from_secs(3600))
+            });
+        let mac = Mac::new(
+            duty,
+            config.backoff_slot,
+            config.max_backoff_exponent,
+            config.max_cad_retries,
+        );
+        FloodingNode {
+            mac,
+            txq: TxQueue::new(config.tx_queue_capacity),
+            rng: ProtocolRng::new(config.seed),
+            seen: HashSet::new(),
+            seen_order: VecDeque::new(),
+            pending: Vec::new(),
+            events: VecDeque::new(),
+            next_id: 0,
+            started: false,
+            relayed: 0,
+            duplicates_suppressed: 0,
+            frames_sent: 0,
+            airtime: Duration::ZERO,
+            config,
+        }
+    }
+
+    /// This node's address.
+    #[must_use]
+    pub fn address(&self) -> Address {
+        self.config.address
+    }
+
+    /// Drains pending application events.
+    pub fn take_events(&mut self) -> Vec<FloodingEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Submits a datagram to flood toward `dst` (or broadcast).
+    ///
+    /// # Errors
+    ///
+    /// * [`SendError::EmptyPayload`] — nothing to send.
+    /// * [`SendError::PayloadTooLarge`] — exceeds the single-frame limit.
+    /// * [`SendError::QueueFull`] — the transmit queue refused the frame.
+    pub fn send(&mut self, dst: Address, payload: Vec<u8>) -> Result<u8, SendError> {
+        if payload.is_empty() {
+            return Err(SendError::EmptyPayload);
+        }
+        if payload.len() > codec::MAX_DATA_PAYLOAD {
+            return Err(SendError::PayloadTooLarge {
+                len: payload.len(),
+                max: codec::MAX_DATA_PAYLOAD,
+            });
+        }
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let packet = Packet::Data {
+            dst,
+            src: self.config.address,
+            id,
+            fwd: Forwarding { via: Address::BROADCAST, ttl: self.config.ttl },
+            payload,
+        };
+        // Mark our own packet as seen so echoes are not relayed.
+        self.remember(self.config.address, id);
+        if !self.txq.push(packet) {
+            return Err(SendError::QueueFull);
+        }
+        Ok(id)
+    }
+
+    fn remember(&mut self, src: Address, id: u8) -> bool {
+        if self.seen.contains(&(src, id)) {
+            return false;
+        }
+        if self.seen_order.len() == self.config.seen_cache {
+            if let Some(old) = self.seen_order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.seen.insert((src, id));
+        self.seen_order.push_back((src, id));
+        true
+    }
+
+    fn kick_mac(&mut self, now: Duration, requests: &mut Vec<RadioRequest>) {
+        if !self.txq.is_empty() {
+            if let MacAction::StartCad = self.mac.kick(now) {
+                requests.push(RadioRequest::StartCad);
+            }
+        }
+    }
+}
+
+impl NodeProtocol for FloodingNode {
+    fn on_start(&mut self, _now: Duration) -> Vec<RadioRequest> {
+        self.started = true;
+        Vec::new()
+    }
+
+    fn on_timer(&mut self, now: Duration) -> Vec<RadioRequest> {
+        // Move due rebroadcasts into the transmit queue.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].at <= now {
+                let relay = self.pending.swap_remove(i);
+                if self.txq.push(relay.packet) {
+                    self.relayed += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        let mut requests = Vec::new();
+        self.kick_mac(now, &mut requests);
+        requests
+    }
+
+    fn on_frame(&mut self, frame: &[u8], _quality: SignalQuality, now: Duration) -> Vec<RadioRequest> {
+        let Ok(packet) = codec::decode(frame) else {
+            return Vec::new();
+        };
+        let Packet::Data { dst, src, id, fwd, payload } = packet else {
+            return Vec::new(); // flooding only speaks Data
+        };
+        if src == self.config.address {
+            return Vec::new();
+        }
+        if !self.remember(src, id) {
+            self.duplicates_suppressed += 1;
+            return Vec::new();
+        }
+        let for_me = dst == self.config.address;
+        if for_me || dst.is_broadcast() {
+            self.events.push_back(FloodingEvent::Received {
+                src,
+                broadcast: dst.is_broadcast(),
+                payload: payload.clone(),
+            });
+        }
+        // Relay unless we are the final destination or the TTL is spent.
+        if !for_me && fwd.ttl > 1 {
+            let jitter_us = self
+                .rng
+                .gen_range(self.config.rebroadcast_jitter.as_micros().max(1) as u64);
+            self.pending.push(PendingRelay {
+                at: now + Duration::from_micros(jitter_us),
+                packet: Packet::Data {
+                    dst,
+                    src,
+                    id,
+                    fwd: Forwarding { via: Address::BROADCAST, ttl: fwd.ttl - 1 },
+                    payload,
+                },
+            });
+        }
+        Vec::new()
+    }
+
+    fn on_tx_done(&mut self, _now: Duration) -> Vec<RadioRequest> {
+        self.mac.on_tx_done();
+        Vec::new()
+    }
+
+    fn on_cad_done(&mut self, busy: bool, now: Duration) -> Vec<RadioRequest> {
+        let Some(front) = self.txq.peek() else {
+            return Vec::new();
+        };
+        let airtime = self.config.modulation.time_on_air(codec::encoded_len(front));
+        match self.mac.on_cad_done(busy, airtime, now, &mut self.rng) {
+            MacAction::Transmit => {
+                let packet = self.txq.pop().expect("peeked above");
+                match codec::encode(&packet) {
+                    Ok(frame) => {
+                        self.frames_sent += 1;
+                        self.airtime += airtime;
+                        vec![RadioRequest::Transmit(frame)]
+                    }
+                    Err(_) => {
+                        self.mac.on_tx_done();
+                        Vec::new()
+                    }
+                }
+            }
+            MacAction::DropFrame => {
+                let _ = self.txq.pop();
+                Vec::new()
+            }
+            MacAction::StartCad => vec![RadioRequest::StartCad],
+            MacAction::None => Vec::new(),
+        }
+    }
+
+    fn next_wake(&self) -> Option<Duration> {
+        if !self.started {
+            return None;
+        }
+        let mut wake: Option<Duration> = None;
+        let mut consider = |t: Option<Duration>| {
+            if let Some(t) = t {
+                wake = Some(wake.map_or(t, |w| w.min(t)));
+            }
+        };
+        if self.mac.is_ready() && !self.txq.is_empty() {
+            consider(Some(Duration::ZERO));
+        }
+        consider(self.mac.next_wake());
+        consider(self.pending.iter().map(|p| p.at).min());
+        wake
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A1: Address = Address::new(1);
+    const A2: Address = Address::new(2);
+    const A3: Address = Address::new(3);
+
+    fn node(addr: Address) -> FloodingNode {
+        let mut cfg = FloodingConfig::new(addr);
+        cfg.region = Region::Unlimited;
+        FloodingNode::new(cfg)
+    }
+
+    /// Drains one node's radio work, returning transmitted frames.
+    fn drain(n: &mut FloodingNode, now: Duration) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        let mut requests = n.on_timer(now);
+        let mut guard = 0;
+        while let Some(req) = requests.pop() {
+            guard += 1;
+            assert!(guard < 100, "runaway radio loop");
+            match req {
+                RadioRequest::StartCad => requests.extend(n.on_cad_done(false, now)),
+                RadioRequest::Transmit(f) => {
+                    frames.push(f);
+                    requests.extend(n.on_tx_done(now));
+                }
+            }
+        }
+        frames
+    }
+
+    #[test]
+    fn send_validations() {
+        let mut n = node(A1);
+        let _ = n.on_start(Duration::ZERO);
+        assert_eq!(n.send(A2, vec![]), Err(SendError::EmptyPayload));
+        assert!(matches!(
+            n.send(A2, vec![0; 4000]),
+            Err(SendError::PayloadTooLarge { .. })
+        ));
+        assert!(n.send(A2, vec![1, 2]).is_ok());
+    }
+
+    #[test]
+    fn originated_packet_is_transmitted() {
+        let mut n = node(A1);
+        let _ = n.on_start(Duration::ZERO);
+        n.send(A2, b"x".to_vec()).unwrap();
+        assert_eq!(n.next_wake(), Some(Duration::ZERO));
+        let frames = drain(&mut n, Duration::ZERO);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(n.frames_sent, 1);
+    }
+
+    #[test]
+    fn destination_delivers_and_does_not_relay() {
+        let mut a = node(A1);
+        let mut b = node(A2);
+        let _ = a.on_start(Duration::ZERO);
+        let _ = b.on_start(Duration::ZERO);
+        a.send(A2, b"hi".to_vec()).unwrap();
+        let frames = drain(&mut a, Duration::ZERO);
+        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        assert_eq!(
+            b.take_events(),
+            vec![FloodingEvent::Received { src: A1, broadcast: false, payload: b"hi".to_vec() }]
+        );
+        // B was the destination: nothing to relay, no pending work.
+        assert!(drain(&mut b, Duration::from_secs(5)).is_empty());
+        assert_eq!(b.relayed, 0);
+    }
+
+    #[test]
+    fn intermediate_node_relays_with_decremented_ttl() {
+        let mut a = node(A1);
+        let mut b = node(A2);
+        let _ = a.on_start(Duration::ZERO);
+        let _ = b.on_start(Duration::ZERO);
+        a.send(A3, b"fwd".to_vec()).unwrap();
+        let frames = drain(&mut a, Duration::ZERO);
+        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        // The relay is jittered: due within the configured bound.
+        let relayed = drain(&mut b, Duration::from_secs(1));
+        assert_eq!(relayed.len(), 1);
+        assert_eq!(b.relayed, 1);
+        match codec::decode(&relayed[0]).unwrap() {
+            Packet::Data { src, dst, fwd, .. } => {
+                assert_eq!(src, A1);
+                assert_eq!(dst, A3);
+                assert_eq!(fwd.ttl, node(A1).config.ttl - 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // B did not deliver a packet that was not for it.
+        assert!(b.take_events().is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let mut a = node(A1);
+        let mut b = node(A2);
+        let _ = a.on_start(Duration::ZERO);
+        let _ = b.on_start(Duration::ZERO);
+        a.send(A3, b"dup".to_vec()).unwrap();
+        let frames = drain(&mut a, Duration::ZERO);
+        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        assert_eq!(b.duplicates_suppressed, 1);
+        // Only one relay scheduled.
+        assert_eq!(drain(&mut b, Duration::from_secs(1)).len(), 1);
+    }
+
+    #[test]
+    fn broadcast_is_delivered_and_relayed() {
+        let mut a = node(A1);
+        let mut b = node(A2);
+        let _ = a.on_start(Duration::ZERO);
+        let _ = b.on_start(Duration::ZERO);
+        a.send(Address::BROADCAST, b"all".to_vec()).unwrap();
+        let frames = drain(&mut a, Duration::ZERO);
+        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        assert_eq!(b.take_events().len(), 1);
+        assert_eq!(drain(&mut b, Duration::from_secs(1)).len(), 1);
+    }
+
+    #[test]
+    fn ttl_one_is_not_relayed() {
+        let mut a = FloodingNode::new({
+            let mut c = FloodingConfig::new(A1);
+            c.region = Region::Unlimited;
+            c.ttl = 1;
+            c
+        });
+        let mut b = node(A2);
+        let _ = a.on_start(Duration::ZERO);
+        let _ = b.on_start(Duration::ZERO);
+        a.send(A3, b"one hop".to_vec()).unwrap();
+        let frames = drain(&mut a, Duration::ZERO);
+        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        assert!(drain(&mut b, Duration::from_secs(2)).is_empty());
+        assert_eq!(b.relayed, 0);
+    }
+
+    #[test]
+    fn seen_cache_is_bounded() {
+        let mut n = FloodingNode::new({
+            let mut c = FloodingConfig::new(A2);
+            c.region = Region::Unlimited;
+            c.seen_cache = 4;
+            c
+        });
+        let _ = n.on_start(Duration::ZERO);
+        for id in 0..10u8 {
+            let frame = codec::encode(&Packet::Data {
+                dst: A2,
+                src: A1,
+                id,
+                fwd: Forwarding { via: Address::BROADCAST, ttl: 3 },
+                payload: vec![id],
+            })
+            .unwrap();
+            let _ = n.on_frame(&frame, SignalQuality::ideal(), Duration::ZERO);
+        }
+        assert_eq!(n.seen.len(), 4);
+        assert_eq!(n.take_events().len(), 10);
+    }
+
+    #[test]
+    fn non_data_packets_ignored() {
+        let mut n = node(A2);
+        let _ = n.on_start(Duration::ZERO);
+        let hello = codec::encode(&Packet::Hello { src: A1, id: 0, role: 0, entries: vec![] }).unwrap();
+        let _ = n.on_frame(&hello, SignalQuality::ideal(), Duration::ZERO);
+        assert!(n.take_events().is_empty());
+        assert!(n.next_wake().is_none());
+    }
+}

@@ -1,0 +1,175 @@
+//! The deterministic event queue at the heart of the simulator.
+//!
+//! Events are ordered by `(time, sequence)`: ties at the same instant are
+//! broken by insertion order, never by heap internals, so runs are exactly
+//! reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::firmware::NodeId;
+use crate::time::SimTime;
+
+/// Identifies one transmission on the medium.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(pub u64);
+
+/// Something scheduled to happen at a point in simulated time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A node's requested wake-up timer fires.
+    Timer(NodeId),
+    /// A transmission ends at the sender.
+    TxEnd(NodeId, FrameId),
+    /// A reception attempt concludes at a receiver.
+    RxEnd(NodeId, FrameId),
+    /// A channel-activity-detection scan concludes.
+    CadEnd(NodeId),
+    /// A CAD requested while the radio was busy (receiving or
+    /// transmitting) completes: the result is unconditionally "busy",
+    /// mirroring real hardware where CAD during activity reports it.
+    CadBusyReport(NodeId),
+    /// An application-level event (workload injection) for a node.
+    App(NodeId, u64),
+    /// Fault injection: the node's radio and firmware stop.
+    Kill(NodeId),
+    /// Fault injection: the node restarts.
+    Revive(NodeId),
+    /// A mobility step: recompute positions of mobile nodes.
+    MobilityTick,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: SimEvent,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of [`SimEvent`]s with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: SimEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, SimEvent)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u32) -> NodeId {
+        NodeId(i as usize)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), SimEvent::Timer(node(3)));
+        q.schedule(SimTime::from_millis(10), SimEvent::Timer(node(1)));
+        q.schedule(SimTime::from_millis(20), SimEvent::Timer(node(2)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![
+                SimTime::from_millis(10),
+                SimTime::from_millis(20),
+                SimTime::from_millis(30)
+            ]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, SimEvent::App(node(i), u64::from(i)));
+        }
+        for i in 0..10 {
+            let (_, e) = q.pop().unwrap();
+            assert_eq!(e, SimEvent::App(node(i), u64::from(i)));
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(1), SimEvent::MobilityTick);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), SimEvent::Timer(node(0)));
+        q.schedule(SimTime::from_millis(5), SimEvent::Timer(node(1)));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_millis(5));
+        q.schedule(SimTime::from_millis(1), SimEvent::Timer(node(2)));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_millis(1));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_millis(10));
+    }
+}

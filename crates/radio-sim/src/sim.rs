@@ -1,0 +1,1086 @@
+//! The simulator: event loop, node hosting and fault injection.
+//!
+//! [`Simulator`] owns the nodes (each a [`Firmware`] plus a [`Radio`] and a
+//! position), the shared [`Medium`] and the event queue, and advances
+//! virtual time event by event. See the crate-level docs for the overall
+//! model; this module implements the mechanics:
+//!
+//! * **Transmission** — a `Transmit` command registers an [`ActiveTx`] on
+//!   the medium, schedules its end, and immediately decides which other
+//!   nodes lock onto it (listening + audible) or suffer it as
+//!   interference.
+//! * **Reception** — at the frame's end each locked receiver asks the
+//!   medium to judge the attempt against noise and the worst interference
+//!   overlap; winners get `on_frame`, losers are counted by reason.
+//! * **Capture** — a ≥6 dB stronger frame arriving during the preamble of
+//!   the currently locked frame steals the receiver.
+//! * **Timers** — firmware exposes `next_wake()`; the simulator keeps at
+//!   most one live timer per node and ignores stale ones.
+//! * **Faults** — nodes can be killed (radio off, mid-frame transmissions
+//!   truncated) and revived at scheduled instants.
+//!
+//! [`ActiveTx`]: crate::medium::ActiveTx
+
+use std::time::Duration;
+
+use lora_phy::modulation::LoRaModulation;
+use lora_phy::power::Dbm;
+use lora_phy::propagation::Position;
+
+use crate::event::{EventQueue, FrameId, SimEvent};
+use crate::firmware::{Context, Firmware, NodeId, RadioCommand};
+use crate::medium::{Medium, RfConfig, RxOutcome};
+use crate::metrics::Metrics;
+use crate::mobility::{Mobility, MobilityState};
+use crate::radio::{Radio, RadioState, Reception};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+
+/// Simulation-wide configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// RF parameters shared by all nodes.
+    pub rf: RfConfig,
+    /// Duration of a CAD scan, in symbol times (SX127x: ~2).
+    pub cad_symbols: u32,
+    /// Capacity of the debug trace (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Interval between mobility position updates.
+    pub mobility_tick: Duration,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            rf: RfConfig::default(),
+            cad_symbols: 2,
+            trace_capacity: 0,
+            mobility_tick: Duration::from_secs(1),
+        }
+    }
+}
+
+struct NodeSlot<F> {
+    firmware: F,
+    radio: Radio,
+    position: Position,
+    mobility: MobilityState,
+    rng: SimRng,
+    alive: bool,
+    /// The firmware wake time for which a timer event is pending.
+    scheduled_wake: Option<Duration>,
+}
+
+/// A deterministic discrete-event simulation of a LoRa network.
+///
+/// Generic over the hosted [`Firmware`] type; a run mixes protocols by
+/// using an enum or trait-object firmware.
+pub struct Simulator<F: Firmware> {
+    config: SimConfig,
+    medium: Medium,
+    nodes: Vec<NodeSlot<F>>,
+    queue: EventQueue,
+    now: SimTime,
+    metrics: Metrics,
+    trace: Trace,
+    root_rng: SimRng,
+    started: bool,
+    mobility_scheduled: bool,
+    /// Injected per-link loss probabilities, keyed by unordered pair.
+    link_loss: std::collections::HashMap<(usize, usize), f64>,
+}
+
+impl<F: Firmware> Simulator<F> {
+    /// Creates an empty simulation with the given configuration and seed.
+    #[must_use]
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        let trace = Trace::new(config.trace_capacity);
+        Simulator {
+            medium: Medium::new(config.rf.clone()),
+            trace,
+            config,
+            nodes: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            metrics: Metrics::new(),
+            root_rng: SimRng::new(seed),
+            started: false,
+            mobility_scheduled: false,
+            link_loss: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Adds a stationary node running `firmware` at `position`.
+    pub fn add_node(&mut self, firmware: F, position: Position) -> NodeId {
+        self.add_mobile_node(firmware, position, Mobility::Static)
+    }
+
+    /// Adds a node with the given mobility model.
+    pub fn add_mobile_node(
+        &mut self,
+        firmware: F,
+        position: Position,
+        mobility: Mobility,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let rng = self.root_rng.fork(id.0 as u64 + 1);
+        self.nodes.push(NodeSlot {
+            firmware,
+            radio: Radio::new(),
+            position,
+            mobility: MobilityState::new(mobility),
+            rng,
+            alive: true,
+            scheduled_wake: None,
+        });
+        if self.started {
+            self.fire(id.0, |fw, ctx| fw.on_start(ctx));
+        }
+        self.ensure_mobility_tick();
+        id
+    }
+
+    /// Number of nodes in the simulation.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node's firmware (for assertions/reports).
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &F {
+        &self.nodes[id.0].firmware
+    }
+
+    /// Runs a closure against a node's firmware inside a proper callback
+    /// context, processing any commands it issues — the way applications
+    /// "call into" their protocol stack (e.g. to submit a datagram).
+    pub fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut F, &mut Context) -> R) -> R {
+        self.fire(id.0, f)
+    }
+
+    /// A node's current position.
+    #[must_use]
+    pub fn position(&self, id: NodeId) -> Position {
+        self.nodes[id.0].position
+    }
+
+    /// Moves a node instantly (tests and custom scenarios).
+    pub fn set_position(&mut self, id: NodeId, position: Position) {
+        self.nodes[id.0].position = position;
+    }
+
+    /// A node's radio (state durations feed the energy model).
+    #[must_use]
+    pub fn radio(&self, id: NodeId) -> &Radio {
+        &self.nodes[id.0].radio
+    }
+
+    /// Whether a node is currently alive.
+    #[must_use]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.0].alive
+    }
+
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Duration {
+        self.now.as_duration()
+    }
+
+    /// PHY metrics collected so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The debug trace (empty unless [`SimConfig::trace_capacity`] > 0).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The shared modulation.
+    #[must_use]
+    pub fn modulation(&self) -> &LoRaModulation {
+        &self.medium.config().modulation
+    }
+
+    /// Transmit power configured for all nodes.
+    #[must_use]
+    pub fn tx_power(&self) -> Dbm {
+        self.medium.config().tx_power
+    }
+
+    /// Injects a loss probability on the (bidirectional) link between
+    /// `a` and `b`: each otherwise-successful reception over that link is
+    /// additionally dropped with probability `p`. Set `p = 0.0` to clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn set_link_loss(&mut self, a: NodeId, b: NodeId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability must be in 0..=1, got {p}");
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        if p == 0.0 {
+            self.link_loss.remove(&key);
+        } else {
+            self.link_loss.insert(key, p);
+        }
+    }
+
+    /// Schedules an application (workload) event for `node` at `at`.
+    pub fn schedule_app(&mut self, at: Duration, node: NodeId, tag: u64) {
+        self.queue.schedule(SimTime::from(at), SimEvent::App(node, tag));
+    }
+
+    /// Schedules `node` to fail at `at`.
+    pub fn schedule_kill(&mut self, at: Duration, node: NodeId) {
+        self.queue.schedule(SimTime::from(at), SimEvent::Kill(node));
+    }
+
+    /// Schedules `node` to restart at `at`.
+    pub fn schedule_revive(&mut self, at: Duration, node: NodeId) {
+        self.queue.schedule(SimTime::from(at), SimEvent::Revive(node));
+    }
+
+    /// Calls `on_start` on every node. Idempotent; run methods call this
+    /// automatically.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.fire(i, |fw, ctx| fw.on_start(ctx));
+        }
+    }
+
+    /// Runs until simulated time `until` (an offset from the start),
+    /// processing every event scheduled before it.
+    pub fn run_until(&mut self, until: Duration) {
+        self.start();
+        let until = SimTime::from(until);
+        while let Some(at) = self.queue.peek_time() {
+            if at > until {
+                break;
+            }
+            self.step();
+        }
+        if until > self.now {
+            self.now = until;
+        }
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.run_until(self.now.as_duration() + d);
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        match event {
+            SimEvent::Timer(node) => self.handle_timer(node),
+            SimEvent::TxEnd(node, frame) => self.handle_tx_end(node, frame),
+            SimEvent::RxEnd(node, frame) => self.handle_rx_end(node, frame),
+            SimEvent::CadEnd(node) => self.handle_cad_end(node),
+            SimEvent::CadBusyReport(node) => {
+                if self.nodes[node.0].alive {
+                    self.metrics.record_cad(node, true);
+                    self.fire(node.0, |fw, ctx| fw.on_cad_done(true, ctx));
+                }
+            }
+            SimEvent::App(node, tag) => {
+                if self.nodes[node.0].alive {
+                    self.fire(node.0, |fw, ctx| fw.on_app(tag, ctx));
+                }
+            }
+            SimEvent::Kill(node) => self.kill(node),
+            SimEvent::Revive(node) => self.revive(node),
+            SimEvent::MobilityTick => self.mobility_tick(),
+        }
+        true
+    }
+
+    /// Finalises per-node radio accounting (call before reading state
+    /// durations / energy at the end of a run).
+    pub fn finish(&mut self) {
+        for slot in &mut self.nodes {
+            slot.radio.finish(self.now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    /// Runs a firmware callback, then processes its commands and re-syncs
+    /// its wake-up timer.
+    fn fire<R>(&mut self, i: usize, f: impl FnOnce(&mut F, &mut Context) -> R) -> R {
+        let now = self.now;
+        let slot = &mut self.nodes[i];
+        let mut ctx = Context::new(now, NodeId(i), &mut slot.rng);
+        let result = f(&mut slot.firmware, &mut ctx);
+        let commands = ctx.take_commands();
+        for cmd in commands {
+            match cmd {
+                RadioCommand::Transmit(bytes) => self.start_tx(i, bytes),
+                RadioCommand::StartCad => self.start_cad(i),
+            }
+        }
+        self.sync_wake(i);
+        result
+    }
+
+    /// Keeps exactly one pending timer event aligned with the firmware's
+    /// requested wake time.
+    fn sync_wake(&mut self, i: usize) {
+        let slot = &mut self.nodes[i];
+        if !slot.alive {
+            return;
+        }
+        let wake = slot.firmware.next_wake();
+        if let Some(t) = wake {
+            if slot.scheduled_wake != Some(t) {
+                slot.scheduled_wake = Some(t);
+                let at = SimTime::from(t).max(self.now);
+                self.queue.schedule(at, SimEvent::Timer(NodeId(i)));
+            }
+        } else {
+            slot.scheduled_wake = None;
+        }
+    }
+
+    fn handle_timer(&mut self, node: NodeId) {
+        let slot = &self.nodes[node.0];
+        if !slot.alive {
+            return;
+        }
+        match slot.firmware.next_wake() {
+            Some(t) if SimTime::from(t) <= self.now => {
+                self.nodes[node.0].scheduled_wake = None;
+                self.fire(node.0, |fw, ctx| fw.on_timer(ctx));
+            }
+            // Stale timer: the firmware moved its wake. Re-sync in case
+            // the new target has no pending event.
+            _ => {
+                self.nodes[node.0].scheduled_wake = None;
+                self.sync_wake(node.0);
+            }
+        }
+    }
+
+    fn start_tx(&mut self, i: usize, bytes: Vec<u8>) {
+        if bytes.len() > LoRaModulation::MAX_PHY_PAYLOAD {
+            self.metrics.tx_oversized += 1;
+            return;
+        }
+        if !self.nodes[i].alive {
+            self.metrics.tx_while_busy += 1;
+            return;
+        }
+        match self.nodes[i].radio.state() {
+            RadioState::Idle => {}
+            RadioState::Rx { .. } => {
+                // Real transceivers abort an ongoing reception when
+                // commanded to transmit (ALOHA-style protocols rely on
+                // this). The pending RxEnd event goes stale.
+                self.metrics.rx_aborted_by_tx += 1;
+                self.nodes[i].radio.to_idle(self.now);
+            }
+            RadioState::Tx { .. } | RadioState::Cad { .. } | RadioState::Off => {
+                self.metrics.tx_while_busy += 1;
+                return;
+            }
+        }
+        let sender = NodeId(i);
+        let origin = self.nodes[i].position;
+        let airtime = self.medium.airtime(bytes.len());
+        let frame = self.medium.begin_tx(sender, origin, self.now, bytes);
+        let end = self.now + airtime;
+        self.nodes[i].radio.begin_tx(self.now, frame, end);
+        self.queue.schedule(end, SimEvent::TxEnd(sender, frame));
+        self.metrics.record_tx(sender, airtime);
+        let len = self.medium.get(frame).map_or(0, |tx| tx.payload.len());
+        self.trace
+            .push(self.now, TraceEvent::TxStart { node: sender, frame, len });
+
+        // Decide how every other node experiences this frame.
+        for j in 0..self.nodes.len() {
+            if j == i || !self.nodes[j].alive {
+                continue;
+            }
+            let receiver = NodeId(j);
+            let power = self
+                .medium
+                .received_power(&origin, &self.nodes[j].position, sender, receiver);
+            let power_mw = power.to_milliwatts().value();
+            let audible = self.medium.audible(power);
+
+            match *self.nodes[j].radio.state() {
+                RadioState::Idle => {
+                    if audible {
+                        self.lock_receiver(j, frame, power_mw, end);
+                    }
+                }
+                RadioState::Rx { frame: current, .. } => {
+                    // The new frame interferes with the ongoing reception.
+                    let steal = {
+                        let rec = self.nodes[j]
+                            .radio
+                            .reception
+                            .as_mut()
+                            .expect("Rx state implies a reception");
+                        rec.add_interferer(frame, power_mw);
+                        let capture_ratio =
+                            10f64.powf(self.medium.config().capture_threshold_db / 10.0);
+                        audible
+                            && power_mw >= rec.signal_mw * capture_ratio
+                            && self
+                                .medium
+                                .get(current)
+                                .is_some_and(|tx| self.medium.in_preamble(tx, self.now))
+                    };
+                    if steal {
+                        // The stronger late frame wins the receiver.
+                        self.metrics
+                            .record_loss(receiver, crate::medium::LossReason::Truncated);
+                        self.trace.push(
+                            self.now,
+                            TraceEvent::Lost {
+                                node: receiver,
+                                frame: current,
+                                reason: crate::medium::LossReason::Truncated,
+                            },
+                        );
+                        self.lock_receiver(j, frame, power_mw, end);
+                    }
+                }
+                RadioState::Cad { .. } => {
+                    if audible {
+                        self.nodes[j].radio.note_cad_activity();
+                    }
+                }
+                RadioState::Tx { .. } | RadioState::Off => {}
+            }
+        }
+    }
+
+    /// Locks receiver `j` onto `frame`, seeding its interference set with
+    /// every other transmission already on the air.
+    fn lock_receiver(&mut self, j: usize, frame: FrameId, power_mw: f64, end: SimTime) {
+        let receiver = NodeId(j);
+        let rx_pos = self.nodes[j].position;
+        let tx = self.medium.get(frame).expect("frame just registered");
+        let quality = self.medium.quality(
+            self.medium
+                .received_power(&tx.origin, &rx_pos, tx.sender, receiver),
+        );
+        let payload = tx.payload.clone();
+        let mut reception = Reception::new(frame, tx.sender, quality, power_mw, payload);
+        let interferers: Vec<(FrameId, f64)> = self
+            .medium
+            .active()
+            .filter(|a| a.frame != frame && a.sender != receiver)
+            .map(|a| {
+                let p = self
+                    .medium
+                    .received_power(&a.origin, &rx_pos, a.sender, receiver);
+                (a.frame, p.to_milliwatts().value())
+            })
+            .collect();
+        for (f, p) in interferers {
+            reception.add_interferer(f, p);
+        }
+        self.nodes[j].radio.begin_rx(self.now, reception, end);
+        self.queue.schedule(end, SimEvent::RxEnd(receiver, frame));
+    }
+
+    fn handle_tx_end(&mut self, node: NodeId, frame: FrameId) {
+        let Some(tx) = self.medium.end_tx(frame) else {
+            // Aborted earlier (sender killed mid-frame).
+            return;
+        };
+        debug_assert_eq!(tx.sender, node);
+        // The frame stops interfering with ongoing receptions.
+        for slot in &mut self.nodes {
+            if let Some(rec) = slot.radio.reception.as_mut() {
+                rec.remove_interferer(frame);
+            }
+        }
+        self.trace.push(self.now, TraceEvent::TxEnd { node, frame });
+        let slot = &self.nodes[node.0];
+        if slot.alive && matches!(slot.radio.state(), RadioState::Tx { frame: f, .. } if *f == frame)
+        {
+            self.nodes[node.0].radio.to_idle(self.now);
+            self.fire(node.0, |fw, ctx| fw.on_tx_done(ctx));
+        }
+    }
+
+    fn handle_rx_end(&mut self, node: NodeId, frame: FrameId) {
+        let slot = &mut self.nodes[node.0];
+        if !slot.alive
+            || !matches!(slot.radio.state(), RadioState::Rx { frame: f, .. } if *f == frame)
+        {
+            return; // stale: the lock moved on
+        }
+        let reception = slot
+            .radio
+            .reception
+            .take()
+            .expect("Rx state implies a reception");
+        slot.radio.to_idle(self.now);
+        let mut outcome = self.medium.judge(&reception, &mut slot.rng);
+        if matches!(outcome, RxOutcome::Delivered(_)) {
+            let key = (
+                reception.sender.0.min(node.0),
+                reception.sender.0.max(node.0),
+            );
+            if let Some(&p) = self.link_loss.get(&key) {
+                if slot.rng.gen_bool(p) {
+                    outcome = RxOutcome::Lost(crate::medium::LossReason::Injected);
+                }
+            }
+        }
+        match outcome {
+            RxOutcome::Delivered(quality) => {
+                self.metrics.record_delivery(node);
+                self.trace.push(self.now, TraceEvent::Delivered { node, frame });
+                let payload = reception.payload;
+                self.fire(node.0, |fw, ctx| fw.on_frame(&payload, quality, ctx));
+            }
+            RxOutcome::Lost(reason) => {
+                self.metrics.record_loss(node, reason);
+                self.trace
+                    .push(self.now, TraceEvent::Lost { node, frame, reason });
+            }
+        }
+    }
+
+    fn start_cad(&mut self, i: usize) {
+        if !self.nodes[i].alive {
+            return;
+        }
+        if !self.nodes[i].radio.is_idle() {
+            // The radio is receiving or transmitting: the scan cannot run,
+            // but the protocol still needs an answer — real CAD during
+            // channel activity reports "busy". Keep the radio state
+            // untouched and deliver the result after the scan duration.
+            let duration = self
+                .medium
+                .config()
+                .modulation
+                .symbol_time()
+                .mul_f64(f64::from(self.config.cad_symbols));
+            self.queue
+                .schedule(self.now + duration, SimEvent::CadBusyReport(NodeId(i)));
+            return;
+        }
+        let node = NodeId(i);
+        let pos = self.nodes[i].position;
+        let busy_now = self.medium.channel_busy_at(&pos, node, None);
+        let duration = self
+            .medium
+            .config()
+            .modulation
+            .symbol_time()
+            .mul_f64(f64::from(self.config.cad_symbols));
+        let until = self.now + duration;
+        self.nodes[i].radio.begin_cad(self.now, until, busy_now);
+        self.queue.schedule(until, SimEvent::CadEnd(node));
+    }
+
+    fn handle_cad_end(&mut self, node: NodeId) {
+        let slot = &self.nodes[node.0];
+        if !slot.alive {
+            return;
+        }
+        let RadioState::Cad { until, busy_seen } = *slot.radio.state() else {
+            return; // stale (killed+revived mid-scan)
+        };
+        if until != self.now {
+            return;
+        }
+        let pos = slot.position;
+        let busy = busy_seen || self.medium.channel_busy_at(&pos, node, None);
+        self.nodes[node.0].radio.to_idle(self.now);
+        self.metrics.record_cad(node, busy);
+        self.fire(node.0, |fw, ctx| fw.on_cad_done(busy, ctx));
+    }
+
+    fn kill(&mut self, node: NodeId) {
+        let i = node.0;
+        if !self.nodes[i].alive {
+            return;
+        }
+        self.nodes[i].alive = false;
+        // A transmission in progress is truncated: receivers locked to it
+        // can no longer decode it, and it stops interfering.
+        if let RadioState::Tx { frame, .. } = *self.nodes[i].radio.state() {
+            self.medium.end_tx(frame);
+            for slot in &mut self.nodes {
+                if let Some(rec) = slot.radio.reception.as_mut() {
+                    if rec.frame == frame {
+                        rec.corrupted = true;
+                    } else {
+                        rec.remove_interferer(frame);
+                    }
+                }
+            }
+        }
+        self.nodes[i].radio.power_off(self.now);
+        self.nodes[i].scheduled_wake = None;
+        self.trace.push(self.now, TraceEvent::Killed { node });
+    }
+
+    fn revive(&mut self, node: NodeId) {
+        let i = node.0;
+        if self.nodes[i].alive {
+            return;
+        }
+        self.nodes[i].alive = true;
+        self.nodes[i].radio.power_on(self.now);
+        self.trace.push(self.now, TraceEvent::Revived { node });
+        self.fire(i, |fw, ctx| fw.on_start(ctx));
+    }
+
+    fn ensure_mobility_tick(&mut self) {
+        if self.mobility_scheduled {
+            return;
+        }
+        if self.nodes.iter().any(|s| s.mobility.is_mobile()) {
+            self.mobility_scheduled = true;
+            self.queue
+                .schedule(self.now + self.config.mobility_tick, SimEvent::MobilityTick);
+        }
+    }
+
+    fn mobility_tick(&mut self) {
+        let dt = self.config.mobility_tick;
+        for slot in &mut self.nodes {
+            if slot.alive && slot.mobility.is_mobile() {
+                slot.position = slot.mobility.step(slot.position, dt, &mut slot.rng);
+            }
+        }
+        self.queue
+            .schedule(self.now + dt, SimEvent::MobilityTick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::link::SignalQuality;
+
+    /// Test firmware: transmits a configured frame at a scheduled time and
+    /// records everything it observes.
+    #[derive(Default)]
+    struct Probe {
+        tx_at: Option<(Duration, Vec<u8>)>,
+        sent: bool,
+        received: Vec<(Vec<u8>, f64)>, // payload, rssi
+        tx_done: u32,
+        cad_results: Vec<bool>,
+        start_cad_at: Option<Duration>,
+        cad_done_time: Option<Duration>,
+    }
+
+    impl Firmware for Probe {
+        fn on_timer(&mut self, ctx: &mut Context) {
+            let now = ctx.now();
+            if let Some((at, bytes)) = &self.tx_at {
+                if !self.sent && now >= *at {
+                    self.sent = true;
+                    ctx.transmit(bytes.clone());
+                    return;
+                }
+            }
+            if let Some(at) = self.start_cad_at.take() {
+                if now >= at {
+                    ctx.start_cad();
+                }
+            }
+        }
+        fn on_frame(&mut self, bytes: &[u8], q: SignalQuality, _ctx: &mut Context) {
+            self.received.push((bytes.to_vec(), q.rssi.value()));
+        }
+        fn on_tx_done(&mut self, _ctx: &mut Context) {
+            self.tx_done += 1;
+        }
+        fn on_cad_done(&mut self, busy: bool, ctx: &mut Context) {
+            self.cad_results.push(busy);
+            self.cad_done_time = Some(ctx.now());
+        }
+        fn next_wake(&self) -> Option<Duration> {
+            if self.sent {
+                self.start_cad_at
+            } else {
+                match (&self.tx_at, self.start_cad_at) {
+                    (Some((t, _)), Some(c)) => Some((*t).min(c)),
+                    (Some((t, _)), None) => Some(*t),
+                    (None, c) => c,
+                }
+            }
+        }
+    }
+
+    fn sender_at(at: Duration, payload: Vec<u8>) -> Probe {
+        Probe {
+            tx_at: Some((at, payload)),
+            ..Probe::default()
+        }
+    }
+
+    fn sim() -> Simulator<Probe> {
+        Simulator::new(SimConfig::default(), 1)
+    }
+
+    #[test]
+    fn frame_delivered_to_near_listener() {
+        let mut s = sim();
+        let a = s.add_node(sender_at(Duration::from_millis(10), vec![1, 2, 3]), Position::new(0.0, 0.0));
+        let b = s.add_node(Probe::default(), Position::new(100.0, 0.0));
+        s.run_for(Duration::from_secs(1));
+        assert_eq!(s.node(a).tx_done, 1);
+        assert_eq!(s.node(b).received.len(), 1);
+        assert_eq!(s.node(b).received[0].0, vec![1, 2, 3]);
+        assert_eq!(s.metrics().frames_transmitted, 1);
+        assert_eq!(s.metrics().frames_delivered, 1);
+    }
+
+    #[test]
+    fn far_listener_hears_nothing() {
+        let mut s = sim();
+        s.add_node(sender_at(Duration::from_millis(10), vec![9]), Position::new(0.0, 0.0));
+        let b = s.add_node(Probe::default(), Position::new(100_000.0, 0.0));
+        s.run_for(Duration::from_secs(1));
+        assert!(s.node(b).received.is_empty());
+        // Not even counted as a loss: the node never locked on.
+        assert_eq!(s.metrics().total_losses(), 0);
+    }
+
+    #[test]
+    fn concurrent_equal_frames_collide() {
+        let mut s = sim();
+        // Two senders equidistant from the listener transmit simultaneously.
+        s.add_node(sender_at(Duration::from_millis(10), vec![1; 20]), Position::new(-100.0, 0.0));
+        s.add_node(sender_at(Duration::from_millis(10), vec![2; 20]), Position::new(100.0, 0.0));
+        let c = s.add_node(Probe::default(), Position::new(0.0, 0.0));
+        s.run_for(Duration::from_secs(1));
+        assert!(s.node(c).received.is_empty());
+        assert_eq!(s.metrics().lost_collision, 1);
+    }
+
+    #[test]
+    fn capture_lets_much_stronger_frame_steal_the_lock() {
+        let mut s = sim();
+        // Weak sender A (110 m from the listener, ~-123.6 dBm) starts
+        // first; strong sender B (30 m, ~-113.4 dBm) starts 5 ms later,
+        // inside A's 12.5 ms preamble, 10 dB stronger. A and B are 140 m
+        // apart so they cannot hear (and thus lock onto) each other.
+        s.add_node(sender_at(Duration::from_millis(10), vec![1; 20]), Position::new(110.0, 0.0));
+        s.add_node(sender_at(Duration::from_millis(15), vec![2; 20]), Position::new(-30.0, 0.0));
+        let c = s.add_node(Probe::default(), Position::new(0.0, 0.0));
+        s.run_for(Duration::from_secs(1));
+        // The strong frame steals the lock and survives A's interference.
+        assert_eq!(s.node(c).received.len(), 1);
+        assert_eq!(s.node(c).received[0].0, vec![2; 20]);
+        assert_eq!(s.metrics().lost_truncated, 1);
+    }
+
+    #[test]
+    fn half_duplex_sender_misses_other_frame() {
+        let mut s = sim();
+        // Both transmit at the same time; they are out of range of each
+        // other anyway, so neither hears the other's frame.
+        let a = s.add_node(sender_at(Duration::from_millis(10), vec![1; 30]), Position::new(0.0, 0.0));
+        let b = s.add_node(sender_at(Duration::from_millis(10), vec![2; 30]), Position::new(5000.0, 0.0));
+        s.run_for(Duration::from_secs(1));
+        assert!(s.node(a).received.is_empty());
+        assert!(s.node(b).received.is_empty());
+        assert_eq!(s.node(a).tx_done, 1);
+        assert_eq!(s.node(b).tx_done, 1);
+    }
+
+    #[test]
+    fn cad_detects_ongoing_transmission() {
+        let mut s = sim();
+        // B starts its CAD scan just before A's frame begins, so the frame
+        // appears during the scan window (a listening B would otherwise
+        // lock onto the frame instead of scanning).
+        s.add_node(sender_at(Duration::from_millis(10), vec![0; 200]), Position::new(0.0, 0.0));
+        let b = s.add_node(
+            Probe {
+                start_cad_at: Some(Duration::from_micros(9500)),
+                ..Probe::default()
+            },
+            Position::new(100.0, 0.0),
+        );
+        s.run_for(Duration::from_secs(1));
+        assert_eq!(s.node(b).cad_results, vec![true]);
+    }
+
+    #[test]
+    fn cad_reports_clear_channel() {
+        let mut s = sim();
+        let b = s.add_node(
+            Probe {
+                start_cad_at: Some(Duration::from_millis(50)),
+                ..Probe::default()
+            },
+            Position::new(100.0, 0.0),
+        );
+        s.run_for(Duration::from_secs(1));
+        assert_eq!(s.node(b).cad_results, vec![false]);
+        // CAD takes 2 symbol times (SF7: 2.048 ms).
+        let done = s.node(b).cad_done_time.unwrap();
+        assert_eq!(done, Duration::from_millis(50) + Duration::from_micros(2048));
+    }
+
+    #[test]
+    fn cad_requested_while_receiving_reports_busy() {
+        let mut s = sim();
+        // A long frame starts at t=10ms; b locks onto it. At t=50ms b's
+        // timer asks for a CAD: the radio is mid-reception, so the scan
+        // cannot run — but the firmware still gets on_cad_done(true).
+        s.add_node(sender_at(Duration::from_millis(10), vec![0; 200]), Position::new(0.0, 0.0));
+        let b = s.add_node(
+            Probe {
+                start_cad_at: Some(Duration::from_millis(50)),
+                ..Probe::default()
+            },
+            Position::new(100.0, 0.0),
+        );
+        s.run_for(Duration::from_secs(1));
+        assert_eq!(s.node(b).cad_results, vec![true]);
+        // The reception itself still completed.
+        assert_eq!(s.node(b).received.len(), 1);
+        // The busy report arrived one CAD duration after the request.
+        assert_eq!(
+            s.node(b).cad_done_time.unwrap(),
+            Duration::from_millis(50) + Duration::from_micros(2048)
+        );
+    }
+
+    #[test]
+    fn transmit_preempts_ongoing_reception() {
+        let mut s = sim();
+        // A long frame from node 0 starts at t=10ms; node 1 locks on.
+        // At t=50ms node 1 transmits (ALOHA-style): its reception is
+        // aborted, its own frame goes out and is heard by node 2.
+        s.add_node(sender_at(Duration::from_millis(10), vec![0; 200]), Position::new(0.0, 0.0));
+        let b = s.add_node(sender_at(Duration::from_millis(50), vec![7; 10]), Position::new(100.0, 0.0));
+        let _c = s.add_node(Probe::default(), Position::new(190.0, 0.0));
+        s.run_for(Duration::from_secs(1));
+        assert_eq!(s.metrics().rx_aborted_by_tx, 1);
+        assert!(s.node(b).received.is_empty(), "aborted reception must not deliver");
+        assert_eq!(s.node(b).tx_done, 1, "the preempting transmission completes");
+        // Node 2 is out of range of node 0 (190 m) but in range of node 1
+        // (90 m): it hears exactly the preempting frame... unless node
+        // 0's continuing transmission interferes. Either way the frame
+        // was sent and judged.
+        assert_eq!(s.metrics().frames_transmitted, 2);
+    }
+
+    #[test]
+    fn injected_link_loss_drops_fraction_of_frames() {
+        let mut s = sim();
+        // 50 senders' worth of traffic approximated by one sender firing
+        // repeatedly via app events would need protocol logic; instead
+        // run many single-frame sims... simpler: one sim where the sender
+        // transmits once per second via repeated probes.
+        let a = s.add_node(Probe::default(), Position::new(0.0, 0.0));
+        let b = s.add_node(Probe::default(), Position::new(100.0, 0.0));
+        s.set_link_loss(a, b, 0.5);
+        s.start();
+        for k in 0..200u64 {
+            s.run_until(Duration::from_secs(k));
+            s.with_node(a, |_fw, ctx| ctx.transmit(vec![k as u8; 4]));
+        }
+        s.run_for(Duration::from_secs(2));
+        let delivered = s.node(b).received.len();
+        assert!((60..140).contains(&delivered), "got {delivered}/200");
+        assert_eq!(s.metrics().lost_injected, 200 - delivered as u64);
+        // Clearing restores full delivery.
+        s.set_link_loss(a, b, 0.0);
+        let before = s.node(b).received.len();
+        for k in 0..20u64 {
+            s.run_until(Duration::from_secs(300 + k));
+            s.with_node(a, |_fw, ctx| ctx.transmit(vec![k as u8; 4]));
+        }
+        s.run_for(Duration::from_secs(2));
+        assert_eq!(s.node(b).received.len(), before + 20);
+    }
+
+    #[test]
+    fn link_loss_is_directionless_and_per_pair() {
+        let mut s = sim();
+        let a = s.add_node(Probe::default(), Position::new(0.0, 0.0));
+        let b = s.add_node(Probe::default(), Position::new(100.0, 0.0));
+        let c = s.add_node(Probe::default(), Position::new(-100.0, 0.0));
+        // Kill the a<->b link entirely; a<->c stays perfect.
+        s.set_link_loss(b, a, 1.0);
+        s.start();
+        s.with_node(a, |_fw, ctx| ctx.transmit(vec![1; 4]));
+        s.run_for(Duration::from_secs(1));
+        s.with_node(b, |_fw, ctx| ctx.transmit(vec![2; 4]));
+        s.run_for(Duration::from_secs(1));
+        assert!(s.node(b).received.is_empty(), "a->b must be dead");
+        assert!(s.node(a).received.is_empty(), "b->a must be dead");
+        assert_eq!(s.node(c).received.len(), 1, "a->c unaffected");
+    }
+
+    #[test]
+    fn killed_sender_truncates_frame() {
+        let mut s = sim();
+        let a = s.add_node(sender_at(Duration::from_millis(10), vec![0; 200]), Position::new(0.0, 0.0));
+        let b = s.add_node(Probe::default(), Position::new(100.0, 0.0));
+        // Kill A mid-frame (a 200-byte SF7 frame lasts ~290 ms).
+        s.schedule_kill(Duration::from_millis(100), a);
+        s.run_for(Duration::from_secs(1));
+        assert!(s.node(b).received.is_empty());
+        assert_eq!(s.metrics().lost_truncated, 1);
+        assert!(!s.is_alive(a));
+    }
+
+    #[test]
+    fn revived_node_hears_again() {
+        let mut s = sim();
+        let a = s.add_node(sender_at(Duration::from_secs(10), vec![7; 5]), Position::new(0.0, 0.0));
+        let b = s.add_node(Probe::default(), Position::new(100.0, 0.0));
+        s.schedule_kill(Duration::from_secs(1), b);
+        s.schedule_revive(Duration::from_secs(5), b);
+        s.run_for(Duration::from_secs(20));
+        assert_eq!(s.node(b).received.len(), 1);
+        assert_eq!(s.node(a).tx_done, 1);
+    }
+
+    #[test]
+    fn dead_node_hears_nothing() {
+        let mut s = sim();
+        s.add_node(sender_at(Duration::from_secs(2), vec![7; 5]), Position::new(0.0, 0.0));
+        let b = s.add_node(Probe::default(), Position::new(100.0, 0.0));
+        s.schedule_kill(Duration::from_secs(1), b);
+        s.run_for(Duration::from_secs(20));
+        assert!(s.node(b).received.is_empty());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed: u64| {
+            let mut cfg = SimConfig::default();
+            cfg.rf.grey_zone = true;
+            cfg.trace_capacity = 4096;
+            let mut s = Simulator::new(cfg, seed);
+            for k in 0..6 {
+                s.add_node(
+                    sender_at(Duration::from_millis(10 * k as u64), vec![k; 10]),
+                    Position::new(f64::from(k) * 100.0, 0.0),
+                );
+            }
+            s.run_for(Duration::from_secs(2));
+            let trace: Vec<_> = s.trace().entries().cloned().collect();
+            (s.metrics().frames_delivered, s.metrics().total_losses(), trace)
+        };
+        let a = run(77);
+        let b = run(77);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        let c = run(78);
+        // Different seed may differ (grey zone coin flips); at minimum the
+        // run must still complete and produce trace activity. (Deliveries
+        // can legitimately be zero: a node that starts transmitting
+        // aborts its own ongoing reception.)
+        assert!(!c.2.is_empty());
+    }
+
+    #[test]
+    fn with_node_processes_commands() {
+        let mut s = sim();
+        let a = s.add_node(Probe::default(), Position::new(0.0, 0.0));
+        let b = s.add_node(Probe::default(), Position::new(100.0, 0.0));
+        s.start();
+        s.with_node(a, |_fw, ctx| ctx.transmit(vec![5; 4]));
+        s.run_for(Duration::from_secs(1));
+        assert_eq!(s.node(b).received.len(), 1);
+        assert_eq!(s.node(b).received[0].0, vec![5; 4]);
+    }
+
+    #[test]
+    fn oversized_frame_is_refused() {
+        let mut s = sim();
+        let a = s.add_node(Probe::default(), Position::new(0.0, 0.0));
+        s.start();
+        s.with_node(a, |_fw, ctx| ctx.transmit(vec![0; 300]));
+        s.run_for(Duration::from_secs(1));
+        assert_eq!(s.metrics().tx_oversized, 1);
+        assert_eq!(s.metrics().frames_transmitted, 0);
+    }
+
+    #[test]
+    fn tx_while_busy_is_counted() {
+        let mut s = sim();
+        let a = s.add_node(Probe::default(), Position::new(0.0, 0.0));
+        s.start();
+        s.with_node(a, |_fw, ctx| {
+            ctx.transmit(vec![0; 10]);
+            ctx.transmit(vec![1; 10]); // radio already transmitting
+        });
+        s.run_for(Duration::from_secs(1));
+        assert_eq!(s.metrics().tx_while_busy, 1);
+        assert_eq!(s.metrics().frames_transmitted, 1);
+    }
+
+    #[test]
+    fn radio_durations_account_airtime() {
+        let mut s = sim();
+        let a = s.add_node(sender_at(Duration::from_millis(0), vec![0; 100]), Position::new(0.0, 0.0));
+        s.run_for(Duration::from_secs(10));
+        s.finish();
+        let expected = s.modulation().time_on_air(100);
+        assert_eq!(s.radio(a).durations.tx, expected);
+        assert_eq!(
+            s.radio(a).durations.tx + s.radio(a).durations.rx,
+            Duration::from_secs(10)
+        );
+    }
+
+    #[test]
+    fn mobile_node_moves_during_run() {
+        let mut s = sim();
+        let m = s.add_mobile_node(
+            Probe::default(),
+            Position::new(0.0, 0.0),
+            Mobility::RandomWaypoint {
+                width_m: 1000.0,
+                height_m: 1000.0,
+                min_speed: 5.0,
+                max_speed: 10.0,
+                pause: Duration::ZERO,
+            },
+        );
+        let before = s.position(m);
+        s.run_for(Duration::from_secs(30));
+        let after = s.position(m);
+        assert!(before.distance(&after) > 1.0, "node did not move");
+    }
+
+    #[test]
+    fn late_added_node_is_started() {
+        let mut s = sim();
+        let a = s.add_node(Probe::default(), Position::new(0.0, 0.0));
+        s.run_for(Duration::from_secs(1));
+        let b = s.add_node(sender_at(Duration::from_secs(2), vec![3; 3]), Position::new(100.0, 0.0));
+        s.run_for(Duration::from_secs(5));
+        assert_eq!(s.node(a).received.len(), 1);
+        assert_eq!(s.node(b).tx_done, 1);
+    }
+}

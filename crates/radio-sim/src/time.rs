@@ -1,0 +1,146 @@
+//! The simulator's virtual clock.
+//!
+//! Simulated time is an offset from the start of the run, represented as a
+//! [`std::time::Duration`] wrapped in [`SimTime`]. Using an offset (rather
+//! than a wall-clock instant) lets protocol code that takes `now: Duration`
+//! run unchanged under the simulator and on real hardware, where the host
+//! supplies uptime instead.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant of simulated time, measured from the start of the run.
+///
+/// `SimTime` is totally ordered and supports the arithmetic a scheduler
+/// needs: adding a [`Duration`] yields a later instant, subtracting two
+/// instants yields the elapsed [`Duration`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(Duration);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(Duration::ZERO);
+
+    /// An instant `micros` microseconds after the start.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(Duration::from_micros(micros))
+    }
+
+    /// An instant `millis` milliseconds after the start.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(Duration::from_millis(millis))
+    }
+
+    /// An instant `secs` seconds after the start.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(Duration::from_secs(secs))
+    }
+
+    /// The offset from the start of the run.
+    #[must_use]
+    pub const fn as_duration(self) -> Duration {
+        self.0
+    }
+
+    /// The offset in whole microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> u128 {
+        self.0.as_micros()
+    }
+
+    /// The offset in seconds as a float (for reporting).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0.as_secs_f64()
+    }
+
+    /// Elapsed time since `earlier`, saturating to zero if `earlier` is
+    /// actually later.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl From<Duration> for SimTime {
+    fn from(d: Duration) -> Self {
+        SimTime(d)
+    }
+}
+
+impl From<SimTime> for Duration {
+    fn from(t: SimTime) -> Self {
+        t.0
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = Duration;
+    /// Elapsed time between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is later than `self`; use [`SimTime::since`] for
+    /// a saturating version.
+    fn sub(self, other: SimTime) -> Duration {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.0.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_millis(10);
+        let b = a + Duration::from_millis(5);
+        assert!(b > a);
+        assert_eq!(b - a, Duration::from_millis(5));
+        assert_eq!(b.since(a), Duration::from_millis(5));
+        assert_eq!(a.since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_micros(1_234_567);
+        let d: Duration = t.into();
+        assert_eq!(SimTime::from(d), t);
+        assert_eq!(t.as_micros(), 1_234_567);
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = SimTime::ZERO;
+        t += Duration::from_secs(2);
+        assert_eq!(t, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "t+1.500000s");
+    }
+}

@@ -1,0 +1,33 @@
+//! Experiment scenarios for the LoRaMesher reproduction.
+//!
+//! This crate is the glue between the protocol implementations
+//! (`loramesher`, `mesh-baselines`) and the `radio-sim` simulator, plus
+//! the experiment definitions every table and figure of the evaluation is
+//! generated from:
+//!
+//! * [`adapter`] — hosts any [`loramesher::driver::NodeProtocol`] as
+//!   simulator firmware, logging application events with timestamps.
+//! * [`workload`] — traffic generators (periodic sensors, Poisson
+//!   arrivals, bulk transfers).
+//! * [`runner`] — builds a network, injects traffic, and produces a
+//!   [`runner::TrafficReport`] with delivery/latency/airtime statistics.
+//! * [`experiments`] — the parameter sweeps E1–E12 and ablations A1–A4
+//!   from DESIGN.md, each
+//!   returning a printable [`report::ExpTable`].
+//! * [`report`] — plain-text table formatting shared by the benchmark
+//!   binaries and EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod summary;
+pub mod workload;
+
+pub use adapter::{AppEvent, HostedProtocol, ProtocolFirmware, ProtocolNode};
+pub use report::ExpTable;
+pub use runner::{NetworkBuilder, ProtocolChoice, Runner, TrafficReport};
+pub use workload::{Target, TrafficEvent};

@@ -1,0 +1,108 @@
+//! Small-sample summary statistics for replicated experiments.
+//!
+//! Experiments that depend on random losses (grey-zone links, random
+//! topologies) are replicated across seeds; this module reduces the
+//! per-seed results to mean ± deviation so tables report the trend, not
+//! one lucky run.
+
+/// Summary of a set of observations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise zero observations");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Half-width of an approximate 95 % confidence interval for the
+    /// mean (normal approximation, `1.96 · s / √n`; 0 for n < 2).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Formats as `mean ± sd` with the given formatter for both parts.
+    #[must_use]
+    pub fn fmt_pm(&self, f: impl Fn(f64) -> String) -> String {
+        if self.n < 2 {
+            f(self.mean)
+        } else {
+            format!("{} ± {}", f(self.mean), f(self.std_dev))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic set is ~2.138.
+        assert!((s.std_dev - 2.1380899).abs() < 1e-6, "{}", s.std_dev);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert_eq!(s.fmt_pm(|v| format!("{v:.1}")), "3.5");
+    }
+
+    #[test]
+    fn fmt_pm_includes_deviation() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.fmt_pm(|v| format!("{v:.1}")), "2.0 ± 1.4");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero observations")]
+    fn empty_rejected() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the `loramesher-rs` workspace.
+//!
+//! Re-exports the workspace crates so the root `examples/` and `tests/`
+//! can exercise the whole stack through one import. Library users should
+//! depend on the individual crates ([`loramesher`], [`radio_sim`],
+//! [`lora_phy`], [`mesh_baselines`], [`scenario`]) directly.
+
+pub use lora_phy;
+pub use loramesher;
+pub use mesh_baselines;
+pub use radio_sim;
+pub use scenario;

@@ -1,0 +1,125 @@
+//! Integration tests comparing the three protocols on identical physics —
+//! the invariants behind experiment E5.
+
+use std::time::Duration;
+
+use loramesher_repro::radio_sim::rng::SimRng;
+use loramesher_repro::radio_sim::topology;
+use loramesher_repro::scenario::experiments::default_spacing;
+use loramesher_repro::scenario::runner::{NetworkBuilder, ProtocolChoice, TrafficReport};
+use loramesher_repro::scenario::workload;
+
+/// Runs the same all-to-one workload over the same placement for one
+/// protocol and returns the report.
+fn run_protocol(protocol: ProtocolChoice, seed: u64) -> TrafficReport {
+    let spacing = default_spacing();
+    let n = 10;
+    let side = spacing * (n as f64).sqrt() * 0.85;
+    let mut rng = SimRng::new(99);
+    let positions = topology::connected_random(n, side, side, spacing, &mut rng, 2000)
+        .expect("connected placement");
+    let mut net = NetworkBuilder::mesh(positions, seed).protocol(protocol).build();
+    let start = Duration::from_secs(300);
+    net.run_until(start);
+    net.apply(&workload::all_to_one(n, 0, 16, start, Duration::from_secs(60), 4));
+    net.run_until(start + Duration::from_secs(60 * 4 + 120));
+    net.report()
+}
+
+#[test]
+fn mesh_beats_star_on_multi_hop_topologies() {
+    let mesh = run_protocol(ProtocolChoice::mesh_fast(), 42);
+    let star = run_protocol(ProtocolChoice::Star { gateway: 0 }, 42);
+    assert!(
+        mesh.pdr().unwrap() > star.pdr().unwrap(),
+        "mesh {:?} vs star {:?}",
+        mesh.pdr(),
+        star.pdr()
+    );
+    // The star reaches exactly the gateway's direct neighbours.
+    assert!(star.pdr().unwrap() < 1.0);
+}
+
+#[test]
+fn flooding_delivers_but_burns_more_frames_per_packet() {
+    let mesh = run_protocol(ProtocolChoice::mesh_fast(), 42);
+    let flooding = run_protocol(ProtocolChoice::Flooding { ttl: 7 }, 42);
+    assert!(flooding.pdr().unwrap() >= 0.9, "flooding pdr {:?}", flooding.pdr());
+    // Flooding's data-plane cost: every delivery involves ~N relays,
+    // whereas the mesh forwards along one path. Compare frames net of
+    // the mesh's routing chatter by using per-delivered-packet data
+    // frames for flooding vs. hop count for mesh — flooding must be
+    // strictly more expensive per packet on a 10-node network.
+    let flood_frames_per_pkt = flooding.frames_transmitted as f64 / flooding.delivered as f64;
+    assert!(
+        flood_frames_per_pkt > 3.0,
+        "flooding should relay broadly: {flood_frames_per_pkt:.1} frames/packet"
+    );
+    // Mesh delivers at least as reliably on a converged network.
+    assert!(mesh.pdr().unwrap() >= flooding.pdr().unwrap() - 0.25);
+}
+
+#[test]
+fn star_never_relays() {
+    let star = run_protocol(ProtocolChoice::Star { gateway: 0 }, 42);
+    // Every frame on the air was an original transmission: sends == frames
+    // (no relays, no routing traffic).
+    assert_eq!(star.frames_transmitted as usize, star.sent);
+}
+
+#[test]
+fn flooding_ttl_bounds_reach() {
+    // A 5-node line with TTL 2: floods reach at most 2 hops.
+    let spacing = default_spacing();
+    let mut net = NetworkBuilder::mesh(topology::line(5, spacing), 7)
+        .protocol(ProtocolChoice::Flooding { ttl: 2 })
+        .build();
+    let start = Duration::from_secs(10);
+    net.apply(&workload::periodic(
+        0,
+        loramesher_repro::scenario::workload::Target::Node(4),
+        16,
+        start,
+        Duration::from_secs(10),
+        3,
+    ));
+    net.run_until(start + Duration::from_secs(120));
+    assert_eq!(net.report().delivered, 0, "TTL 2 cannot span 4 hops");
+
+    let mut net = NetworkBuilder::mesh(topology::line(5, spacing), 7)
+        .protocol(ProtocolChoice::Flooding { ttl: 7 })
+        .build();
+    net.apply(&workload::periodic(
+        0,
+        loramesher_repro::scenario::workload::Target::Node(4),
+        16,
+        start,
+        Duration::from_secs(10),
+        3,
+    ));
+    net.run_until(start + Duration::from_secs(120));
+    assert_eq!(net.report().delivered, 3, "TTL 7 spans the line");
+}
+
+#[test]
+fn flooding_dedup_prevents_app_duplicates() {
+    // Dense cluster: every node hears every relay; without dedup the app
+    // would see each packet many times.
+    let mut net = NetworkBuilder::mesh(topology::grid(2, 2, 50.0), 8)
+        .protocol(ProtocolChoice::Flooding { ttl: 5 })
+        .build();
+    let start = Duration::from_secs(5);
+    net.apply(&workload::periodic(
+        0,
+        loramesher_repro::scenario::workload::Target::Broadcast,
+        16,
+        start,
+        Duration::from_secs(10),
+        5,
+    ));
+    net.run_until(start + Duration::from_secs(120));
+    let report = net.report();
+    assert_eq!(report.duplicates, 0, "{report:?}");
+    // Broadcast delivered to all three other nodes.
+    assert_eq!(report.delivered, 15);
+}

@@ -1,0 +1,161 @@
+//! Full-stack integration tests: mesh formation and routing behaviour
+//! across the simulator, exactly as the demo paper stages it.
+
+use std::time::Duration;
+
+use loramesher_repro::lora_phy::propagation::Position;
+use loramesher_repro::radio_sim::rng::SimRng;
+use loramesher_repro::radio_sim::topology;
+use loramesher_repro::scenario::experiments::default_spacing;
+use loramesher_repro::scenario::runner::{NetworkBuilder, ProtocolChoice, Runner};
+
+#[test]
+fn line_of_five_converges_with_correct_metrics() {
+    let spacing = default_spacing();
+    let mut net = NetworkBuilder::mesh(topology::line(5, spacing), 1).build();
+    net.run_until_converged(Duration::from_secs(2), Duration::from_secs(1200))
+        .expect("line-5 converges");
+    // Node 0's metric to node k is exactly k hops, via node 1.
+    let table = net.mesh_node(0).unwrap().routing_table();
+    for k in 1..5 {
+        let route = table.route(Runner::address_of(k)).unwrap();
+        assert_eq!(route.metric, k as u8, "metric to node {k}");
+        assert_eq!(route.via, Runner::address_of(1), "via for node {k}");
+    }
+    // And symmetrically from the other end.
+    let table = net.mesh_node(4).unwrap().routing_table();
+    assert_eq!(table.route(Runner::address_of(0)).unwrap().metric, 4);
+}
+
+#[test]
+fn ring_offers_two_hop_directions() {
+    // A ring of 6: opposite nodes are 3 hops away either way.
+    let spacing = default_spacing();
+    // Ring radius such that adjacent nodes are `spacing` apart.
+    let radius = spacing / (2.0 * (std::f64::consts::PI / 6.0).sin());
+    let mut net = NetworkBuilder::mesh(topology::ring(6, radius), 2).build();
+    net.run_until_converged(Duration::from_secs(2), Duration::from_secs(1200))
+        .expect("ring-6 converges");
+    let table = net.mesh_node(0).unwrap().routing_table();
+    let opposite = table.route(Runner::address_of(3)).unwrap();
+    assert_eq!(opposite.metric, 3);
+    // Neighbours on both sides are direct.
+    assert_eq!(table.route(Runner::address_of(1)).unwrap().metric, 1);
+    assert_eq!(table.route(Runner::address_of(5)).unwrap().metric, 1);
+}
+
+#[test]
+fn grid_converges_and_uses_short_paths() {
+    let spacing = default_spacing();
+    let mut net = NetworkBuilder::mesh(topology::grid(3, 3, spacing), 3).build();
+    net.run_until_converged(Duration::from_secs(2), Duration::from_secs(1200))
+        .expect("grid-9 converges");
+    // Corner to corner on a 3×3 4-neighbour grid is 4 hops.
+    let table = net.mesh_node(0).unwrap().routing_table();
+    assert_eq!(table.route(Runner::address_of(8)).unwrap().metric, 4);
+    // The centre is 2 hops from every corner.
+    let centre = net.mesh_node(4).unwrap().routing_table();
+    for corner in [0usize, 2, 6, 8] {
+        assert_eq!(centre.route(Runner::address_of(corner)).unwrap().metric, 2);
+    }
+}
+
+#[test]
+fn random_topologies_converge_across_seeds() {
+    let spacing = default_spacing();
+    for seed in 1..=5u64 {
+        let side = spacing * (10f64).sqrt() * 0.85;
+        let mut rng = SimRng::new(seed);
+        let positions = topology::connected_random(10, side, side, spacing, &mut rng, 2000)
+            .expect("connected placement");
+        let mut net = NetworkBuilder::mesh(positions, seed).build();
+        assert!(
+            net.run_until_converged(Duration::from_secs(5), Duration::from_secs(1800))
+                .is_some(),
+            "seed {seed} failed to converge"
+        );
+    }
+}
+
+#[test]
+fn isolated_node_learns_nothing() {
+    let spacing = default_spacing();
+    let mut positions = topology::line(3, spacing);
+    positions.push(Position::new(1.0e6, 1.0e6)); // far away
+    let mut net = NetworkBuilder::mesh(positions, 4).build();
+    net.run_until(Duration::from_secs(300));
+    assert!(net.mesh_node(3).unwrap().routing_table().is_empty());
+    // The connected trio still formed a mesh.
+    assert_eq!(net.mesh_node(0).unwrap().routing_table().len(), 2);
+}
+
+#[test]
+fn routes_across_partition_expire() {
+    let spacing = default_spacing();
+    let mut net = NetworkBuilder::mesh(topology::line(3, spacing), 5)
+        .protocol(ProtocolChoice::Mesh {
+            hello_interval: Duration::from_secs(10),
+            route_timeout: Duration::from_secs(60),
+        })
+        .build();
+    net.run_until_converged(Duration::from_secs(2), Duration::from_secs(600))
+        .expect("converges");
+    // Kill the middle node: the chain is cut.
+    let mid = net.id(1);
+    let kill_at = net.now() + Duration::from_secs(1);
+    net.sim_mut().schedule_kill(kill_at, mid);
+    // After the route timeout everything beyond the cut is gone.
+    net.run_until(kill_at + Duration::from_secs(90));
+    let table = net.mesh_node(0).unwrap().routing_table();
+    assert!(table.next_hop(Runner::address_of(1)).is_none(), "dead neighbour kept");
+    assert!(table.next_hop(Runner::address_of(2)).is_none(), "unreachable kept");
+}
+
+#[test]
+fn late_joiner_is_absorbed() {
+    let spacing = default_spacing();
+    let mut net = NetworkBuilder::mesh(topology::line(3, spacing), 6)
+        .protocol(ProtocolChoice::Mesh {
+            hello_interval: Duration::from_secs(10),
+            route_timeout: Duration::from_secs(60),
+        })
+        .build();
+    net.run_until_converged(Duration::from_secs(2), Duration::from_secs(600))
+        .expect("converges");
+    // A fourth node appears at the end of the line after the fact: model
+    // a node reboot by killing and reviving the end node and checking it
+    // relearns the whole mesh.
+    let end = net.id(2);
+    let t = net.now();
+    net.sim_mut().schedule_kill(t + Duration::from_secs(1), end);
+    net.sim_mut().schedule_revive(t + Duration::from_secs(120), end);
+    net.run_until(t + Duration::from_secs(300));
+    let table = net.mesh_node(2).unwrap().routing_table();
+    assert_eq!(table.len(), 2, "revived node relearned the mesh: {table:?}");
+    assert_eq!(
+        table.route(Runner::address_of(0)).unwrap().metric,
+        2,
+        "multi-hop route relearned"
+    );
+}
+
+#[test]
+fn hello_interval_controls_convergence_speed() {
+    let spacing = default_spacing();
+    let time_for = |hello_secs: u64| {
+        let mut net = NetworkBuilder::mesh(topology::line(5, spacing), 7)
+            .protocol(ProtocolChoice::Mesh {
+                hello_interval: Duration::from_secs(hello_secs),
+                route_timeout: Duration::from_secs(hello_secs * 6),
+            })
+            .build();
+        net.run_until_converged(Duration::from_secs(2), Duration::from_secs(3600))
+            .expect("converges")
+    };
+    let fast = time_for(10);
+    let slow = time_for(60);
+    assert!(
+        slow > fast,
+        "longer hello interval must converge slower: {fast:?} vs {slow:?}"
+    );
+}
