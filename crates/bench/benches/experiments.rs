@@ -44,6 +44,9 @@ fn main() {
         let table = run(&opt);
         let elapsed = start.elapsed();
         println!("{table}");
-        println!("  [{name} completed in {:.2} s wall clock]\n", elapsed.as_secs_f64());
+        println!(
+            "  [{name} completed in {:.2} s wall clock]\n",
+            elapsed.as_secs_f64()
+        );
     }
 }

@@ -1,10 +1,14 @@
-//! Criterion micro-benchmarks for the hot paths of the stack:
-//! wire codec, routing-table updates, time-on-air math, the simulation
-//! PRNG, and end-to-end simulator throughput.
+//! Micro-benchmarks for the hot paths of the stack: wire codec,
+//! routing-table updates, time-on-air math, the simulation PRNG, and
+//! end-to-end simulator throughput.
+//!
+//! Self-contained: a [`std::time::Instant`] harness that calibrates a
+//! batch size, times a handful of batches and reports the median
+//! ns/iter — no external benchmark framework, so `cargo bench` works
+//! fully offline. Pass a substring to run a subset:
+//! `cargo bench --bench micro -- codec`.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::{Duration, Instant};
 
 use lora_phy::modulation::{Bandwidth, CodingRate, LoRaModulation, SpreadingFactor};
 use lora_phy::propagation::Position;
@@ -16,12 +20,55 @@ use radio_sim::rng::SimRng;
 use radio_sim::topology;
 use scenario::runner::NetworkBuilder;
 
+/// Target wall time for one timed batch during calibration.
+const BATCH_TARGET: Duration = Duration::from_millis(5);
+/// Timed batches per benchmark; the median is reported.
+const SAMPLES: usize = 5;
+/// Upper bound on the calibrated batch size.
+const MAX_ITERS: u64 = 1 << 20;
+
+/// Times `f` and prints `name  <median> ns/iter` when `name` matches the
+/// filter. Batch size is doubled until one batch reaches [`BATCH_TARGET`]
+/// (so cheap operations amortise the clock overhead), then [`SAMPLES`]
+/// batches are timed.
+fn bench<R>(filter: &str, name: &str, mut f: impl FnMut() -> R) {
+    if !name.contains(filter) {
+        return;
+    }
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        if start.elapsed() >= BATCH_TARGET || iters >= MAX_ITERS {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    println!("{name:<34} {median:>14.1} ns/iter   ({iters} iters/batch, {SAMPLES} batches)");
+}
+
 fn data_packet(payload_len: usize) -> Packet {
     Packet::Data {
         dst: Address::new(2),
         src: Address::new(1),
         id: 7,
-        fwd: Forwarding { via: Address::new(2), ttl: 10 },
+        fwd: Forwarding {
+            via: Address::new(2),
+            ttl: 10,
+        },
         payload: vec![0xA5; payload_len],
     }
 }
@@ -41,32 +88,28 @@ fn hello_packet(entries: usize) -> Packet {
     }
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codec");
+fn bench_codec(filter: &str) {
     for len in [16usize, 64, 200] {
         let packet = data_packet(len);
         let wire = codec::encode(&packet).unwrap();
-        g.throughput(Throughput::Bytes(wire.len() as u64));
-        g.bench_function(format!("encode_data_{len}B"), |b| {
-            b.iter(|| codec::encode(std::hint::black_box(&packet)).unwrap())
+        bench(filter, &format!("codec/encode_data_{len}B"), || {
+            codec::encode(std::hint::black_box(&packet)).unwrap()
         });
-        g.bench_function(format!("decode_data_{len}B"), |b| {
-            b.iter(|| codec::decode(std::hint::black_box(&wire)).unwrap())
+        bench(filter, &format!("codec/decode_data_{len}B"), || {
+            codec::decode(std::hint::black_box(&wire)).unwrap()
         });
     }
     let hello = hello_packet(30);
     let wire = codec::encode(&hello).unwrap();
-    g.bench_function("encode_hello_30_routes", |b| {
-        b.iter(|| codec::encode(std::hint::black_box(&hello)).unwrap())
+    bench(filter, "codec/encode_hello_30_routes", || {
+        codec::encode(std::hint::black_box(&hello)).unwrap()
     });
-    g.bench_function("decode_hello_30_routes", |b| {
-        b.iter(|| codec::decode(std::hint::black_box(&wire)).unwrap())
+    bench(filter, "codec/decode_hello_30_routes", || {
+        codec::decode(std::hint::black_box(&wire)).unwrap()
     });
-    g.finish();
 }
 
-fn bench_routing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("routing");
+fn bench_routing(filter: &str) {
     for n in [8usize, 32, 61] {
         let me = Address::new(1);
         let neighbour = Address::new(2);
@@ -77,103 +120,79 @@ fn bench_routing(c: &mut Criterion) {
                 role: 0,
             })
             .collect();
-        g.bench_function(format!("apply_hello_{n}_entries"), |b| {
-            b.iter_batched(
-                RoutingTable::new,
-                |mut table| {
-                    table.apply_hello(me, neighbour, 0, &entries, 5.0, Duration::from_secs(1))
-                },
-                BatchSize::SmallInput,
-            )
+        bench(filter, &format!("routing/apply_hello_{n}_entries"), || {
+            let mut table = RoutingTable::new();
+            table.apply_hello(me, neighbour, 0, &entries, 5.0, Duration::from_secs(1));
+            table
         });
         let mut table = RoutingTable::new();
         table.apply_hello(me, neighbour, 0, &entries, 5.0, Duration::from_secs(1));
-        g.bench_function(format!("next_hop_of_{n}"), |b| {
-            b.iter(|| table.next_hop(std::hint::black_box(Address::new(100 + (n as u16) / 2))))
+        bench(filter, &format!("routing/next_hop_of_{n}"), || {
+            table.next_hop(std::hint::black_box(Address::new(100 + (n as u16) / 2)))
         });
     }
-    g.finish();
 }
 
-fn bench_airtime(c: &mut Criterion) {
-    let mut g = c.benchmark_group("airtime");
+fn bench_airtime(filter: &str) {
     for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf12] {
         let m = LoRaModulation::new(sf, Bandwidth::Khz125, CodingRate::Cr4_5);
-        g.bench_function(format!("time_on_air_SF{}", sf.value()), |b| {
-            b.iter(|| m.time_on_air(std::hint::black_box(64)))
-        });
+        bench(
+            filter,
+            &format!("airtime/time_on_air_SF{}", sf.value()),
+            || m.time_on_air(std::hint::black_box(64)),
+        );
     }
-    g.finish();
 }
 
-fn bench_rng(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rng");
-    g.bench_function("next_u64", |b| {
-        let mut rng = SimRng::new(1);
-        b.iter(|| rng.next_u64())
-    });
-    g.bench_function("gen_range_1000", |b| {
-        let mut rng = SimRng::new(1);
-        b.iter(|| rng.gen_range(1000))
-    });
-    g.finish();
+fn bench_rng(filter: &str) {
+    let mut rng = SimRng::new(1);
+    bench(filter, "rng/next_u64", || rng.next_u64());
+    let mut rng = SimRng::new(1);
+    bench(filter, "rng/gen_range_1000", || rng.gen_range(1000));
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
+fn bench_simulator(filter: &str) {
     // Simulated minutes of a 9-node mesh per iteration: measures event
     // throughput of the whole stack.
-    g.bench_function("grid9_mesh_60s_simulated", |b| {
-        b.iter(|| {
-            let spacing = topology::radio_range_m(
-                &radio_sim::sim::SimConfig::default().rf,
-            ) * 0.8;
-            let mut runner = NetworkBuilder::mesh(topology::grid(3, 3, spacing), 42).build();
-            runner.run_until(Duration::from_secs(60));
-            std::hint::black_box(runner.phy_metrics().frames_transmitted)
-        })
+    bench(filter, "simulator/grid9_mesh_60s_simulated", || {
+        let spacing = topology::radio_range_m(&radio_sim::sim::SimConfig::default().rf) * 0.8;
+        let mut runner = NetworkBuilder::mesh(topology::grid(3, 3, spacing), 42).build();
+        runner.run_until(Duration::from_secs(60));
+        runner.phy_metrics().frames_transmitted
     });
-    g.bench_function("line4_convergence", |b| {
-        b.iter(|| {
-            let spacing = topology::radio_range_m(
-                &radio_sim::sim::SimConfig::default().rf,
-            ) * 0.8;
-            let mut runner = NetworkBuilder::mesh(topology::line(4, spacing), 42).build();
-            std::hint::black_box(
-                runner.run_until_converged(Duration::from_secs(2), Duration::from_secs(600)),
-            )
-        })
+    bench(filter, "simulator/line4_convergence", || {
+        let spacing = topology::radio_range_m(&radio_sim::sim::SimConfig::default().rf) * 0.8;
+        let mut runner = NetworkBuilder::mesh(topology::line(4, spacing), 42).build();
+        runner.run_until_converged(Duration::from_secs(2), Duration::from_secs(600))
     });
-    g.finish();
 }
 
-fn bench_medium(c: &mut Criterion) {
+fn bench_medium(filter: &str) {
     use radio_sim::medium::{Medium, RfConfig};
-    let mut g = c.benchmark_group("medium");
     let medium = Medium::new(RfConfig::default());
     let a = Position::new(0.0, 0.0);
     let b = Position::new(250.0, 100.0);
-    g.bench_function("received_power", |bch| {
-        bch.iter(|| {
-            medium.received_power(
-                std::hint::black_box(&a),
-                std::hint::black_box(&b),
-                radio_sim::firmware::NodeId(0),
-                radio_sim::firmware::NodeId(1),
-            )
-        })
+    bench(filter, "medium/received_power", || {
+        medium.received_power(
+            std::hint::black_box(&a),
+            std::hint::black_box(&b),
+            radio_sim::firmware::NodeId(0),
+            radio_sim::firmware::NodeId(1),
+        )
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_codec,
-    bench_routing,
-    bench_airtime,
-    bench_rng,
-    bench_simulator,
-    bench_medium
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` appends `--bench`; any other non-flag argument is a
+    // substring filter on benchmark names.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+    bench_codec(&filter);
+    bench_routing(&filter);
+    bench_airtime(&filter);
+    bench_rng(&filter);
+    bench_simulator(&filter);
+    bench_medium(&filter);
+}

@@ -3,22 +3,27 @@
 //!
 //! With `--markdown`, emits GitHub-flavoured markdown (used to fill
 //! EXPERIMENTS.md); with `--csv`, RFC 4180 CSV blocks for plotting;
-//! otherwise aligned plain text.
+//! otherwise aligned plain text. `--seeds N` replicates the randomised
+//! experiments across N seeds (tables gain `mean ± sd` cells) and
+//! `--jobs N` shards the runs over N worker threads.
 fn main() {
     let mut markdown = false;
     let mut csv = false;
     let mut opt = scenario::experiments::ExpOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => opt.quick = true,
-            "--markdown" => markdown = true,
-            "--csv" => csv = true,
-            "--seed" => {
-                opt.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N");
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
+        match bench::apply_common_flag(&mut opt, &arg, &mut args) {
+            Ok(true) => {}
+            Ok(false) => match arg.as_str() {
+                "--markdown" => markdown = true,
+                "--csv" => csv = true,
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
+            },
+            Err(msg) => {
+                eprintln!("{msg}");
                 std::process::exit(2);
             }
         }

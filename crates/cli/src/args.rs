@@ -82,6 +82,10 @@ pub struct Cli {
     pub duration: Duration,
     /// Master seed.
     pub seed: u64,
+    /// Number of replication seeds (1 = a single narrated run).
+    pub seeds: usize,
+    /// Worker threads for multi-seed runs.
+    pub jobs: usize,
     /// Spreading factor.
     pub sf: SpreadingFactor,
     /// Probabilistic reception near the SNR floor.
@@ -110,6 +114,8 @@ impl Default for Cli {
             traffic: Traffic::None,
             duration: Duration::from_secs(600),
             seed: 42,
+            seeds: 1,
+            jobs: 1,
             sf: SpreadingFactor::Sf7,
             grey_zone: false,
             eu868: false,
@@ -148,6 +154,8 @@ OPTIONS:
   --traffic none|pair:F:T:SECS|all-to-one:SECS|bulk:F:T:BYTES  [none]
   --duration SECS                         simulated time       [600]
   --seed N                                master seed          [42]
+  --seeds N                               replication seeds    [1]
+  --jobs N                                worker threads for --seeds [1]
   --sf 7..12                              spreading factor     [7]
   --grey-zone                             probabilistic reception
   --eu868                                 enforce the 1 % duty cycle
@@ -243,7 +251,27 @@ impl Cli {
                 }
                 "--seed" => {
                     let v = value_of("--seed", &mut it)?;
-                    cli.seed = v.parse().map_err(|_| ParseError(format!("bad seed '{v}'")))?;
+                    cli.seed = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad seed '{v}'")))?;
+                }
+                "--seeds" => {
+                    let v = value_of("--seeds", &mut it)?;
+                    cli.seeds = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad seed count '{v}'")))?;
+                    if cli.seeds == 0 {
+                        return Err(ParseError("--seeds must be at least 1".into()));
+                    }
+                }
+                "--jobs" => {
+                    let v = value_of("--jobs", &mut it)?;
+                    cli.jobs = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad job count '{v}'")))?;
+                    if cli.jobs == 0 {
+                        return Err(ParseError("--jobs must be at least 1".into()));
+                    }
                 }
                 "--sf" => {
                     let v = value_of("--sf", &mut it)?;
@@ -292,7 +320,9 @@ impl Cli {
                 to: int(to)? as usize,
                 interval_secs: int(secs)?,
             }),
-            ["all-to-one", secs] => Ok(Traffic::AllToOne { interval_secs: int(secs)? }),
+            ["all-to-one", secs] => Ok(Traffic::AllToOne {
+                interval_secs: int(secs)?,
+            }),
             ["bulk", from, to, bytes] => Ok(Traffic::Bulk {
                 from: int(from)? as usize,
                 to: int(to)? as usize,
@@ -307,13 +337,20 @@ impl Cli {
     fn validate(&self) -> Result<(), ParseError> {
         let check = |i: usize, what: &str| {
             if i >= self.nodes {
-                Err(ParseError(format!("{what} index {i} out of range (nodes = {})", self.nodes)))
+                Err(ParseError(format!(
+                    "{what} index {i} out of range (nodes = {})",
+                    self.nodes
+                )))
             } else {
                 Ok(())
             }
         };
         match self.traffic {
-            Traffic::Pair { from, to, interval_secs } => {
+            Traffic::Pair {
+                from,
+                to,
+                interval_secs,
+            } => {
                 check(from, "--traffic sender")?;
                 check(to, "--traffic receiver")?;
                 if interval_secs == 0 {
@@ -361,25 +398,42 @@ mod tests {
     #[test]
     fn full_command_line() {
         let cli = parse(&[
-            "--topology", "grid",
-            "--nodes", "9",
-            "--spacing-frac", "0.7",
-            "--protocol", "flooding",
-            "--traffic", "pair:0:8:15",
-            "--duration", "1200",
-            "--seed", "99",
-            "--sf", "9",
+            "--topology",
+            "grid",
+            "--nodes",
+            "9",
+            "--spacing-frac",
+            "0.7",
+            "--protocol",
+            "flooding",
+            "--traffic",
+            "pair:0:8:15",
+            "--duration",
+            "1200",
+            "--seed",
+            "99",
+            "--sf",
+            "9",
             "--grey-zone",
             "--eu868",
             "--per-node",
-            "--kill", "4@300",
-            "--revive", "4@600",
+            "--kill",
+            "4@300",
+            "--revive",
+            "4@600",
         ])
         .unwrap();
         assert_eq!(cli.topology, Topology::Grid);
         assert_eq!(cli.nodes, 9);
         assert_eq!(cli.protocol, Protocol::Flooding);
-        assert_eq!(cli.traffic, Traffic::Pair { from: 0, to: 8, interval_secs: 15 });
+        assert_eq!(
+            cli.traffic,
+            Traffic::Pair {
+                from: 0,
+                to: 8,
+                interval_secs: 15
+            }
+        );
         assert_eq!(cli.duration, Duration::from_secs(1200));
         assert_eq!(cli.sf, SpreadingFactor::Sf9);
         assert!(cli.grey_zone && cli.eu868 && cli.per_node);
@@ -394,12 +448,20 @@ mod tests {
             Traffic::None
         );
         assert_eq!(
-            parse(&["--nodes", "6", "--traffic", "all-to-one:30"]).unwrap().traffic,
+            parse(&["--nodes", "6", "--traffic", "all-to-one:30"])
+                .unwrap()
+                .traffic,
             Traffic::AllToOne { interval_secs: 30 }
         );
         assert_eq!(
-            parse(&["--nodes", "2", "--traffic", "bulk:0:1:4096"]).unwrap().traffic,
-            Traffic::Bulk { from: 0, to: 1, bytes: 4096 }
+            parse(&["--nodes", "2", "--traffic", "bulk:0:1:4096"])
+                .unwrap()
+                .traffic,
+            Traffic::Bulk {
+                from: 0,
+                to: 1,
+                bytes: 4096
+            }
         );
     }
 
@@ -409,12 +471,26 @@ mod tests {
         assert!(parse(&["--nodes", "0"]).is_err());
         assert!(parse(&["--nodes"]).is_err());
         assert!(parse(&["--sf", "6"]).is_err());
-        assert!(parse(&["--traffic", "pair:0:9:10"]).is_err(), "receiver out of range");
+        assert!(
+            parse(&["--traffic", "pair:0:9:10"]).is_err(),
+            "receiver out of range"
+        );
         assert!(parse(&["--traffic", "pair:0:1"]).is_err());
         assert!(parse(&["--kill", "7@10"]).is_err(), "node out of range");
         assert!(parse(&["--kill", "1-10"]).is_err());
         assert!(parse(&["--spacing-frac", "5.0"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn seeds_and_jobs_parse() {
+        let cli = parse(&["--seeds", "16", "--jobs", "4"]).unwrap();
+        assert_eq!(cli.seeds, 16);
+        assert_eq!(cli.jobs, 4);
+        assert_eq!(parse(&[]).unwrap().seeds, 1, "single run by default");
+        assert!(parse(&["--seeds", "0"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--seeds", "many"]).is_err());
     }
 
     #[test]

@@ -7,16 +7,122 @@ use lora_phy::region::Region;
 use radio_sim::rng::SimRng;
 use radio_sim::sim::SimConfig;
 use radio_sim::topology;
-use scenario::report::{fmt_ms, fmt_pct, fmt_secs};
-use scenario::runner::{NetworkBuilder, ProtocolChoice, Runner};
+use scenario::report::{fmt_ms, fmt_pct, fmt_secs, ExpTable};
+use scenario::runner::{NetworkBuilder, ProtocolChoice, Runner, TrafficReport};
 use scenario::workload::{self, Target};
+use scenario::Summary;
 
 use crate::args::{Cli, Protocol, Topology, Traffic};
 
 /// Builds, runs and renders the scenario described by `cli`. Returns the
 /// report text (printed by `main`, asserted by tests).
+///
+/// With `--seeds 1` (the default) this is a single narrated run. Beyond
+/// that the same scenario is replicated across a spread seed set —
+/// sharded over `--jobs` worker threads — and the report becomes a table
+/// of mean ± sd / min / max / 95 % CI per metric. The aggregate is
+/// identical for every `--jobs` value.
 #[must_use]
 pub fn execute(cli: &Cli) -> String {
+    if cli.seeds <= 1 {
+        return run_scenario(cli, cli.seed).0;
+    }
+    let seeds = scenario::seed_list(cli.seed, cli.seeds);
+    let reports = scenario::run_parallel(&seeds, cli.jobs, |&seed| run_scenario(cli, seed).1);
+    // The thread count is deliberately absent: output depends only on
+    // the scenario, so any --jobs value prints byte-identical text.
+    let mut out = format!(
+        "{} nodes, {:?} topology, {:?} protocol — {} seeds (base {})\n\n",
+        cli.nodes, cli.topology, cli.protocol, cli.seeds, cli.seed
+    );
+    let mut table = ExpTable::new(
+        "aggregate over seeds",
+        &["metric", "mean ± sd", "min", "max", "95% CI"],
+    );
+    let mut push = |name: &str, unit: &str, values: Vec<f64>| {
+        let values: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        if values.is_empty() {
+            table.push_row(vec![
+                name.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            return;
+        }
+        let s = Summary::of(&values);
+        let f = |v: f64| format!("{v:.2}{unit}");
+        table.push_row(vec![
+            name.to_string(),
+            s.fmt_pm(f),
+            f(s.min),
+            f(s.max),
+            format!("± {}", f(s.ci95_half_width())),
+        ]);
+    };
+    push(
+        "datagrams sent",
+        "",
+        reports.iter().map(|r| r.sent as f64).collect(),
+    );
+    push(
+        "datagrams delivered",
+        "",
+        reports.iter().map(|r| r.delivered as f64).collect(),
+    );
+    push(
+        "PDR",
+        " %",
+        reports
+            .iter()
+            .filter_map(|r| r.pdr().map(|p| p * 100.0))
+            .collect(),
+    );
+    push(
+        "mean latency",
+        " ms",
+        reports
+            .iter()
+            .filter_map(|r| r.mean_latency().map(|d| d.as_secs_f64() * 1e3))
+            .collect(),
+    );
+    push(
+        "frames transmitted",
+        "",
+        reports
+            .iter()
+            .map(|r| r.frames_transmitted as f64)
+            .collect(),
+    );
+    push(
+        "airtime",
+        " s",
+        reports
+            .iter()
+            .map(|r| r.total_airtime.as_secs_f64())
+            .collect(),
+    );
+    push(
+        "channel utilisation",
+        " %",
+        reports
+            .iter()
+            .map(|r| r.channel_utilisation() * 100.0)
+            .collect(),
+    );
+    push(
+        "collision losses",
+        "",
+        reports.iter().map(|r| r.collisions as f64).collect(),
+    );
+    out.push_str(&table.to_string());
+    out
+}
+
+/// One simulation run: the narrated report text plus the raw traffic
+/// report the multi-seed path aggregates.
+fn run_scenario(cli: &Cli, seed: u64) -> (String, TrafficReport) {
     let mut out = String::new();
     let mut sim = SimConfig::default();
     sim.rf.modulation = LoRaModulation::new(cli.sf, Bandwidth::Khz125, CodingRate::Cr4_7);
@@ -43,7 +149,7 @@ pub fn execute(cli: &Cli) -> String {
         Topology::Star => topology::star(cli.nodes, spacing),
         Topology::Random => {
             let side = spacing * (cli.nodes as f64).sqrt() * 0.85;
-            let mut rng = SimRng::new(cli.seed);
+            let mut rng = SimRng::new(seed);
             topology::connected_random(cli.nodes, side, side, spacing, &mut rng, 2000)
                 .expect("no connected random placement found; try a larger --spacing-frac")
         }
@@ -59,12 +165,16 @@ pub fn execute(cli: &Cli) -> String {
         Protocol::Flooding => ProtocolChoice::Flooding { ttl: 7 },
         Protocol::Star => ProtocolChoice::Star { gateway: 0 },
     };
-    let region = if cli.eu868 { Region::Eu868 } else { Region::Unlimited };
+    let region = if cli.eu868 {
+        Region::Eu868
+    } else {
+        Region::Unlimited
+    };
     let mut roles = vec![0u8; cli.nodes];
     for &g in &cli.gateways {
         roles[g] = loramesher::Role::GATEWAY.bits();
     }
-    let mut net = NetworkBuilder::mesh(positions, cli.seed)
+    let mut net = NetworkBuilder::mesh(positions, seed)
         .protocol(protocol)
         .region(region)
         .snr_tiebreak(cli.snr_tiebreak)
@@ -102,7 +212,11 @@ pub fn execute(cli: &Cli) -> String {
     // Traffic.
     match cli.traffic {
         Traffic::None => {}
-        Traffic::Pair { from, to, interval_secs } => {
+        Traffic::Pair {
+            from,
+            to,
+            interval_secs,
+        } => {
             let interval = Duration::from_secs(interval_secs);
             let count = ((cli.duration.saturating_sub(traffic_start)).as_secs()
                 / interval_secs.max(1)) as usize;
@@ -178,13 +292,8 @@ pub fn execute(cli: &Cli) -> String {
             if let Some(mesh) = net.mesh_node(i) {
                 match mesh.routing_table().closest_gateway() {
                     Some(gw) => {
-                        let metric = mesh
-                            .routing_table()
-                            .route(gw)
-                            .map_or(0, |r| r.metric);
-                        out.push_str(&format!(
-                            "  node {i}: gateway {gw} at {metric} hop(s)\n"
-                        ));
+                        let metric = mesh.routing_table().route(gw).map_or(0, |r| r.metric);
+                        out.push_str(&format!("  node {i}: gateway {gw} at {metric} hop(s)\n"));
                     }
                     None if cli.gateways.contains(&i) => {
                         out.push_str(&format!("  node {i}: is a gateway\n"));
@@ -217,7 +326,7 @@ pub fn execute(cli: &Cli) -> String {
             }
         }
     }
-    out
+    (out, report)
 }
 
 #[cfg(test)]
@@ -239,10 +348,14 @@ mod tests {
     #[test]
     fn pair_traffic_reports_pdr() {
         let out = run(&[
-            "--topology", "line",
-            "--nodes", "3",
-            "--traffic", "pair:0:2:10",
-            "--duration", "400",
+            "--topology",
+            "line",
+            "--nodes",
+            "3",
+            "--traffic",
+            "pair:0:2:10",
+            "--duration",
+            "400",
         ]);
         assert!(out.contains("PDR 100.0 %"), "{out}");
         assert!(out.contains("latency"), "{out}");
@@ -251,9 +364,12 @@ mod tests {
     #[test]
     fn bulk_traffic_reports_transfer() {
         let out = run(&[
-            "--nodes", "2",
-            "--traffic", "bulk:0:1:2048",
-            "--duration", "400",
+            "--nodes",
+            "2",
+            "--traffic",
+            "bulk:0:1:2048",
+            "--duration",
+            "400",
         ]);
         assert!(out.contains("1 completed"), "{out}");
     }
@@ -261,18 +377,27 @@ mod tests {
     #[test]
     fn flooding_and_star_protocols_run() {
         let out = run(&[
-            "--protocol", "flooding",
-            "--nodes", "4",
-            "--traffic", "pair:0:3:10",
-            "--duration", "300",
+            "--protocol",
+            "flooding",
+            "--nodes",
+            "4",
+            "--traffic",
+            "pair:0:3:10",
+            "--duration",
+            "300",
         ]);
         assert!(out.contains("PDR"), "{out}");
         let out = run(&[
-            "--protocol", "star",
-            "--topology", "star",
-            "--nodes", "4",
-            "--traffic", "all-to-one:20",
-            "--duration", "300",
+            "--protocol",
+            "star",
+            "--topology",
+            "star",
+            "--nodes",
+            "4",
+            "--traffic",
+            "all-to-one:20",
+            "--duration",
+            "300",
         ]);
         assert!(out.contains("PDR"), "{out}");
     }
@@ -280,11 +405,16 @@ mod tests {
     #[test]
     fn kill_schedule_affects_delivery() {
         let out = run(&[
-            "--topology", "line",
-            "--nodes", "3",
-            "--traffic", "pair:0:2:10",
-            "--duration", "500",
-            "--kill", "1@250",
+            "--topology",
+            "line",
+            "--nodes",
+            "3",
+            "--traffic",
+            "pair:0:2:10",
+            "--duration",
+            "500",
+            "--kill",
+            "1@250",
         ]);
         // The relay dies mid-run: some datagrams are lost.
         assert!(!out.contains("PDR 100.0 %"), "{out}");
@@ -293,10 +423,14 @@ mod tests {
     #[test]
     fn gateway_discovery_section_is_printed() {
         let out = run(&[
-            "--topology", "line",
-            "--nodes", "3",
-            "--gateway", "2",
-            "--duration", "300",
+            "--topology",
+            "line",
+            "--nodes",
+            "3",
+            "--gateway",
+            "2",
+            "--duration",
+            "300",
         ]);
         assert!(out.contains("gateway discovery"), "{out}");
         assert!(out.contains("node 0: gateway 0003 at 2 hop(s)"), "{out}");
@@ -306,10 +440,13 @@ mod tests {
     #[test]
     fn snr_tiebreak_flag_parses_and_runs() {
         let out = run(&[
-            "--nodes", "2",
+            "--nodes",
+            "2",
             "--snr-tiebreak",
-            "--traffic", "pair:0:1:20",
-            "--duration", "200",
+            "--traffic",
+            "pair:0:1:20",
+            "--duration",
+            "200",
         ]);
         assert!(out.contains("PDR"), "{out}");
     }
@@ -319,6 +456,64 @@ mod tests {
         let out = run(&["--nodes", "2", "--per-node", "--duration", "120"]);
         assert!(out.contains("per-node statistics"), "{out}");
         assert!(out.contains("0001"), "{out}");
+    }
+
+    #[test]
+    fn multi_seed_run_prints_aggregate_table() {
+        let out = run(&[
+            "--topology",
+            "line",
+            "--nodes",
+            "3",
+            "--traffic",
+            "pair:0:2:10",
+            "--duration",
+            "300",
+            "--seeds",
+            "3",
+        ]);
+        assert!(out.contains("3 seeds (base 42)"), "{out}");
+        assert!(out.contains("aggregate over seeds"), "{out}");
+        assert!(out.contains("PDR"), "{out}");
+        assert!(out.contains("±"), "{out}");
+    }
+
+    #[test]
+    fn multi_seed_output_is_jobs_invariant() {
+        let base = [
+            "--topology",
+            "line",
+            "--nodes",
+            "3",
+            "--traffic",
+            "pair:0:2:10",
+            "--duration",
+            "300",
+            "--seeds",
+            "4",
+        ];
+        let with_jobs = |jobs: &str| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--jobs", jobs]);
+            run(&args)
+        };
+        assert_eq!(with_jobs("1"), with_jobs("4"));
+    }
+
+    #[test]
+    fn single_seed_output_is_unchanged_by_seeds_flag() {
+        // --seeds 1 must reproduce the legacy narrated single run.
+        let args = [
+            "--nodes",
+            "3",
+            "--traffic",
+            "pair:0:2:10",
+            "--duration",
+            "300",
+        ];
+        let mut with_flag: Vec<&str> = args.to_vec();
+        with_flag.extend(["--seeds", "1", "--jobs", "4"]);
+        assert_eq!(run(&args), run(&with_flag));
     }
 
     #[test]

@@ -108,12 +108,19 @@ pub fn encode(packet: &Packet) -> Result<Vec<u8>, CodecError> {
             }
         }
         Packet::Data { payload, .. } => buf.extend_from_slice(payload),
-        Packet::Sync { seq, frag_count, total_len, .. } => {
+        Packet::Sync {
+            seq,
+            frag_count,
+            total_len,
+            ..
+        } => {
             buf.push(*seq);
             put_u16(&mut buf, *frag_count);
             put_u32(&mut buf, *total_len);
         }
-        Packet::Frag { seq, index, data, .. } => {
+        Packet::Frag {
+            seq, index, data, ..
+        } => {
             buf.push(*seq);
             put_u16(&mut buf, *index);
             buf.extend_from_slice(data);
@@ -174,7 +181,12 @@ pub fn decode(frame: &[u8]) -> Result<Packet, CodecError> {
                 role: c[3],
             })
             .collect();
-        return Ok(Packet::Hello { src, id, role, entries });
+        return Ok(Packet::Hello {
+            src,
+            id,
+            role,
+            entries,
+        });
     }
 
     // All remaining kinds carry the forwarding extension.
@@ -301,15 +313,59 @@ mod tests {
                 id: 7,
                 role: 1,
                 entries: vec![
-                    RouteEntry { address: Address::new(3), metric: 1, role: 0 },
-                    RouteEntry { address: Address::new(4), metric: 2, role: 1 },
+                    RouteEntry {
+                        address: Address::new(3),
+                        metric: 1,
+                        role: 0,
+                    },
+                    RouteEntry {
+                        address: Address::new(4),
+                        metric: 2,
+                        role: 1,
+                    },
                 ],
             },
-            Packet::Data { dst, src, id: 8, fwd: fwd(), payload: b"hello mesh".to_vec() },
-            Packet::Sync { dst, src, id: 9, fwd: fwd(), seq: 3, frag_count: 12, total_len: 2800 },
-            Packet::Frag { dst, src, id: 10, fwd: fwd(), seq: 3, index: 5, data: vec![0xAA; 100] },
-            Packet::Ack { dst, src, id: 11, fwd: fwd(), seq: 3, index: SYNC_ACK_INDEX },
-            Packet::Lost { dst, src, id: 12, fwd: fwd(), seq: 3, missing: vec![2, 7, 9] },
+            Packet::Data {
+                dst,
+                src,
+                id: 8,
+                fwd: fwd(),
+                payload: b"hello mesh".to_vec(),
+            },
+            Packet::Sync {
+                dst,
+                src,
+                id: 9,
+                fwd: fwd(),
+                seq: 3,
+                frag_count: 12,
+                total_len: 2800,
+            },
+            Packet::Frag {
+                dst,
+                src,
+                id: 10,
+                fwd: fwd(),
+                seq: 3,
+                index: 5,
+                data: vec![0xAA; 100],
+            },
+            Packet::Ack {
+                dst,
+                src,
+                id: 11,
+                fwd: fwd(),
+                seq: 3,
+                index: SYNC_ACK_INDEX,
+            },
+            Packet::Lost {
+                dst,
+                src,
+                id: 12,
+                fwd: fwd(),
+                seq: 3,
+                missing: vec![2, 7, 9],
+            },
         ]
     }
 
@@ -329,7 +385,10 @@ mod tests {
             dst: Address::new(0x2211),
             src: Address::new(0x4433),
             id: 0x55,
-            fwd: Forwarding { via: Address::new(0x7766), ttl: 0x08 },
+            fwd: Forwarding {
+                via: Address::new(0x7766),
+                ttl: 0x08,
+            },
             payload: vec![0xAB, 0xCD],
         };
         let wire = encode(&p).unwrap();
@@ -389,13 +448,24 @@ mod tests {
     #[test]
     fn hello_with_max_entries_fits() {
         let entries = vec![
-            RouteEntry { address: Address::new(9), metric: 3, role: 0 };
+            RouteEntry {
+                address: Address::new(9),
+                metric: 3,
+                role: 0
+            };
             MAX_HELLO_ENTRIES
         ];
-        let p = Packet::Hello { src: Address::new(1), id: 0, role: 0, entries };
+        let p = Packet::Hello {
+            src: Address::new(1),
+            id: 0,
+            role: 0,
+            entries,
+        };
         let wire = encode(&p).unwrap();
         assert!(wire.len() <= MAX_FRAME_LEN);
-        assert!(matches!(decode(&wire).unwrap(), Packet::Hello { entries, .. } if entries.len() == MAX_HELLO_ENTRIES));
+        assert!(
+            matches!(decode(&wire).unwrap(), Packet::Hello { entries, .. } if entries.len() == MAX_HELLO_ENTRIES)
+        );
     }
 
     #[test]
@@ -422,7 +492,10 @@ mod tests {
     fn decode_rejects_length_mismatch() {
         let mut wire = encode(&samples()[1]).unwrap();
         wire[6] += 1;
-        assert!(matches!(decode(&wire), Err(CodecError::LengthMismatch { .. })));
+        assert!(matches!(
+            decode(&wire),
+            Err(CodecError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -463,7 +536,12 @@ mod tests {
 
     #[test]
     fn empty_hello_round_trips() {
-        let p = Packet::Hello { src: Address::new(2), id: 0, role: 3, entries: vec![] };
+        let p = Packet::Hello {
+            src: Address::new(2),
+            id: 0,
+            role: 3,
+            entries: vec![],
+        };
         assert_eq!(decode(&encode(&p).unwrap()).unwrap(), p);
     }
 }

@@ -36,8 +36,12 @@ pub trait NodeProtocol {
     fn on_timer(&mut self, now: Duration) -> Vec<RadioRequest>;
 
     /// Called for every successfully received frame.
-    fn on_frame(&mut self, frame: &[u8], quality: SignalQuality, now: Duration)
-        -> Vec<RadioRequest>;
+    fn on_frame(
+        &mut self,
+        frame: &[u8],
+        quality: SignalQuality,
+        now: Duration,
+    ) -> Vec<RadioRequest>;
 
     /// Called when a requested transmission has completed on air.
     fn on_tx_done(&mut self, now: Duration) -> Vec<RadioRequest>;

@@ -37,7 +37,10 @@ impl fmt::Display for CodecError {
             }
             CodecError::UnknownKind(k) => write!(f, "unknown packet kind 0x{k:02X}"),
             CodecError::LengthMismatch { declared, actual } => {
-                write!(f, "length mismatch: header declares {declared}, frame has {actual}")
+                write!(
+                    f,
+                    "length mismatch: header declares {declared}, frame has {actual}"
+                )
             }
             CodecError::MalformedRoutingPayload => write!(f, "malformed routing payload"),
             CodecError::FrameTooLarge(n) => {
@@ -77,7 +80,10 @@ impl fmt::Display for SendError {
         match self {
             SendError::NoRoute(a) => write!(f, "no route to {a}"),
             SendError::PayloadTooLarge { len, max } => {
-                write!(f, "payload of {len} bytes exceeds the {max}-byte datagram limit")
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the {max}-byte datagram limit"
+                )
             }
             SendError::QueueFull => write!(f, "transmit queue full"),
             SendError::EmptyPayload => write!(f, "payload is empty"),
@@ -103,8 +109,13 @@ mod tests {
             CodecError::Truncated { needed: 7, got: 3 }.to_string(),
             "truncated frame: need 7 bytes, got 3"
         );
-        assert_eq!(CodecError::UnknownKind(0xAB).to_string(), "unknown packet kind 0xAB");
-        assert!(CodecError::MalformedRoutingPayload.to_string().contains("routing"));
+        assert_eq!(
+            CodecError::UnknownKind(0xAB).to_string(),
+            "unknown packet kind 0xAB"
+        );
+        assert!(CodecError::MalformedRoutingPayload
+            .to_string()
+            .contains("routing"));
     }
 
     #[test]

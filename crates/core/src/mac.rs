@@ -264,7 +264,10 @@ mod tests {
         let mut r = rng();
         assert_eq!(m.kick(Duration::ZERO), MacAction::StartCad);
         assert!(!m.is_ready());
-        assert_eq!(m.on_cad_done(false, AIR, Duration::ZERO, &mut r), MacAction::Transmit);
+        assert_eq!(
+            m.on_cad_done(false, AIR, Duration::ZERO, &mut r),
+            MacAction::Transmit
+        );
         m.on_tx_done();
         assert!(m.is_ready());
     }
@@ -274,15 +277,24 @@ mod tests {
         let mut m = mac();
         let mut r = rng();
         assert_eq!(m.kick(Duration::ZERO), MacAction::StartCad);
-        assert_eq!(m.on_cad_done(true, AIR, Duration::ZERO, &mut r), MacAction::None);
+        assert_eq!(
+            m.on_cad_done(true, AIR, Duration::ZERO, &mut r),
+            MacAction::None
+        );
         let until = m.next_wake().expect("backoff deadline");
         assert!(until > Duration::ZERO);
-        assert!(until <= Duration::from_millis(100) * 3, "window: 1..=2 slots");
+        assert!(
+            until <= Duration::from_millis(100) * 3,
+            "window: 1..=2 slots"
+        );
         // Too early: nothing happens.
         assert_eq!(m.kick(until - Duration::from_millis(1)), MacAction::None);
         // At the deadline: CAD again.
         assert_eq!(m.kick(until), MacAction::StartCad);
-        assert_eq!(m.on_cad_done(false, AIR, until, &mut r), MacAction::Transmit);
+        assert_eq!(
+            m.on_cad_done(false, AIR, until, &mut r),
+            MacAction::Transmit
+        );
     }
 
     #[test]
@@ -345,7 +357,12 @@ mod tests {
         // The next frame must wait ~an hour.
         let _ = m.kick(Duration::from_secs(40));
         assert_eq!(
-            m.on_cad_done(false, Duration::from_secs(1), Duration::from_secs(40), &mut r),
+            m.on_cad_done(
+                false,
+                Duration::from_secs(1),
+                Duration::from_secs(40),
+                &mut r
+            ),
             MacAction::None
         );
         assert_eq!(m.duty_deferrals, 1);
@@ -353,7 +370,10 @@ mod tests {
         assert!(until > Duration::from_secs(3600));
         // At the deadline the MAC kicks back into CAD and can transmit.
         assert_eq!(m.kick(until), MacAction::StartCad);
-        assert_eq!(m.on_cad_done(false, Duration::from_secs(1), until, &mut r), MacAction::Transmit);
+        assert_eq!(
+            m.on_cad_done(false, Duration::from_secs(1), until, &mut r),
+            MacAction::Transmit
+        );
     }
 
     #[test]
@@ -390,7 +410,12 @@ mod tests {
         // A 300 ms frame is fine.
         let _ = m.kick(Duration::from_secs(1));
         assert_eq!(
-            m.on_cad_done(false, Duration::from_millis(300), Duration::from_secs(1), &mut r),
+            m.on_cad_done(
+                false,
+                Duration::from_millis(300),
+                Duration::from_secs(1),
+                &mut r
+            ),
             MacAction::Transmit
         );
         // ALOHA path enforces the same limit.
@@ -419,7 +444,10 @@ mod tests {
     fn spurious_cad_result_ignored() {
         let mut m = mac();
         let mut r = rng();
-        assert_eq!(m.on_cad_done(false, AIR, Duration::ZERO, &mut r), MacAction::None);
+        assert_eq!(
+            m.on_cad_done(false, AIR, Duration::ZERO, &mut r),
+            MacAction::None
+        );
         assert!(m.is_ready());
     }
 
@@ -437,7 +465,10 @@ mod tests {
         // Busy until tx done.
         assert_eq!(m.kick_aloha(AIR, Duration::from_millis(1)), MacAction::None);
         m.on_tx_done();
-        assert_eq!(m.kick_aloha(AIR, Duration::from_millis(60)), MacAction::Transmit);
+        assert_eq!(
+            m.kick_aloha(AIR, Duration::from_millis(60)),
+            MacAction::Transmit
+        );
     }
 
     #[test]
@@ -448,7 +479,10 @@ mod tests {
             6,
             3,
         );
-        assert_eq!(m.kick_aloha(Duration::from_secs(36), Duration::ZERO), MacAction::Transmit);
+        assert_eq!(
+            m.kick_aloha(Duration::from_secs(36), Duration::ZERO),
+            MacAction::Transmit
+        );
         m.on_tx_done();
         assert_eq!(
             m.kick_aloha(Duration::from_secs(1), Duration::from_secs(40)),
@@ -456,7 +490,10 @@ mod tests {
         );
         let until = m.next_wake().unwrap();
         assert!(until > Duration::from_secs(3600));
-        assert_eq!(m.kick_aloha(Duration::from_secs(1), until), MacAction::Transmit);
+        assert_eq!(
+            m.kick_aloha(Duration::from_secs(1), until),
+            MacAction::Transmit
+        );
     }
 
     #[test]

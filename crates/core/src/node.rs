@@ -229,7 +229,12 @@ impl MeshNode {
         self.inbound
             .iter()
             .map(|((src, seq), t)| {
-                (*src, *seq, t.received_count(), t.received_count() + t.missing().len())
+                (
+                    *src,
+                    *seq,
+                    t.received_count(),
+                    t.received_count() + t.missing().len(),
+                )
             })
             .collect()
     }
@@ -282,7 +287,10 @@ impl MeshNode {
             dst,
             src: self.config.address,
             id,
-            fwd: Forwarding { via, ttl: self.config.max_ttl },
+            fwd: Forwarding {
+                via,
+                ttl: self.config.max_ttl,
+            },
             payload,
         };
         if !self.txq.push(packet) {
@@ -355,7 +363,9 @@ impl MeshNode {
     /// uniformly 0–50 % of the base timeout. See
     /// [`OutboundTransfer::defer_deadline`] for why this is load-bearing.
     fn ack_jitter(&mut self) -> Duration {
-        self.config.reliable_timeout.mul_f64(0.5 * self.rng.gen_f64())
+        self.config
+            .reliable_timeout
+            .mul_f64(0.5 * self.rng.gen_f64())
     }
 
     fn resolve_via(&self, dst: Address) -> Result<Address, SendError> {
@@ -400,7 +410,9 @@ impl MeshNode {
         match action {
             SenderAction::None => {}
             SenderAction::SendSync => {
-                let Some(t) = self.outbound.get(&dst) else { return };
+                let Some(t) = self.outbound.get(&dst) else {
+                    return;
+                };
                 let (seq, frag_count, total_len) = (t.seq, t.frag_count(), t.total_len());
                 let Some(via) = self.routing.next_hop(dst) else {
                     self.stats.no_route_drops += 1;
@@ -411,7 +423,10 @@ impl MeshNode {
                     dst,
                     src: self.config.address,
                     id,
-                    fwd: Forwarding { via, ttl: self.config.max_ttl },
+                    fwd: Forwarding {
+                        via,
+                        ttl: self.config.max_ttl,
+                    },
                     seq,
                     frag_count,
                     total_len,
@@ -419,7 +434,9 @@ impl MeshNode {
                 let _ = self.enqueue(packet);
             }
             SenderAction::SendFrag(index) => {
-                let Some(t) = self.outbound.get(&dst) else { return };
+                let Some(t) = self.outbound.get(&dst) else {
+                    return;
+                };
                 let (seq, data) = (t.seq, t.fragment(index).to_vec());
                 let Some(via) = self.routing.next_hop(dst) else {
                     self.stats.no_route_drops += 1;
@@ -430,7 +447,10 @@ impl MeshNode {
                     dst,
                     src: self.config.address,
                     id,
-                    fwd: Forwarding { via, ttl: self.config.max_ttl },
+                    fwd: Forwarding {
+                        via,
+                        ttl: self.config.max_ttl,
+                    },
                     seq,
                     index,
                     data,
@@ -463,11 +483,28 @@ impl MeshNode {
             return;
         };
         let id = self.next_id();
-        let fwd = Forwarding { via, ttl: self.config.max_ttl };
+        let fwd = Forwarding {
+            via,
+            ttl: self.config.max_ttl,
+        };
         let src = self.config.address;
         let packet = match kind {
-            ControlKind::Ack(index) => Packet::Ack { dst: peer, src, id, fwd, seq, index },
-            ControlKind::Lost(missing) => Packet::Lost { dst: peer, src, id, fwd, seq, missing },
+            ControlKind::Ack(index) => Packet::Ack {
+                dst: peer,
+                src,
+                id,
+                fwd,
+                seq,
+                index,
+            },
+            ControlKind::Lost(missing) => Packet::Lost {
+                dst: peer,
+                src,
+                id,
+                fwd,
+                seq,
+                missing,
+            },
         };
         let _ = self.enqueue(packet);
     }
@@ -479,7 +516,13 @@ impl MeshNode {
                 self.stats.data_delivered += 1;
                 self.events.push_back(MeshEvent::Datagram { src, payload });
             }
-            Packet::Sync { src, seq, frag_count, total_len, .. } => {
+            Packet::Sync {
+                src,
+                seq,
+                frag_count,
+                total_len,
+                ..
+            } => {
                 if frag_count == 0 {
                     self.stats.decode_errors += 1;
                     return;
@@ -493,7 +536,13 @@ impl MeshNode {
                 };
                 self.send_control(src, seq, ControlKind::Ack(SYNC_ACK_INDEX));
             }
-            Packet::Frag { src, seq, index, data, .. } => {
+            Packet::Frag {
+                src,
+                seq,
+                index,
+                data,
+                ..
+            } => {
                 let Some(transfer) = self.inbound.get_mut(&(src, seq)) else {
                     // Sync never arrived (or expired): nothing to attach to.
                     return;
@@ -515,7 +564,9 @@ impl MeshNode {
                     }
                 }
             }
-            Packet::Ack { src, seq, index, .. } => {
+            Packet::Ack {
+                src, seq, index, ..
+            } => {
                 let jitter = self.ack_jitter();
                 if let Some(t) = self.outbound.get_mut(&src) {
                     if t.seq == seq {
@@ -525,7 +576,9 @@ impl MeshNode {
                     }
                 }
             }
-            Packet::Lost { src, seq, missing, .. } => {
+            Packet::Lost {
+                src, seq, missing, ..
+            } => {
                 let jitter = self.ack_jitter();
                 if let Some(t) = self.outbound.get_mut(&src) {
                     if t.seq == seq {
@@ -565,8 +618,9 @@ impl MeshNode {
             if expiry <= now {
                 let purged = self.routing.purge(now, self.config.route_timeout);
                 if !purged.is_empty() {
-                    self.events
-                        .push_back(MeshEvent::RoutesExpired { destinations: purged });
+                    self.events.push_back(MeshEvent::RoutesExpired {
+                        destinations: purged,
+                    });
                 }
             }
         }
@@ -651,8 +705,9 @@ impl MeshNode {
                         }
                         MacAction::DropFrame => {
                             if let Some(packet) = self.txq.pop() {
-                                self.events
-                                    .push_back(MeshEvent::FrameDropped { kind: packet.kind() });
+                                self.events.push_back(MeshEvent::FrameDropped {
+                                    kind: packet.kind(),
+                                });
                             }
                         }
                         _ => {}
@@ -727,12 +782,15 @@ impl NodeProtocol for MeshNode {
             // We cannot hear ourselves (half-duplex): someone else is
             // using our address.
             self.stats.address_conflicts += 1;
-            self.events
-                .push_back(MeshEvent::AddressConflict { kind: packet.kind() });
+            self.events.push_back(MeshEvent::AddressConflict {
+                kind: packet.kind(),
+            });
             return Vec::new();
         }
         match &packet {
-            Packet::Hello { src, role, entries, .. } => {
+            Packet::Hello {
+                src, role, entries, ..
+            } => {
                 self.routing.apply_hello(
                     self.config.address,
                     *src,
@@ -745,7 +803,9 @@ impl NodeProtocol for MeshNode {
             }
             _ => {
                 let dst = packet.dst();
-                let fwd = packet.forwarding().expect("unicast packets carry forwarding");
+                let fwd = packet
+                    .forwarding()
+                    .expect("unicast packets carry forwarding");
                 if dst == self.config.address {
                     self.consume(packet, now);
                 } else if dst.is_broadcast() {
@@ -771,13 +831,17 @@ impl NodeProtocol for MeshNode {
         let Some(front) = self.txq.peek() else {
             return Vec::new(); // nothing left to send (should not happen)
         };
-        let airtime = self.config.modulation.time_on_air(codec::encoded_len(front));
+        let airtime = self
+            .config
+            .modulation
+            .time_on_air(codec::encoded_len(front));
         match self.mac.on_cad_done(busy, airtime, now, &mut self.rng) {
             MacAction::Transmit => self.transmit_front(airtime).into_iter().collect(),
             MacAction::DropFrame => {
                 if let Some(packet) = self.txq.pop() {
-                    self.events
-                        .push_back(MeshEvent::FrameDropped { kind: packet.kind() });
+                    self.events.push_back(MeshEvent::FrameDropped {
+                        kind: packet.kind(),
+                    });
                 }
                 Vec::new()
             }
@@ -801,7 +865,12 @@ impl NodeProtocol for MeshNode {
         }
         consider(self.mac.next_wake());
         consider(self.routing.next_expiry(self.config.route_timeout));
-        consider(self.outbound.values().filter_map(OutboundTransfer::deadline).min());
+        consider(
+            self.outbound
+                .values()
+                .filter_map(OutboundTransfer::deadline)
+                .min(),
+        );
         consider(
             self.inbound
                 .values()
@@ -828,6 +897,14 @@ mod tests {
     const A1: Address = Address::new(1);
     const A2: Address = Address::new(2);
     const A3: Address = Address::new(3);
+
+    /// Multi-seed sweeps host protocol nodes on worker threads, so the
+    /// node must stay Send. Compile-time check.
+    #[test]
+    fn mesh_node_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<MeshNode>();
+    }
 
     fn node(addr: Address) -> MeshNode {
         MeshNode::new(
@@ -910,7 +987,10 @@ mod tests {
         pump(&mut nodes, Duration::from_secs(12));
         let events = nodes[1].take_events();
         assert!(
-            events.contains(&MeshEvent::Datagram { src: A1, payload: b"ping".to_vec() }),
+            events.contains(&MeshEvent::Datagram {
+                src: A1,
+                payload: b"ping".to_vec()
+            }),
             "events: {events:?}"
         );
         assert_eq!(nodes[1].stats().data_delivered, 1);
@@ -1011,7 +1091,9 @@ mod tests {
         pump(&mut pair, Duration::from_secs(10));
         a = pair.remove(0);
         // b is now gone: a sends into the void.
-        let seq = a.send_reliable(A2, vec![0; 300], Duration::from_secs(10)).unwrap();
+        let seq = a
+            .send_reliable(A2, vec![0; 300], Duration::from_secs(10))
+            .unwrap();
         // Drive only `a` long enough for all retries to burn out.
         let mut solo = vec![a];
         pump(&mut solo, Duration::from_secs(200));
@@ -1079,7 +1161,10 @@ mod tests {
         assert_eq!(nodes[0].routing_table().route(A3).unwrap().metric, 2);
         let events = nodes[2].take_events();
         assert!(
-            events.contains(&MeshEvent::Datagram { src: A1, payload: b"relay".to_vec() }),
+            events.contains(&MeshEvent::Datagram {
+                src: A1,
+                payload: b"relay".to_vec()
+            }),
             "A3 events: {events:?}"
         );
         assert_eq!(nodes[1].stats().forwarded, 1);
@@ -1158,16 +1243,22 @@ mod tests {
     fn frame_with_own_source_address_flags_a_conflict() {
         let mut n = node(A1);
         let _ = n.on_start(Duration::ZERO);
-        let hello = codec::encode(&Packet::Hello { src: A1, id: 0, role: 0, entries: vec![] }).unwrap();
+        let hello = codec::encode(&Packet::Hello {
+            src: A1,
+            id: 0,
+            role: 0,
+            entries: vec![],
+        })
+        .unwrap();
         let _ = n.on_frame(&hello, quality(), Duration::ZERO);
         // Not processed as routing input...
         assert_eq!(n.stats().hellos_received, 0);
         assert!(n.routing_table().is_empty());
         // ...but surfaced as a duplicate-address indicator.
         assert_eq!(n.stats().address_conflicts, 1);
-        assert!(n
-            .take_events()
-            .contains(&MeshEvent::AddressConflict { kind: PacketKind::Hello }));
+        assert!(n.take_events().contains(&MeshEvent::AddressConflict {
+            kind: PacketKind::Hello
+        }));
     }
 
     #[test]
@@ -1180,7 +1271,13 @@ mod tests {
                 .build(),
         );
         let _ = n.on_start(Duration::ZERO);
-        let hello = codec::encode(&Packet::Hello { src: A2, id: 0, role: 0, entries: vec![] }).unwrap();
+        let hello = codec::encode(&Packet::Hello {
+            src: A2,
+            id: 0,
+            role: 0,
+            entries: vec![],
+        })
+        .unwrap();
         let _ = n.on_frame(&hello, quality(), Duration::from_secs(1));
         assert!(n.routing_table().next_hop(A2).is_some());
         // The wake should include the route expiry at t=61.
@@ -1188,9 +1285,9 @@ mod tests {
         assert!(wake <= Duration::from_secs(61));
         let _ = n.on_timer(Duration::from_secs(61));
         assert!(n.routing_table().next_hop(A2).is_none());
-        assert!(n
-            .take_events()
-            .contains(&MeshEvent::RoutesExpired { destinations: vec![A2] }));
+        assert!(n.take_events().contains(&MeshEvent::RoutesExpired {
+            destinations: vec![A2]
+        }));
     }
 
     #[test]
@@ -1207,18 +1304,35 @@ mod tests {
         let mut b = node(A2);
         let _ = b.on_start(Duration::ZERO);
         // B learns a route back to A1.
-        let hello =
-            codec::encode(&Packet::Hello { src: A1, id: 0, role: 0, entries: vec![] }).unwrap();
+        let hello = codec::encode(&Packet::Hello {
+            src: A1,
+            id: 0,
+            role: 0,
+            entries: vec![],
+        })
+        .unwrap();
         let _ = b.on_frame(&hello, quality(), Duration::ZERO);
         // A 3-fragment transfer opens and fragment 0 arrives...
         let fwd = Forwarding { via: A2, ttl: 5 };
         let sync = codec::encode(&Packet::Sync {
-            dst: A2, src: A1, id: 1, fwd, seq: 0, frag_count: 3, total_len: 30,
+            dst: A2,
+            src: A1,
+            id: 1,
+            fwd,
+            seq: 0,
+            frag_count: 3,
+            total_len: 30,
         })
         .unwrap();
         let _ = b.on_frame(&sync, quality(), Duration::from_secs(1));
         let frag = codec::encode(&Packet::Frag {
-            dst: A2, src: A1, id: 2, fwd, seq: 0, index: 0, data: vec![7; 10],
+            dst: A2,
+            src: A1,
+            id: 2,
+            fwd,
+            seq: 0,
+            index: 0,
+            data: vec![7; 10],
         })
         .unwrap();
         let _ = b.on_frame(&frag, quality(), Duration::from_secs(2));
@@ -1276,9 +1390,10 @@ mod tests {
         let now = Duration::from_secs(10);
         nodes[0].send_datagram(A2, b"aloha".to_vec(), now).unwrap();
         pump(&mut nodes, Duration::from_secs(12));
-        assert!(nodes[1]
-            .take_events()
-            .contains(&MeshEvent::Datagram { src: A1, payload: b"aloha".to_vec() }));
+        assert!(nodes[1].take_events().contains(&MeshEvent::Datagram {
+            src: A1,
+            payload: b"aloha".to_vec()
+        }));
     }
 
     #[test]
@@ -1384,9 +1499,12 @@ mod tests {
         }
         let events = n.take_events();
         assert!(
-            events
-                .iter()
-                .any(|e| matches!(e, MeshEvent::FrameDropped { kind: PacketKind::Hello })),
+            events.iter().any(|e| matches!(
+                e,
+                MeshEvent::FrameDropped {
+                    kind: PacketKind::Hello
+                }
+            )),
             "events: {events:?}"
         );
         assert_eq!(n.stats().cad_exhausted, 1);
@@ -1397,8 +1515,13 @@ mod tests {
     fn zero_fragment_sync_is_rejected() {
         let mut n = node(A2);
         let _ = n.on_start(Duration::ZERO);
-        let hello =
-            codec::encode(&Packet::Hello { src: A1, id: 0, role: 0, entries: vec![] }).unwrap();
+        let hello = codec::encode(&Packet::Hello {
+            src: A1,
+            id: 0,
+            role: 0,
+            entries: vec![],
+        })
+        .unwrap();
         let _ = n.on_frame(&hello, quality(), Duration::ZERO);
         let sync = codec::encode(&Packet::Sync {
             dst: A2,
@@ -1431,8 +1554,13 @@ mod tests {
                 .build(),
         );
         let _ = n.on_start(Duration::ZERO);
-        let hello =
-            codec::encode(&Packet::Hello { src: A2, id: 0, role: 0, entries: vec![] }).unwrap();
+        let hello = codec::encode(&Packet::Hello {
+            src: A2,
+            id: 0,
+            role: 0,
+            entries: vec![],
+        })
+        .unwrap();
         let _ = n.on_frame(&hello, quality(), Duration::ZERO);
         n.send_datagram(A2, vec![0; 200], Duration::ZERO).unwrap();
         // Drain: hello (small, allowed) then the oversized datagram.
@@ -1450,17 +1578,23 @@ mod tests {
                     }
                 }
             }
-            if n
-                .take_events()
-                .iter()
-                .any(|e| matches!(e, MeshEvent::FrameDropped { kind: PacketKind::Data }))
-            {
+            if n.take_events().iter().any(|e| {
+                matches!(
+                    e,
+                    MeshEvent::FrameDropped {
+                        kind: PacketKind::Data
+                    }
+                )
+            }) {
                 dropped = true;
                 break;
             }
             now += Duration::from_secs(1);
         }
-        assert!(dropped, "oversized SF12 frame must be dropped by the dwell limit");
+        assert!(
+            dropped,
+            "oversized SF12 frame must be dropped by the dwell limit"
+        );
     }
 
     #[test]

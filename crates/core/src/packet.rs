@@ -295,12 +295,55 @@ mod tests {
     fn accessors_cover_all_variants() {
         let src = Address::new(10);
         let dst = Address::new(20);
-        let packets = [Packet::Hello { src, id: 1, role: 0, entries: vec![] },
-            Packet::Data { dst, src, id: 2, fwd: fwd(), payload: vec![1] },
-            Packet::Sync { dst, src, id: 3, fwd: fwd(), seq: 1, frag_count: 4, total_len: 700 },
-            Packet::Frag { dst, src, id: 4, fwd: fwd(), seq: 1, index: 2, data: vec![9] },
-            Packet::Ack { dst, src, id: 5, fwd: fwd(), seq: 1, index: SYNC_ACK_INDEX },
-            Packet::Lost { dst, src, id: 6, fwd: fwd(), seq: 1, missing: vec![3] }];
+        let packets = [
+            Packet::Hello {
+                src,
+                id: 1,
+                role: 0,
+                entries: vec![],
+            },
+            Packet::Data {
+                dst,
+                src,
+                id: 2,
+                fwd: fwd(),
+                payload: vec![1],
+            },
+            Packet::Sync {
+                dst,
+                src,
+                id: 3,
+                fwd: fwd(),
+                seq: 1,
+                frag_count: 4,
+                total_len: 700,
+            },
+            Packet::Frag {
+                dst,
+                src,
+                id: 4,
+                fwd: fwd(),
+                seq: 1,
+                index: 2,
+                data: vec![9],
+            },
+            Packet::Ack {
+                dst,
+                src,
+                id: 5,
+                fwd: fwd(),
+                seq: 1,
+                index: SYNC_ACK_INDEX,
+            },
+            Packet::Lost {
+                dst,
+                src,
+                id: 6,
+                fwd: fwd(),
+                seq: 1,
+                missing: vec![3],
+            },
+        ];
         for (i, p) in packets.iter().enumerate() {
             assert_eq!(p.src(), src);
             assert_eq!(p.id(), i as u8 + 1);
@@ -328,9 +371,17 @@ mod tests {
         f.ttl -= 1;
         assert_eq!(
             p.forwarding(),
-            Some(Forwarding { via: Address::new(99), ttl: 7 })
+            Some(Forwarding {
+                via: Address::new(99),
+                ttl: 7
+            })
         );
-        let mut hello = Packet::Hello { src: Address::new(1), id: 0, role: 0, entries: vec![] };
+        let mut hello = Packet::Hello {
+            src: Address::new(1),
+            id: 0,
+            role: 0,
+            entries: vec![],
+        };
         assert!(hello.forwarding_mut().is_none());
     }
 

@@ -135,13 +135,21 @@ mod tests {
             dst: Address::new(2),
             src: Address::new(1),
             id,
-            fwd: Forwarding { via: Address::new(2), ttl: 5 },
+            fwd: Forwarding {
+                via: Address::new(2),
+                ttl: 5,
+            },
             payload: vec![id],
         }
     }
 
     fn hello(id: u8) -> Packet {
-        Packet::Hello { src: Address::new(1), id, role: 0, entries: vec![] }
+        Packet::Hello {
+            src: Address::new(1),
+            id,
+            role: 0,
+            entries: vec![],
+        }
     }
 
     fn ack(id: u8) -> Packet {
@@ -149,7 +157,10 @@ mod tests {
             dst: Address::new(2),
             src: Address::new(1),
             id,
-            fwd: Forwarding { via: Address::new(2), ttl: 5 },
+            fwd: Forwarding {
+                via: Address::new(2),
+                ttl: 5,
+            },
             seq: 0,
             index: 0,
         }

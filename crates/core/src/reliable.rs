@@ -465,7 +465,10 @@ mod tests {
         let _ = t.on_timeout(T0 + TIMEOUT);
         let _ = t.on_timeout(T0 + TIMEOUT * 2);
         // The sync finally gets through.
-        assert_eq!(t.on_ack(SYNC_ACK_INDEX, T0 + TIMEOUT * 2), SenderAction::SendFrag(0));
+        assert_eq!(
+            t.on_ack(SYNC_ACK_INDEX, T0 + TIMEOUT * 2),
+            SenderAction::SendFrag(0)
+        );
         // Fresh budget: three more timeouts before aborting.
         let mut aborts = 0;
         for k in 3..=6 {

@@ -15,7 +15,11 @@ impl ProtocolRng {
     /// fixed constant, as xorshift has an all-zero fixed point).
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        ProtocolRng(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+        ProtocolRng(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
     }
 
     /// The next 64 random bits.

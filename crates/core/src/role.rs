@@ -109,7 +109,11 @@ mod tests {
             ME,
             Address::new(2),
             0,
-            &[RouteEntry { address: Address::new(10), metric: 2, role: Role::GATEWAY.bits() }],
+            &[RouteEntry {
+                address: Address::new(10),
+                metric: 2,
+                role: Role::GATEWAY.bits(),
+            }],
             0.0,
             now,
         );
@@ -128,9 +132,21 @@ mod tests {
             Address::new(2),
             0,
             &[
-                RouteEntry { address: Address::new(20), metric: 3, role: Role::COLLECTOR.bits() },
-                RouteEntry { address: Address::new(21), metric: 1, role: Role::COLLECTOR.bits() },
-                RouteEntry { address: Address::new(22), metric: 2, role: 0 },
+                RouteEntry {
+                    address: Address::new(20),
+                    metric: 3,
+                    role: Role::COLLECTOR.bits(),
+                },
+                RouteEntry {
+                    address: Address::new(21),
+                    metric: 1,
+                    role: Role::COLLECTOR.bits(),
+                },
+                RouteEntry {
+                    address: Address::new(22),
+                    metric: 2,
+                    role: 0,
+                },
             ],
             0.0,
             now,

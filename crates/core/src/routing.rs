@@ -334,10 +334,7 @@ impl RoutingTable {
     /// configured timeout — the node's next purge deadline.
     #[must_use]
     pub fn next_expiry(&self, timeout: Duration) -> Option<Duration> {
-        self.routes
-            .values()
-            .map(|r| r.last_seen + timeout)
-            .min()
+        self.routes.values().map(|r| r.last_seen + timeout).min()
     }
 
     /// The table as Hello-broadcast entries (address order).
@@ -394,7 +391,11 @@ mod tests {
     const N4: Address = Address::new(0x0004);
 
     fn entry(addr: Address, metric: u8) -> RouteEntry {
-        RouteEntry { address: addr, metric, role: 0 }
+        RouteEntry {
+            address: addr,
+            metric,
+            role: 0,
+        }
     }
 
     #[test]
@@ -451,7 +452,14 @@ mod tests {
         t.apply_hello(ME, N2, 0, &[entry(N4, 1)], 0.0, NOW);
         assert_eq!(t.route(N4).unwrap().metric, 2);
         // N2 now reports N4 further away: we must follow it.
-        t.apply_hello(ME, N2, 0, &[entry(N4, 4)], 0.0, NOW + Duration::from_secs(1));
+        t.apply_hello(
+            ME,
+            N2,
+            0,
+            &[entry(N4, 4)],
+            0.0,
+            NOW + Duration::from_secs(1),
+        );
         assert_eq!(t.route(N4).unwrap().metric, 5);
     }
 
@@ -475,7 +483,14 @@ mod tests {
     #[test]
     fn metric_saturates_at_infinity() {
         let mut t = RoutingTable::new();
-        t.apply_hello(ME, N2, 0, &[entry(N3, RoutingTable::INFINITY_METRIC - 1)], 0.0, NOW);
+        t.apply_hello(
+            ME,
+            N2,
+            0,
+            &[entry(N3, RoutingTable::INFINITY_METRIC - 1)],
+            0.0,
+            NOW,
+        );
         // 15 + 1 = 16 = infinity: not usable, not inserted.
         assert!(t.route(N3).is_none());
         assert_eq!(t.next_hop(N3), None);
@@ -488,13 +503,26 @@ mod tests {
         assert!(t.next_hop(N3).is_some());
         // Our next hop now reports N3 unreachable: the route disappears
         // immediately instead of lingering as infinity clutter.
-        let changed =
-            t.apply_hello(ME, N2, 0, &[entry(N3, RoutingTable::INFINITY_METRIC)], 0.0, NOW);
+        let changed = t.apply_hello(
+            ME,
+            N2,
+            0,
+            &[entry(N3, RoutingTable::INFINITY_METRIC)],
+            0.0,
+            NOW,
+        );
         assert_eq!(changed, 1);
         assert!(t.route(N3).is_none());
         // Other neighbours' unreachable reports do not touch our route.
         t.apply_hello(ME, N2, 0, &[entry(N3, 1)], 0.0, NOW);
-        t.apply_hello(ME, N4, 0, &[entry(N3, RoutingTable::INFINITY_METRIC)], 0.0, NOW);
+        t.apply_hello(
+            ME,
+            N4,
+            0,
+            &[entry(N3, RoutingTable::INFINITY_METRIC)],
+            0.0,
+            NOW,
+        );
         assert!(t.next_hop(N3).is_some());
     }
 
@@ -579,7 +607,14 @@ mod tests {
     fn snr_refreshes_on_same_via_updates() {
         let mut t = RoutingTable::new();
         t.apply_hello(ME, N2, 0, &[entry(N4, 1)], -5.0, NOW);
-        t.apply_hello(ME, N2, 0, &[entry(N4, 1)], 4.0, NOW + Duration::from_secs(1));
+        t.apply_hello(
+            ME,
+            N2,
+            0,
+            &[entry(N4, 1)],
+            4.0,
+            NOW + Duration::from_secs(1),
+        );
         assert_eq!(t.route(N4).unwrap().snr, 4.0);
     }
 

@@ -110,7 +110,10 @@ mod tests {
     use std::time::Duration;
 
     fn toa_ms(sf: SpreadingFactor, bw: Bandwidth, cr: CodingRate, pl: usize) -> f64 {
-        LoRaModulation::new(sf, bw, cr).time_on_air(pl).as_secs_f64() * 1000.0
+        LoRaModulation::new(sf, bw, cr)
+            .time_on_air(pl)
+            .as_secs_f64()
+            * 1000.0
     }
 
     #[test]
@@ -118,14 +121,24 @@ mod tests {
         // Semtech LoRa calculator: SF7, 125 kHz, CR4/5, 8 preamble symbols,
         // explicit header, CRC on, 10-byte payload -> 41.216 ms
         // (preamble 12.25 sym + 28 payload sym, T_sym = 1.024 ms).
-        let ms = toa_ms(SpreadingFactor::Sf7, Bandwidth::Khz125, CodingRate::Cr4_5, 10);
+        let ms = toa_ms(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+            10,
+        );
         assert!((ms - 41.216).abs() < 0.01, "got {ms} ms");
     }
 
     #[test]
     fn matches_semtech_calculator_sf12() {
         // SF12, 125 kHz, CR4/5, 10-byte payload, LDRO on -> 991.23 ms.
-        let ms = toa_ms(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_5, 10);
+        let ms = toa_ms(
+            SpreadingFactor::Sf12,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+            10,
+        );
         assert!((ms - 991.232).abs() < 0.5, "got {ms} ms");
     }
 
@@ -133,7 +146,12 @@ mod tests {
     fn matches_semtech_calculator_sf9_51_bytes() {
         // SF9, 125 kHz, CR4/5, 51-byte payload -> 328.704 ms
         // (preamble 12.25 sym + 68 payload sym, T_sym = 4.096 ms).
-        let ms = toa_ms(SpreadingFactor::Sf9, Bandwidth::Khz125, CodingRate::Cr4_5, 51);
+        let ms = toa_ms(
+            SpreadingFactor::Sf9,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+            51,
+        );
         assert!((ms - 328.704).abs() < 0.1, "got {ms} ms");
     }
 
@@ -169,12 +187,10 @@ mod tests {
 
     #[test]
     fn wider_bandwidth_is_faster() {
-        let t125 =
-            LoRaModulation::new(SpreadingFactor::Sf9, Bandwidth::Khz125, CodingRate::Cr4_5)
-                .time_on_air(32);
-        let t500 =
-            LoRaModulation::new(SpreadingFactor::Sf9, Bandwidth::Khz500, CodingRate::Cr4_5)
-                .time_on_air(32);
+        let t125 = LoRaModulation::new(SpreadingFactor::Sf9, Bandwidth::Khz125, CodingRate::Cr4_5)
+            .time_on_air(32);
+        let t500 = LoRaModulation::new(SpreadingFactor::Sf9, Bandwidth::Khz500, CodingRate::Cr4_5)
+            .time_on_air(32);
         assert_eq!(t125.as_micros(), 4 * t500.as_micros());
     }
 

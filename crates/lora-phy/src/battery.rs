@@ -72,8 +72,7 @@ impl ConsumptionProfile {
     /// Returns `None` when `durations` covers no time at all.
     #[must_use]
     pub fn from_durations(model: &EnergyModel, durations: &StateDurations) -> Option<Self> {
-        let total =
-            durations.tx + durations.rx + durations.idle + durations.sleep;
+        let total = durations.tx + durations.rx + durations.idle + durations.sleep;
         if total.is_zero() {
             return None;
         }

@@ -172,9 +172,7 @@ mod tests {
     #[test]
     fn sensitivity_improves_with_sf_and_narrower_bw() {
         for w in SpreadingFactor::ALL.windows(2) {
-            assert!(
-                sensitivity(w[1], Bandwidth::Khz125) < sensitivity(w[0], Bandwidth::Khz125)
-            );
+            assert!(sensitivity(w[1], Bandwidth::Khz125) < sensitivity(w[0], Bandwidth::Khz125));
         }
         assert!(
             sensitivity(SpreadingFactor::Sf7, Bandwidth::Khz125)
@@ -204,8 +202,7 @@ mod tests {
             path_loss_db: 145.0,
         };
         let sf7 = LoRaModulation::new(SpreadingFactor::Sf7, Bandwidth::Khz125, CodingRate::Cr4_5);
-        let sf12 =
-            LoRaModulation::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_5);
+        let sf12 = LoRaModulation::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_5);
         assert!(!budget.closes(&sf7));
         assert!(budget.closes(&sf12));
     }

@@ -225,7 +225,8 @@ impl LoRaModulation {
     /// Duration of a single LoRa symbol: `2^sf / bw`.
     #[must_use]
     pub fn symbol_time(&self) -> Duration {
-        let secs = f64::from(self.spreading_factor.chips_per_symbol()) / f64::from(self.bandwidth.hz());
+        let secs =
+            f64::from(self.spreading_factor.chips_per_symbol()) / f64::from(self.bandwidth.hz());
         Duration::from_secs_f64(secs)
     }
 
@@ -260,11 +261,7 @@ impl fmt::Display for LoRaModulation {
 impl Default for LoRaModulation {
     /// The LoRaMesher firmware default: SF7, 125 kHz, CR 4/7.
     fn default() -> Self {
-        LoRaModulation::new(
-            SpreadingFactor::Sf7,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_7,
-        )
+        LoRaModulation::new(SpreadingFactor::Sf7, Bandwidth::Khz125, CodingRate::Cr4_7)
     }
 }
 
@@ -367,11 +364,7 @@ mod tests {
 
     #[test]
     fn symbol_time_sf7_125khz_is_1024us() {
-        let m = LoRaModulation::new(
-            SpreadingFactor::Sf7,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_5,
-        );
+        let m = LoRaModulation::new(SpreadingFactor::Sf7, Bandwidth::Khz125, CodingRate::Cr4_5);
         assert_eq!(m.symbol_time(), Duration::from_micros(1024));
     }
 
@@ -394,14 +387,11 @@ mod tests {
 
     #[test]
     fn builder_respects_overrides() {
-        let m = LoRaModulation::builder(
-            SpreadingFactor::Sf12,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_8,
-        )
-        .low_data_rate_optimize(false)
-        .preamble_symbols(4) // clamped up to 6
-        .build();
+        let m =
+            LoRaModulation::builder(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_8)
+                .low_data_rate_optimize(false)
+                .preamble_symbols(4) // clamped up to 6
+                .build();
         assert!(!m.low_data_rate_optimize);
         assert_eq!(m.preamble_symbols, 6);
     }
@@ -409,11 +399,7 @@ mod tests {
     #[test]
     fn bit_rate_sf7_matches_datasheet() {
         // SX1276 datasheet: SF7/125kHz/CR4_5 nominal bit rate = 5469 bps.
-        let m = LoRaModulation::new(
-            SpreadingFactor::Sf7,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_5,
-        );
+        let m = LoRaModulation::new(SpreadingFactor::Sf7, Bandwidth::Khz125, CodingRate::Cr4_5);
         assert!((m.bit_rate() - 5468.75).abs() < 0.01);
     }
 

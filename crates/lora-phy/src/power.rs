@@ -73,7 +73,10 @@ impl Milliwatts {
     /// Panics if `mw` is negative or not finite.
     #[must_use]
     pub fn new(mw: f64) -> Self {
-        assert!(mw.is_finite() && mw >= 0.0, "power must be non-negative, got {mw}");
+        assert!(
+            mw.is_finite() && mw >= 0.0,
+            "power must be non-negative, got {mw}"
+        );
         Milliwatts(mw)
     }
 

@@ -52,38 +52,38 @@ impl Region {
     #[must_use]
     pub fn sub_bands(&self) -> &'static [SubBand] {
         const EU868: &[SubBand] = &[
-                // g (863.0–868.0): 1 %
-                SubBand {
-                    low_hz: 863_000_000,
-                    high_hz: 868_000_000,
-                    duty_cycle: 0.01,
-                    max_eirp: Dbm::new(14.0),
-                    max_dwell: None,
-                },
-                // g1 (868.0–868.6): 1 %
-                SubBand {
-                    low_hz: 868_000_000,
-                    high_hz: 868_600_000,
-                    duty_cycle: 0.01,
-                    max_eirp: Dbm::new(14.0),
-                    max_dwell: None,
-                },
-                // g2 (868.7–869.2): 0.1 %
-                SubBand {
-                    low_hz: 868_700_000,
-                    high_hz: 869_200_000,
-                    duty_cycle: 0.001,
-                    max_eirp: Dbm::new(14.0),
-                    max_dwell: None,
-                },
-                // g3 (869.4–869.65): 10 %
-                SubBand {
-                    low_hz: 869_400_000,
-                    high_hz: 869_650_000,
-                    duty_cycle: 0.10,
-                    max_eirp: Dbm::new(27.0),
-                    max_dwell: None,
-                },
+            // g (863.0–868.0): 1 %
+            SubBand {
+                low_hz: 863_000_000,
+                high_hz: 868_000_000,
+                duty_cycle: 0.01,
+                max_eirp: Dbm::new(14.0),
+                max_dwell: None,
+            },
+            // g1 (868.0–868.6): 1 %
+            SubBand {
+                low_hz: 868_000_000,
+                high_hz: 868_600_000,
+                duty_cycle: 0.01,
+                max_eirp: Dbm::new(14.0),
+                max_dwell: None,
+            },
+            // g2 (868.7–869.2): 0.1 %
+            SubBand {
+                low_hz: 868_700_000,
+                high_hz: 869_200_000,
+                duty_cycle: 0.001,
+                max_eirp: Dbm::new(14.0),
+                max_dwell: None,
+            },
+            // g3 (869.4–869.65): 10 %
+            SubBand {
+                low_hz: 869_400_000,
+                high_hz: 869_650_000,
+                duty_cycle: 0.10,
+                max_eirp: Dbm::new(27.0),
+                max_dwell: None,
+            },
         ];
         const US915: &[SubBand] = &[SubBand {
             low_hz: 902_000_000,
@@ -348,7 +348,10 @@ mod tests {
     #[test]
     fn next_allowed_none_for_impossible_frame() {
         let mut t = DutyCycleTracker::eu868_one_percent();
-        assert_eq!(t.next_allowed(Duration::ZERO, Duration::from_secs(37)), None);
+        assert_eq!(
+            t.next_allowed(Duration::ZERO, Duration::from_secs(37)),
+            None
+        );
     }
 
     #[test]

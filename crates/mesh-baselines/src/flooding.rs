@@ -189,7 +189,10 @@ impl FloodingNode {
             dst,
             src: self.config.address,
             id,
-            fwd: Forwarding { via: Address::BROADCAST, ttl: self.config.ttl },
+            fwd: Forwarding {
+                via: Address::BROADCAST,
+                ttl: self.config.ttl,
+            },
             payload,
         };
         // Mark our own packet as seen so echoes are not relayed.
@@ -247,11 +250,23 @@ impl NodeProtocol for FloodingNode {
         requests
     }
 
-    fn on_frame(&mut self, frame: &[u8], _quality: SignalQuality, now: Duration) -> Vec<RadioRequest> {
+    fn on_frame(
+        &mut self,
+        frame: &[u8],
+        _quality: SignalQuality,
+        now: Duration,
+    ) -> Vec<RadioRequest> {
         let Ok(packet) = codec::decode(frame) else {
             return Vec::new();
         };
-        let Packet::Data { dst, src, id, fwd, payload } = packet else {
+        let Packet::Data {
+            dst,
+            src,
+            id,
+            fwd,
+            payload,
+        } = packet
+        else {
             return Vec::new(); // flooding only speaks Data
         };
         if src == self.config.address {
@@ -280,7 +295,10 @@ impl NodeProtocol for FloodingNode {
                     dst,
                     src,
                     id,
-                    fwd: Forwarding { via: Address::BROADCAST, ttl: fwd.ttl - 1 },
+                    fwd: Forwarding {
+                        via: Address::BROADCAST,
+                        ttl: fwd.ttl - 1,
+                    },
                     payload,
                 },
             });
@@ -297,7 +315,10 @@ impl NodeProtocol for FloodingNode {
         let Some(front) = self.txq.peek() else {
             return Vec::new();
         };
-        let airtime = self.config.modulation.time_on_air(codec::encoded_len(front));
+        let airtime = self
+            .config
+            .modulation
+            .time_on_air(codec::encoded_len(front));
         match self.mac.on_cad_done(busy, airtime, now, &mut self.rng) {
             MacAction::Transmit => {
                 let packet = self.txq.pop().expect("peeked above");
@@ -408,7 +429,11 @@ mod tests {
         let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
         assert_eq!(
             b.take_events(),
-            vec![FloodingEvent::Received { src: A1, broadcast: false, payload: b"hi".to_vec() }]
+            vec![FloodingEvent::Received {
+                src: A1,
+                broadcast: false,
+                payload: b"hi".to_vec()
+            }]
         );
         // B was the destination: nothing to relay, no pending work.
         assert!(drain(&mut b, Duration::from_secs(5)).is_empty());
@@ -500,7 +525,10 @@ mod tests {
                 dst: A2,
                 src: A1,
                 id,
-                fwd: Forwarding { via: Address::BROADCAST, ttl: 3 },
+                fwd: Forwarding {
+                    via: Address::BROADCAST,
+                    ttl: 3,
+                },
                 payload: vec![id],
             })
             .unwrap();
@@ -514,7 +542,13 @@ mod tests {
     fn non_data_packets_ignored() {
         let mut n = node(A2);
         let _ = n.on_start(Duration::ZERO);
-        let hello = codec::encode(&Packet::Hello { src: A1, id: 0, role: 0, entries: vec![] }).unwrap();
+        let hello = codec::encode(&Packet::Hello {
+            src: A1,
+            id: 0,
+            role: 0,
+            entries: vec![],
+        })
+        .unwrap();
         let _ = n.on_frame(&hello, SignalQuality::ideal(), Duration::ZERO);
         assert!(n.take_events().is_empty());
         assert!(n.next_wake().is_none());

@@ -196,8 +196,16 @@ impl NodeProtocol for StarNode {
         requests
     }
 
-    fn on_frame(&mut self, frame: &[u8], _quality: SignalQuality, _now: Duration) -> Vec<RadioRequest> {
-        let Ok(Packet::Data { dst, src, payload, .. }) = codec::decode(frame) else {
+    fn on_frame(
+        &mut self,
+        frame: &[u8],
+        _quality: SignalQuality,
+        _now: Duration,
+    ) -> Vec<RadioRequest> {
+        let Ok(Packet::Data {
+            dst, src, payload, ..
+        }) = codec::decode(frame)
+        else {
             return Vec::new();
         };
         if dst == self.config.address && src != self.config.address {
@@ -215,7 +223,10 @@ impl NodeProtocol for StarNode {
         let Some(front) = self.txq.peek() else {
             return Vec::new();
         };
-        let airtime = self.config.modulation.time_on_air(codec::encoded_len(front));
+        let airtime = self
+            .config
+            .modulation
+            .time_on_air(codec::encoded_len(front));
         match self.mac.on_cad_done(busy, airtime, now, &mut self.rng) {
             MacAction::Transmit => {
                 let packet = self.txq.pop().expect("peeked above");
@@ -292,7 +303,10 @@ mod tests {
         let _ = gw.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
         assert_eq!(
             gw.take_events(),
-            vec![StarEvent::Received { src: N1, payload: b"up".to_vec() }]
+            vec![StarEvent::Received {
+                src: N1,
+                payload: b"up".to_vec()
+            }]
         );
     }
 

@@ -157,7 +157,10 @@ mod tests {
         let cmds = ctx.take_commands();
         assert_eq!(
             cmds,
-            vec![RadioCommand::StartCad, RadioCommand::Transmit(vec![1, 2, 3])]
+            vec![
+                RadioCommand::StartCad,
+                RadioCommand::Transmit(vec![1, 2, 3])
+            ]
         );
     }
 

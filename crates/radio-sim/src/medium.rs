@@ -231,7 +231,12 @@ impl Medium {
     /// Whether any in-flight transmission (other than `except`) is audible
     /// at `pos` — the CAD predicate.
     #[must_use]
-    pub fn channel_busy_at(&self, pos: &Position, listener: NodeId, except: Option<NodeId>) -> bool {
+    pub fn channel_busy_at(
+        &self,
+        pos: &Position,
+        listener: NodeId,
+        except: Option<NodeId>,
+    ) -> bool {
         self.active.values().any(|tx| {
             Some(tx.sender) != except
                 && tx.sender != listener
@@ -345,7 +350,13 @@ mod tests {
     fn judge_delivers_clean_strong_frame() {
         let m = medium();
         let q = m.quality(Dbm::new(-80.0));
-        let rec = Reception::new(FrameId(0), crate::firmware::NodeId(0), q, Dbm::new(-80.0).to_milliwatts().value(), vec![]);
+        let rec = Reception::new(
+            FrameId(0),
+            crate::firmware::NodeId(0),
+            q,
+            Dbm::new(-80.0).to_milliwatts().value(),
+            vec![],
+        );
         match m.judge(&rec, &mut SimRng::new(1)) {
             RxOutcome::Delivered(quality) => assert_eq!(quality, q),
             other => panic!("expected delivery, got {other:?}"),
@@ -357,7 +368,13 @@ mod tests {
         let m = medium();
         // SF7 floor is -7.5 dB SNR; -130 dBm is ~13 dB below the noise floor.
         let q = m.quality(Dbm::new(-130.0));
-        let rec = Reception::new(FrameId(0), crate::firmware::NodeId(0), q, Dbm::new(-130.0).to_milliwatts().value(), vec![]);
+        let rec = Reception::new(
+            FrameId(0),
+            crate::firmware::NodeId(0),
+            q,
+            Dbm::new(-130.0).to_milliwatts().value(),
+            vec![],
+        );
         match m.judge(&rec, &mut SimRng::new(1)) {
             RxOutcome::Lost(LossReason::BelowFloor) => {}
             other => panic!("expected BelowFloor, got {other:?}"),
@@ -415,7 +432,13 @@ mod tests {
                 + snr_demodulation_floor(m.config().modulation.spreading_factor),
         );
         let q = m.quality(floor_rssi);
-        let rec = Reception::new(FrameId(0), crate::firmware::NodeId(0), q, floor_rssi.to_milliwatts().value(), vec![]);
+        let rec = Reception::new(
+            FrameId(0),
+            crate::firmware::NodeId(0),
+            q,
+            floor_rssi.to_milliwatts().value(),
+            vec![],
+        );
         let mut rng = SimRng::new(42);
         let delivered = (0..2000)
             .filter(|_| matches!(m.judge(&rec, &mut rng), RxOutcome::Delivered(_)))

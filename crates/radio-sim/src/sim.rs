@@ -221,7 +221,10 @@ impl<F: Firmware> Simulator<F> {
     ///
     /// Panics if `p` is not within `0.0..=1.0`.
     pub fn set_link_loss(&mut self, a: NodeId, b: NodeId, p: f64) {
-        assert!((0.0..=1.0).contains(&p), "probability must be in 0..=1, got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in 0..=1, got {p}"
+        );
         let key = (a.0.min(b.0), a.0.max(b.0));
         if p == 0.0 {
             self.link_loss.remove(&key);
@@ -232,7 +235,8 @@ impl<F: Firmware> Simulator<F> {
 
     /// Schedules an application (workload) event for `node` at `at`.
     pub fn schedule_app(&mut self, at: Duration, node: NodeId, tag: u64) {
-        self.queue.schedule(SimTime::from(at), SimEvent::App(node, tag));
+        self.queue
+            .schedule(SimTime::from(at), SimEvent::App(node, tag));
     }
 
     /// Schedules `node` to fail at `at`.
@@ -242,7 +246,8 @@ impl<F: Firmware> Simulator<F> {
 
     /// Schedules `node` to restart at `at`.
     pub fn schedule_revive(&mut self, at: Duration, node: NodeId) {
-        self.queue.schedule(SimTime::from(at), SimEvent::Revive(node));
+        self.queue
+            .schedule(SimTime::from(at), SimEvent::Revive(node));
     }
 
     /// Calls `on_start` on every node. Idempotent; run methods call this
@@ -409,8 +414,14 @@ impl<F: Firmware> Simulator<F> {
         self.queue.schedule(end, SimEvent::TxEnd(sender, frame));
         self.metrics.record_tx(sender, airtime);
         let len = self.medium.get(frame).map_or(0, |tx| tx.payload.len());
-        self.trace
-            .push(self.now, TraceEvent::TxStart { node: sender, frame, len });
+        self.trace.push(
+            self.now,
+            TraceEvent::TxStart {
+                node: sender,
+                frame,
+                len,
+            },
+        );
 
         // Decide how every other node experiences this frame.
         for j in 0..self.nodes.len() {
@@ -418,9 +429,9 @@ impl<F: Firmware> Simulator<F> {
                 continue;
             }
             let receiver = NodeId(j);
-            let power = self
-                .medium
-                .received_power(&origin, &self.nodes[j].position, sender, receiver);
+            let power =
+                self.medium
+                    .received_power(&origin, &self.nodes[j].position, sender, receiver);
             let power_mw = power.to_milliwatts().value();
             let audible = self.medium.audible(power);
 
@@ -517,7 +528,8 @@ impl<F: Firmware> Simulator<F> {
         }
         self.trace.push(self.now, TraceEvent::TxEnd { node, frame });
         let slot = &self.nodes[node.0];
-        if slot.alive && matches!(slot.radio.state(), RadioState::Tx { frame: f, .. } if *f == frame)
+        if slot.alive
+            && matches!(slot.radio.state(), RadioState::Tx { frame: f, .. } if *f == frame)
         {
             self.nodes[node.0].radio.to_idle(self.now);
             self.fire(node.0, |fw, ctx| fw.on_tx_done(ctx));
@@ -552,14 +564,21 @@ impl<F: Firmware> Simulator<F> {
         match outcome {
             RxOutcome::Delivered(quality) => {
                 self.metrics.record_delivery(node);
-                self.trace.push(self.now, TraceEvent::Delivered { node, frame });
+                self.trace
+                    .push(self.now, TraceEvent::Delivered { node, frame });
                 let payload = reception.payload;
                 self.fire(node.0, |fw, ctx| fw.on_frame(&payload, quality, ctx));
             }
             RxOutcome::Lost(reason) => {
                 self.metrics.record_loss(node, reason);
-                self.trace
-                    .push(self.now, TraceEvent::Lost { node, frame, reason });
+                self.trace.push(
+                    self.now,
+                    TraceEvent::Lost {
+                        node,
+                        frame,
+                        reason,
+                    },
+                );
             }
         }
     }
@@ -669,8 +688,7 @@ impl<F: Firmware> Simulator<F> {
                 slot.position = slot.mobility.step(slot.position, dt, &mut slot.rng);
             }
         }
-        self.queue
-            .schedule(self.now + dt, SimEvent::MobilityTick);
+        self.queue.schedule(self.now + dt, SimEvent::MobilityTick);
     }
 }
 
@@ -678,6 +696,16 @@ impl<F: Firmware> Simulator<F> {
 mod tests {
     use super::*;
     use lora_phy::link::SignalQuality;
+
+    /// The sweep engine runs one simulator per worker thread, so the
+    /// simulator (with any Send firmware) must stay Send. Compile-time
+    /// check: fails to build if someone introduces Rc/RefCell state.
+    #[test]
+    fn simulator_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SimConfig>();
+        assert_send::<Simulator<Probe>>();
+    }
 
     /// Test firmware: transmits a configured frame at a scheduled time and
     /// records everything it observes.
@@ -745,7 +773,10 @@ mod tests {
     #[test]
     fn frame_delivered_to_near_listener() {
         let mut s = sim();
-        let a = s.add_node(sender_at(Duration::from_millis(10), vec![1, 2, 3]), Position::new(0.0, 0.0));
+        let a = s.add_node(
+            sender_at(Duration::from_millis(10), vec![1, 2, 3]),
+            Position::new(0.0, 0.0),
+        );
         let b = s.add_node(Probe::default(), Position::new(100.0, 0.0));
         s.run_for(Duration::from_secs(1));
         assert_eq!(s.node(a).tx_done, 1);
@@ -758,7 +789,10 @@ mod tests {
     #[test]
     fn far_listener_hears_nothing() {
         let mut s = sim();
-        s.add_node(sender_at(Duration::from_millis(10), vec![9]), Position::new(0.0, 0.0));
+        s.add_node(
+            sender_at(Duration::from_millis(10), vec![9]),
+            Position::new(0.0, 0.0),
+        );
         let b = s.add_node(Probe::default(), Position::new(100_000.0, 0.0));
         s.run_for(Duration::from_secs(1));
         assert!(s.node(b).received.is_empty());
@@ -770,8 +804,14 @@ mod tests {
     fn concurrent_equal_frames_collide() {
         let mut s = sim();
         // Two senders equidistant from the listener transmit simultaneously.
-        s.add_node(sender_at(Duration::from_millis(10), vec![1; 20]), Position::new(-100.0, 0.0));
-        s.add_node(sender_at(Duration::from_millis(10), vec![2; 20]), Position::new(100.0, 0.0));
+        s.add_node(
+            sender_at(Duration::from_millis(10), vec![1; 20]),
+            Position::new(-100.0, 0.0),
+        );
+        s.add_node(
+            sender_at(Duration::from_millis(10), vec![2; 20]),
+            Position::new(100.0, 0.0),
+        );
         let c = s.add_node(Probe::default(), Position::new(0.0, 0.0));
         s.run_for(Duration::from_secs(1));
         assert!(s.node(c).received.is_empty());
@@ -785,8 +825,14 @@ mod tests {
         // first; strong sender B (30 m, ~-113.4 dBm) starts 5 ms later,
         // inside A's 12.5 ms preamble, 10 dB stronger. A and B are 140 m
         // apart so they cannot hear (and thus lock onto) each other.
-        s.add_node(sender_at(Duration::from_millis(10), vec![1; 20]), Position::new(110.0, 0.0));
-        s.add_node(sender_at(Duration::from_millis(15), vec![2; 20]), Position::new(-30.0, 0.0));
+        s.add_node(
+            sender_at(Duration::from_millis(10), vec![1; 20]),
+            Position::new(110.0, 0.0),
+        );
+        s.add_node(
+            sender_at(Duration::from_millis(15), vec![2; 20]),
+            Position::new(-30.0, 0.0),
+        );
         let c = s.add_node(Probe::default(), Position::new(0.0, 0.0));
         s.run_for(Duration::from_secs(1));
         // The strong frame steals the lock and survives A's interference.
@@ -800,8 +846,14 @@ mod tests {
         let mut s = sim();
         // Both transmit at the same time; they are out of range of each
         // other anyway, so neither hears the other's frame.
-        let a = s.add_node(sender_at(Duration::from_millis(10), vec![1; 30]), Position::new(0.0, 0.0));
-        let b = s.add_node(sender_at(Duration::from_millis(10), vec![2; 30]), Position::new(5000.0, 0.0));
+        let a = s.add_node(
+            sender_at(Duration::from_millis(10), vec![1; 30]),
+            Position::new(0.0, 0.0),
+        );
+        let b = s.add_node(
+            sender_at(Duration::from_millis(10), vec![2; 30]),
+            Position::new(5000.0, 0.0),
+        );
         s.run_for(Duration::from_secs(1));
         assert!(s.node(a).received.is_empty());
         assert!(s.node(b).received.is_empty());
@@ -815,7 +867,10 @@ mod tests {
         // B starts its CAD scan just before A's frame begins, so the frame
         // appears during the scan window (a listening B would otherwise
         // lock onto the frame instead of scanning).
-        s.add_node(sender_at(Duration::from_millis(10), vec![0; 200]), Position::new(0.0, 0.0));
+        s.add_node(
+            sender_at(Duration::from_millis(10), vec![0; 200]),
+            Position::new(0.0, 0.0),
+        );
         let b = s.add_node(
             Probe {
                 start_cad_at: Some(Duration::from_micros(9500)),
@@ -841,7 +896,10 @@ mod tests {
         assert_eq!(s.node(b).cad_results, vec![false]);
         // CAD takes 2 symbol times (SF7: 2.048 ms).
         let done = s.node(b).cad_done_time.unwrap();
-        assert_eq!(done, Duration::from_millis(50) + Duration::from_micros(2048));
+        assert_eq!(
+            done,
+            Duration::from_millis(50) + Duration::from_micros(2048)
+        );
     }
 
     #[test]
@@ -850,7 +908,10 @@ mod tests {
         // A long frame starts at t=10ms; b locks onto it. At t=50ms b's
         // timer asks for a CAD: the radio is mid-reception, so the scan
         // cannot run — but the firmware still gets on_cad_done(true).
-        s.add_node(sender_at(Duration::from_millis(10), vec![0; 200]), Position::new(0.0, 0.0));
+        s.add_node(
+            sender_at(Duration::from_millis(10), vec![0; 200]),
+            Position::new(0.0, 0.0),
+        );
         let b = s.add_node(
             Probe {
                 start_cad_at: Some(Duration::from_millis(50)),
@@ -875,13 +936,26 @@ mod tests {
         // A long frame from node 0 starts at t=10ms; node 1 locks on.
         // At t=50ms node 1 transmits (ALOHA-style): its reception is
         // aborted, its own frame goes out and is heard by node 2.
-        s.add_node(sender_at(Duration::from_millis(10), vec![0; 200]), Position::new(0.0, 0.0));
-        let b = s.add_node(sender_at(Duration::from_millis(50), vec![7; 10]), Position::new(100.0, 0.0));
+        s.add_node(
+            sender_at(Duration::from_millis(10), vec![0; 200]),
+            Position::new(0.0, 0.0),
+        );
+        let b = s.add_node(
+            sender_at(Duration::from_millis(50), vec![7; 10]),
+            Position::new(100.0, 0.0),
+        );
         let _c = s.add_node(Probe::default(), Position::new(190.0, 0.0));
         s.run_for(Duration::from_secs(1));
         assert_eq!(s.metrics().rx_aborted_by_tx, 1);
-        assert!(s.node(b).received.is_empty(), "aborted reception must not deliver");
-        assert_eq!(s.node(b).tx_done, 1, "the preempting transmission completes");
+        assert!(
+            s.node(b).received.is_empty(),
+            "aborted reception must not deliver"
+        );
+        assert_eq!(
+            s.node(b).tx_done,
+            1,
+            "the preempting transmission completes"
+        );
         // Node 2 is out of range of node 0 (190 m) but in range of node 1
         // (90 m): it hears exactly the preempting frame... unless node
         // 0's continuing transmission interferes. Either way the frame
@@ -940,7 +1014,10 @@ mod tests {
     #[test]
     fn killed_sender_truncates_frame() {
         let mut s = sim();
-        let a = s.add_node(sender_at(Duration::from_millis(10), vec![0; 200]), Position::new(0.0, 0.0));
+        let a = s.add_node(
+            sender_at(Duration::from_millis(10), vec![0; 200]),
+            Position::new(0.0, 0.0),
+        );
         let b = s.add_node(Probe::default(), Position::new(100.0, 0.0));
         // Kill A mid-frame (a 200-byte SF7 frame lasts ~290 ms).
         s.schedule_kill(Duration::from_millis(100), a);
@@ -953,7 +1030,10 @@ mod tests {
     #[test]
     fn revived_node_hears_again() {
         let mut s = sim();
-        let a = s.add_node(sender_at(Duration::from_secs(10), vec![7; 5]), Position::new(0.0, 0.0));
+        let a = s.add_node(
+            sender_at(Duration::from_secs(10), vec![7; 5]),
+            Position::new(0.0, 0.0),
+        );
         let b = s.add_node(Probe::default(), Position::new(100.0, 0.0));
         s.schedule_kill(Duration::from_secs(1), b);
         s.schedule_revive(Duration::from_secs(5), b);
@@ -965,7 +1045,10 @@ mod tests {
     #[test]
     fn dead_node_hears_nothing() {
         let mut s = sim();
-        s.add_node(sender_at(Duration::from_secs(2), vec![7; 5]), Position::new(0.0, 0.0));
+        s.add_node(
+            sender_at(Duration::from_secs(2), vec![7; 5]),
+            Position::new(0.0, 0.0),
+        );
         let b = s.add_node(Probe::default(), Position::new(100.0, 0.0));
         s.schedule_kill(Duration::from_secs(1), b);
         s.run_for(Duration::from_secs(20));
@@ -987,7 +1070,11 @@ mod tests {
             }
             s.run_for(Duration::from_secs(2));
             let trace: Vec<_> = s.trace().entries().cloned().collect();
-            (s.metrics().frames_delivered, s.metrics().total_losses(), trace)
+            (
+                s.metrics().frames_delivered,
+                s.metrics().total_losses(),
+                trace,
+            )
         };
         let a = run(77);
         let b = run(77);
@@ -1042,7 +1129,10 @@ mod tests {
     #[test]
     fn radio_durations_account_airtime() {
         let mut s = sim();
-        let a = s.add_node(sender_at(Duration::from_millis(0), vec![0; 100]), Position::new(0.0, 0.0));
+        let a = s.add_node(
+            sender_at(Duration::from_millis(0), vec![0; 100]),
+            Position::new(0.0, 0.0),
+        );
         s.run_for(Duration::from_secs(10));
         s.finish();
         let expected = s.modulation().time_on_air(100);
@@ -1078,7 +1168,10 @@ mod tests {
         let mut s = sim();
         let a = s.add_node(Probe::default(), Position::new(0.0, 0.0));
         s.run_for(Duration::from_secs(1));
-        let b = s.add_node(sender_at(Duration::from_secs(2), vec![3; 3]), Position::new(100.0, 0.0));
+        let b = s.add_node(
+            sender_at(Duration::from_secs(2), vec![3; 3]),
+            Position::new(100.0, 0.0),
+        );
         s.run_for(Duration::from_secs(5));
         assert_eq!(s.node(a).received.len(), 1);
         assert_eq!(s.node(b).tx_done, 1);

@@ -194,7 +194,9 @@ mod tests {
     fn random_stays_in_bounds_and_is_deterministic() {
         let mut rng = SimRng::new(5);
         let a = random(20, 1000.0, 500.0, &mut rng);
-        assert!(a.iter().all(|p| (0.0..1000.0).contains(&p.x) && (0.0..500.0).contains(&p.y)));
+        assert!(a
+            .iter()
+            .all(|p| (0.0..1000.0).contains(&p.x) && (0.0..500.0).contains(&p.y)));
         let mut rng2 = SimRng::new(5);
         let b = random(20, 1000.0, 500.0, &mut rng2);
         assert_eq!(a, b);
@@ -238,11 +240,8 @@ mod tests {
             ..RfConfig::default()
         };
         let r7 = radio_range_m(&cfg);
-        cfg.modulation = LoRaModulation::new(
-            SpreadingFactor::Sf12,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_5,
-        );
+        cfg.modulation =
+            LoRaModulation::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_5);
         let r12 = radio_range_m(&cfg);
         assert!(r7 > 100.0, "SF7 range {r7}");
         assert!(r12 > r7, "SF12 range {r12} should exceed SF7 range {r7}");

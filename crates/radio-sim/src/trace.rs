@@ -130,8 +130,14 @@ mod tests {
     #[test]
     fn records_in_order() {
         let mut t = Trace::new(10);
-        t.push(SimTime::from_millis(1), TraceEvent::Killed { node: NodeId(0) });
-        t.push(SimTime::from_millis(2), TraceEvent::Revived { node: NodeId(0) });
+        t.push(
+            SimTime::from_millis(1),
+            TraceEvent::Killed { node: NodeId(0) },
+        );
+        t.push(
+            SimTime::from_millis(2),
+            TraceEvent::Revived { node: NodeId(0) },
+        );
         let v: Vec<_> = t.entries().cloned().collect();
         assert_eq!(v.len(), 2);
         assert_eq!(v[0].0, SimTime::from_millis(1));
@@ -142,7 +148,12 @@ mod tests {
     fn bounded_eviction() {
         let mut t = Trace::new(3);
         for i in 0..5 {
-            t.push(SimTime::from_millis(i), TraceEvent::Killed { node: NodeId(i as usize) });
+            t.push(
+                SimTime::from_millis(i),
+                TraceEvent::Killed {
+                    node: NodeId(i as usize),
+                },
+            );
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.dropped(), 2);

@@ -165,32 +165,40 @@ impl ProtocolNode {
                 .take_events()
                 .into_iter()
                 .filter_map(|e| match e {
-                    MeshEvent::Datagram { src, payload } => {
-                        Some(AppEvent::Received { src, payload, broadcast: false })
-                    }
-                    MeshEvent::Broadcast { src, payload } => {
-                        Some(AppEvent::Received { src, payload, broadcast: true })
-                    }
+                    MeshEvent::Datagram { src, payload } => Some(AppEvent::Received {
+                        src,
+                        payload,
+                        broadcast: false,
+                    }),
+                    MeshEvent::Broadcast { src, payload } => Some(AppEvent::Received {
+                        src,
+                        payload,
+                        broadcast: true,
+                    }),
                     MeshEvent::ReliableReceived { src, payload } => {
                         Some(AppEvent::ReliableReceived { src, payload })
                     }
                     MeshEvent::ReliableDelivered { dst, .. } => {
                         Some(AppEvent::ReliableDelivered { dst })
                     }
-                    MeshEvent::ReliableFailed { dst, .. } => {
-                        Some(AppEvent::ReliableFailed { dst })
-                    }
+                    MeshEvent::ReliableFailed { dst, .. } => Some(AppEvent::ReliableFailed { dst }),
                     _ => None,
                 })
                 .collect(),
             ProtocolNode::Flooding(n) => n
                 .take_events()
                 .into_iter()
-                .map(|FloodingEvent::Received { src, broadcast, payload }| AppEvent::Received {
-                    src,
-                    payload,
-                    broadcast,
-                })
+                .map(
+                    |FloodingEvent::Received {
+                         src,
+                         broadcast,
+                         payload,
+                     }| AppEvent::Received {
+                        src,
+                        payload,
+                        broadcast,
+                    },
+                )
                 .collect(),
             ProtocolNode::Star(n) => n
                 .take_events()
@@ -374,10 +382,12 @@ impl<P: HostedProtocol> Firmware for ProtocolFirmware<P> {
     fn on_frame(&mut self, bytes: &[u8], quality: SignalQuality, ctx: &mut Context) {
         if self.log_frames {
             if let Ok(packet) = loramesher::codec::decode(bytes) {
-                let fwd = packet.forwarding().unwrap_or(loramesher::packet::Forwarding {
-                    via: packet.dst(),
-                    ttl: 0,
-                });
+                let fwd = packet
+                    .forwarding()
+                    .unwrap_or(loramesher::packet::Forwarding {
+                        via: packet.dst(),
+                        ttl: 0,
+                    });
                 self.frame_log.push((
                     ctx.now(),
                     FrameMeta {
@@ -462,9 +472,9 @@ impl ProtocolFirmware<ProtocolNode> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use loramesher::config::MeshConfig;
     use lora_phy::propagation::Position;
     use lora_phy::region::Region;
+    use loramesher::config::MeshConfig;
     use radio_sim::{SimConfig, Simulator};
 
     fn mesh_fw(addr: u16) -> ProtocolFirmware<ProtocolNode> {
@@ -483,8 +493,14 @@ mod tests {
         sim.run_for(Duration::from_secs(30));
         let mesh_a = sim.node(a).node.as_mesh().unwrap();
         let mesh_b = sim.node(b).node.as_mesh().unwrap();
-        assert_eq!(mesh_a.routing_table().next_hop(Address::new(2)), Some(Address::new(2)));
-        assert_eq!(mesh_b.routing_table().next_hop(Address::new(1)), Some(Address::new(1)));
+        assert_eq!(
+            mesh_a.routing_table().next_hop(Address::new(2)),
+            Some(Address::new(2))
+        );
+        assert_eq!(
+            mesh_b.routing_table().next_hop(Address::new(1)),
+            Some(Address::new(1))
+        );
     }
 
     #[test]
@@ -563,7 +579,8 @@ mod tests {
             .any(|(_, e)| matches!(e, AppEvent::Received { payload, .. } if payload == b"flood")));
         // Reliable transfers are a mesh-only service.
         let err = sim.with_node(b, |fw, ctx| {
-            fw.node.submit_reliable(Address::new(1), vec![1; 10], ctx.now())
+            fw.node
+                .submit_reliable(Address::new(1), vec![1; 10], ctx.now())
         });
         assert!(err.is_err());
     }

@@ -34,6 +34,12 @@ pub struct ExpOptions {
     pub quick: bool,
     /// Master seed.
     pub seed: u64,
+    /// Replications per sweep cell. 1 = single-sample runs; > 1 turns
+    /// every stochastic figure into a mean ± deviation distribution.
+    pub seeds: usize,
+    /// Worker threads for the sweep engine. Runs are deterministic and
+    /// independent, so any value yields identical tables.
+    pub jobs: usize,
 }
 
 impl Default for ExpOptions {
@@ -41,6 +47,8 @@ impl Default for ExpOptions {
         ExpOptions {
             quick: false,
             seed: 42,
+            seeds: 1,
+            jobs: 1,
         }
     }
 }
@@ -51,9 +59,40 @@ impl ExpOptions {
     pub fn quick() -> Self {
         ExpOptions {
             quick: true,
-            seed: 42,
+            ..ExpOptions::default()
         }
     }
+
+    /// The replication seed set: `seeds` seeds spread from the master
+    /// seed (the master seed itself first).
+    #[must_use]
+    pub fn seed_set(&self) -> Vec<u64> {
+        crate::sweep::seed_list(self.seed, self.seeds)
+    }
+
+    /// Like [`ExpOptions::seed_set`], but an experiment that always
+    /// replicates (grey-zone losses need a distribution to mean
+    /// anything) supplies its own default count, used unless the user
+    /// asked for more than one seed explicitly.
+    #[must_use]
+    pub fn seed_set_or(&self, default_reps: usize) -> Vec<u64> {
+        let count = if self.seeds > 1 {
+            self.seeds
+        } else {
+            default_reps
+        };
+        crate::sweep::seed_list(self.seed, count)
+    }
+}
+
+/// Formats an optional summary with `f`, `-` when no seed observed it.
+fn fmt_opt(s: Option<&crate::summary::Summary>, f: impl Fn(f64) -> String) -> String {
+    s.map_or("-".into(), |s| s.fmt_pm(f))
+}
+
+/// Seconds formatter matching [`fmt_secs`] on raw `f64` seconds.
+fn fmt_secs_f(v: f64) -> String {
+    format!("{v:.3} s")
 }
 
 /// The default node spacing: 80 % of the radio range under the default
@@ -81,41 +120,75 @@ fn random_positions(n: usize, spacing: f64, seed: u64) -> Vec<lora_phy::propagat
 
 /// E1 (Figure A): time until every node has a route to every other node,
 /// as a function of network size, for line / grid / random topologies.
+/// With `--seeds N` each cell is replicated (random placements and hello
+/// jitter differ per seed) and reported as mean ± sd.
 #[must_use]
 pub fn e1_convergence(opt: &ExpOptions) -> ExpTable {
-    let sizes: &[usize] = if opt.quick { &[2, 4] } else { &[2, 4, 8, 12, 16, 20, 24] };
+    let sizes: &[usize] = if opt.quick {
+        &[2, 4]
+    } else {
+        &[2, 4, 8, 12, 16, 20, 24]
+    };
     let spacing = default_spacing();
     let mut table = ExpTable::new(
         "E1 — routing convergence time vs. network size (hello = 20 s)",
-        &["topology", "nodes", "diameter(hops)", "convergence", "hellos sent"],
+        &[
+            "topology",
+            "nodes",
+            "diameter(hops)",
+            "convergence",
+            "hellos sent",
+        ],
     );
-    for &n in sizes {
-        for topo in ["line", "grid", "random"] {
-            let positions = match topo {
-                "line" => topology::line(n, spacing),
-                "grid" => {
-                    let side = (n as f64).sqrt().ceil() as usize;
-                    let mut g = topology::grid(side, side.max(1), spacing);
-                    g.truncate(n);
-                    g
-                }
-                _ => random_positions(n, spacing, opt.seed ^ n as u64),
-            };
-            let diameter = graph_diameter(&positions, spacing * 1.05);
-            let mut runner = NetworkBuilder::mesh(positions, opt.seed).build();
-            let converged =
-                runner.run_until_converged(Duration::from_secs(2), Duration::from_secs(3600));
-            let hellos: u64 = (0..runner.len())
-                .map(|i| runner.mesh_node(i).unwrap().stats().hellos_sent)
-                .sum();
-            table.push_row(vec![
-                topo.to_string(),
-                n.to_string(),
-                diameter.to_string(),
-                converged.map_or("timeout".into(), fmt_secs),
-                hellos.to_string(),
-            ]);
-        }
+    let cells: Vec<(usize, &str)> = sizes
+        .iter()
+        .flat_map(|&n| ["line", "grid", "random"].map(|t| (n, t)))
+        .collect();
+    let seeds = opt.seed_set();
+    let stats = crate::sweep::sweep(&cells, &seeds, opt.jobs, |&(n, topo), seed| {
+        let positions = match topo {
+            "line" => topology::line(n, spacing),
+            "grid" => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                let mut g = topology::grid(side, side.max(1), spacing);
+                g.truncate(n);
+                g
+            }
+            _ => random_positions(n, spacing, seed ^ n as u64),
+        };
+        let diameter = graph_diameter(&positions, spacing * 1.05);
+        let mut runner = NetworkBuilder::mesh(positions, seed).build();
+        let converged =
+            runner.run_until_converged(Duration::from_secs(2), Duration::from_secs(3600));
+        let hellos: u64 = (0..runner.len())
+            .map(|i| runner.mesh_node(i).unwrap().stats().hellos_sent)
+            .sum();
+        vec![
+            ("diameter", Some(diameter as f64)),
+            ("convergence", converged.map(|d| d.as_secs_f64())),
+            ("hellos", Some(hellos as f64)),
+        ]
+    });
+    for (&(n, topo), cell) in cells.iter().zip(&stats) {
+        let convergence = match cell.get("convergence") {
+            None => "timeout".to_string(),
+            Some(s) if s.n < seeds.len() => {
+                format!(
+                    "{} [{}/{} converged]",
+                    s.fmt_pm(fmt_secs_f),
+                    s.n,
+                    seeds.len()
+                )
+            }
+            Some(s) => s.fmt_pm(fmt_secs_f),
+        };
+        table.push_row(vec![
+            topo.to_string(),
+            n.to_string(),
+            fmt_opt(cell.get("diameter"), |v| format!("{v:.0}")),
+            convergence,
+            fmt_opt(cell.get("hellos"), |v| format!("{v:.0}")),
+        ]);
     }
     table
 }
@@ -136,7 +209,13 @@ fn graph_diameter(positions: &[lora_phy::propagation::Position], range: f64) -> 
                 }
             }
         }
-        best = best.max(dist.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0));
+        best = best.max(
+            dist.iter()
+                .copied()
+                .filter(|&d| d != usize::MAX)
+                .max()
+                .unwrap_or(0),
+        );
     }
     best
 }
@@ -149,12 +228,22 @@ fn graph_diameter(positions: &[lora_phy::propagation::Position], range: f64) -> 
 /// the hello interval (3×3 grid, no data traffic).
 #[must_use]
 pub fn e2_overhead(opt: &ExpOptions) -> ExpTable {
-    let intervals: &[u64] = if opt.quick { &[30, 120] } else { &[30, 60, 120, 240, 480] };
+    let intervals: &[u64] = if opt.quick {
+        &[30, 120]
+    } else {
+        &[30, 60, 120, 240, 480]
+    };
     let horizon = Duration::from_secs(if opt.quick { 600 } else { 3600 });
     let spacing = default_spacing();
     let mut table = ExpTable::new(
         "E2 — routing overhead vs. hello interval (3×3 grid, no data)",
-        &["hello interval", "frames", "airtime", "channel util", "convergence"],
+        &[
+            "hello interval",
+            "frames",
+            "airtime",
+            "channel util",
+            "convergence",
+        ],
     );
     for &secs in intervals {
         let mut runner = NetworkBuilder::mesh(topology::grid(3, 3, spacing), opt.seed)
@@ -188,55 +277,48 @@ pub fn e2_overhead(opt: &ExpOptions) -> ExpTable {
 pub fn e3_pdr_vs_hops(opt: &ExpOptions) -> ExpTable {
     let max_hops = if opt.quick { 2 } else { 7 };
     let packets = if opt.quick { 6 } else { 30 };
-    let replications: u64 = if opt.quick { 2 } else { 5 };
+    let seeds = opt.seed_set_or(if opt.quick { 2 } else { 5 });
     let mut table = ExpTable::new(
         "E3 — delivery ratio vs. hop count (line, marginal links; mean ± sd over seeds)",
         &["hops", "sent", "PDR", "mean latency"],
     );
-    for hops in 1..=max_hops {
-        let mut pdrs = Vec::new();
-        let mut latencies = Vec::new();
-        let mut sent_total = 0usize;
-        for rep in 0..replications {
-            let mut sim = SimConfig::default();
-            sim.rf.grey_zone = true;
-            // ~88 % of range: a few dB of margin — good but lossy links.
-            let spacing = topology::radio_range_m(&sim.rf) * 0.88;
-            let n = hops + 1;
-            let mut runner =
-                NetworkBuilder::mesh(topology::line(n, spacing), opt.seed ^ (rep << 32))
-                    .sim_config(sim)
-                    .build();
-            runner.run_until_converged(Duration::from_secs(5), Duration::from_secs(1800));
-            let start = runner.now() + Duration::from_secs(5);
-            runner.apply(&workload::periodic(
-                0,
-                Target::Node(n - 1),
-                16,
-                start,
-                Duration::from_secs(10),
-                packets,
-            ));
-            runner.run_until(start + Duration::from_secs(10 * packets as u64 + 60));
-            let report = runner.report();
-            sent_total += report.sent;
-            if let Some(pdr) = report.pdr() {
-                pdrs.push(pdr);
-            }
-            if let Some(lat) = report.mean_latency() {
-                latencies.push(lat.as_secs_f64() * 1000.0);
-            }
-        }
-        let pdr = crate::summary::Summary::of(&pdrs);
+    let cells: Vec<usize> = (1..=max_hops).collect();
+    let stats = crate::sweep::sweep(&cells, &seeds, opt.jobs, |&hops, seed| {
+        let mut sim = SimConfig::default();
+        sim.rf.grey_zone = true;
+        // ~88 % of range: a few dB of margin — good but lossy links.
+        let spacing = topology::radio_range_m(&sim.rf) * 0.88;
+        let n = hops + 1;
+        let mut runner = NetworkBuilder::mesh(topology::line(n, spacing), seed)
+            .sim_config(sim)
+            .build();
+        runner.run_until_converged(Duration::from_secs(5), Duration::from_secs(1800));
+        let start = runner.now() + Duration::from_secs(5);
+        runner.apply(&workload::periodic(
+            0,
+            Target::Node(n - 1),
+            16,
+            start,
+            Duration::from_secs(10),
+            packets,
+        ));
+        runner.run_until(start + Duration::from_secs(10 * packets as u64 + 60));
+        let report = runner.report();
+        vec![
+            ("sent", Some(report.sent as f64)),
+            ("pdr", report.pdr()),
+            (
+                "lat_ms",
+                report.mean_latency().map(|d| d.as_secs_f64() * 1000.0),
+            ),
+        ]
+    });
+    for (hops, cell) in cells.iter().zip(&stats) {
         table.push_row(vec![
             hops.to_string(),
-            sent_total.to_string(),
-            pdr.fmt_pm(fmt_pct),
-            if latencies.is_empty() {
-                "-".into()
-            } else {
-                crate::summary::Summary::of(&latencies).fmt_pm(|v| format!("{v:.0} ms"))
-            },
+            format!("{:.0}", cell.total("sent")),
+            fmt_opt(cell.get("pdr"), fmt_pct),
+            fmt_opt(cell.get("lat_ms"), |v| format!("{v:.0} ms")),
         ]);
     }
     table
@@ -253,7 +335,11 @@ pub fn e4_latency(opt: &ExpOptions) -> ExpTable {
     let sfs: &[SpreadingFactor] = if opt.quick {
         &[SpreadingFactor::Sf7, SpreadingFactor::Sf12]
     } else {
-        &[SpreadingFactor::Sf7, SpreadingFactor::Sf9, SpreadingFactor::Sf12]
+        &[
+            SpreadingFactor::Sf7,
+            SpreadingFactor::Sf9,
+            SpreadingFactor::Sf12,
+        ]
     };
     let hop_counts: &[usize] = if opt.quick { &[1, 3] } else { &[1, 2, 3, 4, 5] };
     let packets = if opt.quick { 5 } else { 20 };
@@ -306,49 +392,74 @@ pub fn e4_latency(opt: &ExpOptions) -> ExpTable {
 
 /// E5 (Figure D): delivery ratio and airtime cost of the three protocols
 /// on the same random topologies with the same all-to-one workload.
+/// With `--seeds N`, each (size, protocol) cell is replicated on N
+/// placements/schedules and reported as mean ± sd — the per-seed runs
+/// are sharded across `--jobs` worker threads.
 #[must_use]
 pub fn e5_protocol_comparison(opt: &ExpOptions) -> ExpTable {
-    let sizes: &[usize] = if opt.quick { &[4, 8] } else { &[4, 8, 12, 16, 20] };
+    let sizes: &[usize] = if opt.quick {
+        &[4, 8]
+    } else {
+        &[4, 8, 12, 16, 20]
+    };
     let reports = if opt.quick { 3 } else { 5 };
     let spacing = default_spacing();
     let mut table = ExpTable::new(
         "E5 — protocol comparison (all-to-one reports on random topologies)",
-        &["nodes", "protocol", "sent", "PDR", "airtime", "frames", "dupes"],
+        &[
+            "nodes", "protocol", "sent", "PDR", "airtime", "frames", "dupes",
+        ],
     );
-    for &n in sizes {
-        let positions = random_positions(n, spacing, opt.seed ^ (n as u64) << 8);
-        for (name, protocol) in [
-            ("mesh", ProtocolChoice::mesh_fast()),
-            ("flooding", ProtocolChoice::Flooding { ttl: 7 }),
-            ("star", ProtocolChoice::Star { gateway: 0 }),
-        ] {
-            let mut runner = NetworkBuilder::mesh(positions.clone(), opt.seed)
-                .protocol(protocol)
-                .build();
-            // Identical warm-up for all protocols (mesh uses it to
-            // converge; the baselines are simply idle).
-            let start = Duration::from_secs(300);
-            runner.run_until(start);
-            runner.apply(&workload::all_to_one(
-                n,
-                0,
-                16,
-                start,
-                Duration::from_secs(60),
-                reports,
-            ));
-            runner.run_until(start + Duration::from_secs(60 * reports as u64 + 120));
-            let report = runner.report();
-            table.push_row(vec![
-                n.to_string(),
-                name.to_string(),
-                report.sent.to_string(),
-                report.pdr().map_or("-".into(), fmt_pct),
-                fmt_secs(report.total_airtime),
-                report.frames_transmitted.to_string(),
-                report.duplicates.to_string(),
-            ]);
-        }
+    let protocols = [
+        ("mesh", ProtocolChoice::mesh_fast()),
+        ("flooding", ProtocolChoice::Flooding { ttl: 7 }),
+        ("star", ProtocolChoice::Star { gateway: 0 }),
+    ];
+    let cells: Vec<(usize, &str, ProtocolChoice)> = sizes
+        .iter()
+        .flat_map(|&n| protocols.iter().map(move |(name, p)| (n, *name, p.clone())))
+        .collect();
+    let seeds = opt.seed_set();
+    let stats = crate::sweep::sweep(&cells, &seeds, opt.jobs, |(n, _, protocol), seed| {
+        let n = *n;
+        // All protocols of a (size, seed) cell share the placement, so
+        // the comparison is paired per replication.
+        let positions = random_positions(n, spacing, seed ^ (n as u64) << 8);
+        let mut runner = NetworkBuilder::mesh(positions, seed)
+            .protocol(protocol.clone())
+            .build();
+        // Identical warm-up for all protocols (mesh uses it to
+        // converge; the baselines are simply idle).
+        let start = Duration::from_secs(300);
+        runner.run_until(start);
+        runner.apply(&workload::all_to_one(
+            n,
+            0,
+            16,
+            start,
+            Duration::from_secs(60),
+            reports,
+        ));
+        runner.run_until(start + Duration::from_secs(60 * reports as u64 + 120));
+        let report = runner.report();
+        vec![
+            ("sent", Some(report.sent as f64)),
+            ("pdr", report.pdr()),
+            ("airtime", Some(report.total_airtime.as_secs_f64())),
+            ("frames", Some(report.frames_transmitted as f64)),
+            ("dupes", Some(report.duplicates as f64)),
+        ]
+    });
+    for ((n, name, _), cell) in cells.iter().zip(&stats) {
+        table.push_row(vec![
+            n.to_string(),
+            (*name).to_string(),
+            fmt_opt(cell.get("sent"), |v| format!("{v:.0}")),
+            fmt_opt(cell.get("pdr"), fmt_pct),
+            fmt_opt(cell.get("airtime"), fmt_secs_f),
+            fmt_opt(cell.get("frames"), |v| format!("{v:.0}")),
+            fmt_opt(cell.get("dupes"), |v| format!("{v:.0}")),
+        ]);
     }
     table
 }
@@ -361,7 +472,11 @@ pub fn e5_protocol_comparison(opt: &ExpOptions) -> ExpTable {
 /// service vs. payload size, over 1 and 2 hops.
 #[must_use]
 pub fn e6_reliable_goodput(opt: &ExpOptions) -> ExpTable {
-    let sizes: &[usize] = if opt.quick { &[128, 1024] } else { &[128, 512, 2048, 8192] };
+    let sizes: &[usize] = if opt.quick {
+        &[128, 1024]
+    } else {
+        &[128, 512, 2048, 8192]
+    };
     let hop_cases: &[usize] = if opt.quick { &[1] } else { &[1, 2] };
     let spacing = default_spacing();
     let mut table = ExpTable::new(
@@ -408,7 +523,12 @@ pub fn e7_route_repair(opt: &ExpOptions) -> ExpTable {
     let intervals: &[u64] = if opt.quick { &[10] } else { &[10, 20, 40] };
     let mut table = ExpTable::new(
         "E7 — route repair time after relay failure (diamond topology)",
-        &["hello interval", "route timeout", "repair time", "detour metric"],
+        &[
+            "hello interval",
+            "route timeout",
+            "repair time",
+            "detour metric",
+        ],
     );
     let spacing = default_spacing();
     for &secs in intervals {
@@ -479,12 +599,23 @@ pub fn e7_route_repair(opt: &ExpOptions) -> ExpTable {
 /// duty cycle (one sender, one receiver, 50-byte payloads).
 #[must_use]
 pub fn e8_duty_cycle(opt: &ExpOptions) -> ExpTable {
-    let intervals: &[f64] = if opt.quick { &[30.0, 1.0] } else { &[60.0, 30.0, 15.0, 10.0, 5.0, 2.0] };
+    let intervals: &[f64] = if opt.quick {
+        &[30.0, 1.0]
+    } else {
+        &[60.0, 30.0, 15.0, 10.0, 5.0, 2.0]
+    };
     let horizon = Duration::from_secs(if opt.quick { 1200 } else { 7200 });
     let spacing = default_spacing();
     let mut table = ExpTable::new(
         "E8 — EU868 1 % duty cycle: offered vs. achieved (50-byte frames)",
-        &["send interval", "offered/hr", "delivered/hr", "deferrals", "dropped", "utilisation"],
+        &[
+            "send interval",
+            "offered/hr",
+            "delivered/hr",
+            "deferrals",
+            "dropped",
+            "utilisation",
+        ],
     );
     for &secs in intervals {
         let mut runner = NetworkBuilder::mesh(topology::line(2, spacing), opt.seed)
@@ -532,7 +663,11 @@ pub fn e8_duty_cycle(opt: &ExpOptions) -> ExpTable {
 /// network size.
 #[must_use]
 pub fn e9_state_size(opt: &ExpOptions) -> ExpTable {
-    let sizes: &[usize] = if opt.quick { &[4, 8] } else { &[4, 8, 16, 32, 48] };
+    let sizes: &[usize] = if opt.quick {
+        &[4, 8]
+    } else {
+        &[4, 8, 16, 32, 48]
+    };
     let spacing = default_spacing();
     let mut table = ExpTable::new(
         "E9 — routing state vs. network size",
@@ -546,15 +681,14 @@ pub fn e9_state_size(opt: &ExpOptions) -> ExpTable {
             .map(|i| runner.mesh_node(i).unwrap().routing_table().len())
             .sum();
         let mean_entries = entries as f64 / n as f64;
-        let hello_len = codec::COMMON_HEADER_LEN + 1 + mean_entries.round() as usize * codec::ROUTE_ENTRY_LEN;
+        let hello_len =
+            codec::COMMON_HEADER_LEN + 1 + mean_entries.round() as usize * codec::ROUTE_ENTRY_LEN;
         let modulation = LoRaModulation::default();
         table.push_row(vec![
             n.to_string(),
             format!("{mean_entries:.1}"),
             format!("{hello_len} B"),
-            crate::report::fmt_ms(
-                modulation.time_on_air(hello_len.min(codec::MAX_FRAME_LEN)),
-            ),
+            crate::report::fmt_ms(modulation.time_on_air(hello_len.min(codec::MAX_FRAME_LEN))),
         ]);
     }
     table
@@ -585,7 +719,11 @@ pub fn e10_wire_format() -> ExpTable {
                 id: 0,
                 role: 0,
                 entries: (0..4)
-                    .map(|i| RouteEntry { address: Address::new(10 + i), metric: 1, role: 0 })
+                    .map(|i| RouteEntry {
+                        address: Address::new(10 + i),
+                        metric: 1,
+                        role: 0,
+                    })
                     .collect(),
             },
         ),
@@ -593,31 +731,67 @@ pub fn e10_wire_format() -> ExpTable {
             "DATA",
             codec::DATA_OVERHEAD,
             "16-byte payload",
-            Packet::Data { dst, src, id: 0, fwd, payload: vec![0; 16] },
+            Packet::Data {
+                dst,
+                src,
+                id: 0,
+                fwd,
+                payload: vec![0; 16],
+            },
         ),
         (
             "SYNC",
             codec::DATA_OVERHEAD + 7,
             "fixed",
-            Packet::Sync { dst, src, id: 0, fwd, seq: 0, frag_count: 8, total_len: 1936 },
+            Packet::Sync {
+                dst,
+                src,
+                id: 0,
+                fwd,
+                seq: 0,
+                frag_count: 8,
+                total_len: 1936,
+            },
         ),
         (
             "FRAG",
             codec::FRAG_OVERHEAD,
             "242-byte fragment",
-            Packet::Frag { dst, src, id: 0, fwd, seq: 0, index: 0, data: vec![0; codec::MAX_FRAG_PAYLOAD] },
+            Packet::Frag {
+                dst,
+                src,
+                id: 0,
+                fwd,
+                seq: 0,
+                index: 0,
+                data: vec![0; codec::MAX_FRAG_PAYLOAD],
+            },
         ),
         (
             "ACK",
             codec::DATA_OVERHEAD + 3,
             "fixed",
-            Packet::Ack { dst, src, id: 0, fwd, seq: 0, index: SYNC_ACK_INDEX },
+            Packet::Ack {
+                dst,
+                src,
+                id: 0,
+                fwd,
+                seq: 0,
+                index: SYNC_ACK_INDEX,
+            },
         ),
         (
             "LOST",
             codec::DATA_OVERHEAD + 1,
             "3 missing",
-            Packet::Lost { dst, src, id: 0, fwd, seq: 0, missing: vec![1, 2, 3] },
+            Packet::Lost {
+                dst,
+                src,
+                id: 0,
+                fwd,
+                seq: 0,
+                missing: vec![1, 2, 3],
+            },
         ),
     ];
     for (name, overhead, example, packet) in samples {
@@ -643,14 +817,19 @@ pub fn e10_wire_format() -> ExpTable {
 #[must_use]
 pub fn e11_mobility(opt: &ExpOptions) -> ExpTable {
     use radio_sim::mobility::Mobility;
-    let speeds: &[f64] = if opt.quick { &[0.0, 10.0] } else { &[0.0, 1.0, 3.0, 10.0, 20.0] };
+    let speeds: &[f64] = if opt.quick {
+        &[0.0, 10.0]
+    } else {
+        &[0.0, 1.0, 3.0, 10.0, 20.0]
+    };
     let reports = if opt.quick { 10 } else { 40 };
     let spacing = default_spacing();
     let mut table = ExpTable::new(
         "E11 — mobile reporter roaming a 3×3 mesh (hello = 10 s)",
         &["speed", "sent", "delivered", "PDR", "mean latency"],
     );
-    for &speed in speeds {
+    let seeds = opt.seed_set();
+    let stats = crate::sweep::sweep(speeds, &seeds, opt.jobs, |&speed, seed| {
         // Static 3×3 grid plus one mobile node starting at the centre.
         let mut positions = topology::grid(3, 3, spacing);
         let centre = positions[4];
@@ -670,7 +849,7 @@ pub fn e11_mobility(opt: &ExpOptions) -> ExpTable {
                 pause: Duration::from_secs(2),
             }
         });
-        let mut runner = NetworkBuilder::mesh(positions, opt.seed)
+        let mut runner = NetworkBuilder::mesh(positions, seed)
             .protocol(ProtocolChoice::Mesh {
                 hello_interval: Duration::from_secs(10),
                 route_timeout: Duration::from_secs(60),
@@ -689,14 +868,23 @@ pub fn e11_mobility(opt: &ExpOptions) -> ExpTable {
         ));
         runner.run_until(start + Duration::from_secs(15 * reports as u64 + 60));
         let report = runner.report();
+        vec![
+            ("sent", Some(report.sent as f64)),
+            ("delivered", Some(report.delivered as f64)),
+            ("pdr", report.pdr()),
+            (
+                "lat_ms",
+                report.mean_latency().map(|d| d.as_secs_f64() * 1000.0),
+            ),
+        ]
+    });
+    for (&speed, cell) in speeds.iter().zip(&stats) {
         table.push_row(vec![
             format!("{speed} m/s"),
-            report.sent.to_string(),
-            report.delivered.to_string(),
-            report.pdr().map_or("-".into(), fmt_pct),
-            report
-                .mean_latency()
-                .map_or("-".into(), crate::report::fmt_ms),
+            fmt_opt(cell.get("sent"), |v| format!("{v:.0}")),
+            fmt_opt(cell.get("delivered"), |v| format!("{v:.0}")),
+            fmt_opt(cell.get("pdr"), fmt_pct),
+            fmt_opt(cell.get("lat_ms"), |v| format!("{v:.1} ms")),
         ]);
     }
     table
@@ -733,64 +921,88 @@ pub fn e12_fairness(opt: &ExpOptions) -> ExpTable {
     let spacing = default_spacing();
     let mut table = ExpTable::new(
         "E12 — airtime fairness under all-to-one load (Jain's index; 1.0 = equal)",
-        &["nodes", "protocol", "fairness", "max/mean airtime", "busiest node"],
+        &[
+            "nodes",
+            "protocol",
+            "fairness",
+            "max/mean airtime",
+            "busiest node",
+        ],
     );
-    for &n in sizes {
-        let positions = random_positions(n, spacing, opt.seed ^ (n as u64) << 40);
-        for (name, protocol) in [
-            ("mesh", ProtocolChoice::mesh_fast()),
-            ("flooding", ProtocolChoice::Flooding { ttl: 7 }),
-        ] {
-            let mut runner = NetworkBuilder::mesh(positions.clone(), opt.seed)
-                .protocol(protocol)
-                .build();
-            let start = Duration::from_secs(300);
-            runner.run_until(start);
-            // Measure only the traffic phase: snapshot airtime at start.
-            let baseline: Vec<f64> = (0..n)
-                .map(|i| {
-                    runner
-                        .phy_metrics()
-                        .per_node
-                        .get(&runner.id(i))
-                        .map_or(0.0, |c| c.airtime.as_secs_f64())
-                })
-                .collect();
-            runner.apply(&workload::all_to_one(
-                n,
-                0,
-                16,
-                start,
-                Duration::from_secs(30),
-                reports,
-            ));
-            runner.run_until(start + Duration::from_secs(30 * reports as u64 + 120));
-            let loads: Vec<f64> = (0..n)
-                .map(|i| {
-                    let total = runner
-                        .phy_metrics()
-                        .per_node
-                        .get(&runner.id(i))
-                        .map_or(0.0, |c| c.airtime.as_secs_f64());
-                    (total - baseline[i]).max(0.0)
-                })
-                .collect();
-            let fairness = jain_index(&loads);
-            let mean = loads.iter().sum::<f64>() / n as f64;
-            let (busiest, max) = loads
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, v)| (i, *v))
-                .unwrap_or((0, 0.0));
-            table.push_row(vec![
-                n.to_string(),
-                name.to_string(),
-                format!("{fairness:.2}"),
-                format!("{:.1}x", if mean > 0.0 { max / mean } else { 0.0 }),
-                format!("node {busiest}"),
-            ]);
-        }
+    let protocols = [
+        ("mesh", ProtocolChoice::mesh_fast()),
+        ("flooding", ProtocolChoice::Flooding { ttl: 7 }),
+    ];
+    let cells: Vec<(usize, &str, ProtocolChoice)> = sizes
+        .iter()
+        .flat_map(|&n| protocols.iter().map(move |(name, p)| (n, *name, p.clone())))
+        .collect();
+    let seeds = opt.seed_set();
+    let stats = crate::sweep::sweep(&cells, &seeds, opt.jobs, |(n, _, protocol), seed| {
+        let n = *n;
+        let positions = random_positions(n, spacing, seed ^ (n as u64) << 40);
+        let mut runner = NetworkBuilder::mesh(positions, seed)
+            .protocol(protocol.clone())
+            .build();
+        let start = Duration::from_secs(300);
+        runner.run_until(start);
+        // Measure only the traffic phase: snapshot airtime at start.
+        let baseline: Vec<f64> = (0..n)
+            .map(|i| {
+                runner
+                    .phy_metrics()
+                    .per_node
+                    .get(&runner.id(i))
+                    .map_or(0.0, |c| c.airtime.as_secs_f64())
+            })
+            .collect();
+        runner.apply(&workload::all_to_one(
+            n,
+            0,
+            16,
+            start,
+            Duration::from_secs(30),
+            reports,
+        ));
+        runner.run_until(start + Duration::from_secs(30 * reports as u64 + 120));
+        let loads: Vec<f64> = (0..n)
+            .map(|i| {
+                let total = runner
+                    .phy_metrics()
+                    .per_node
+                    .get(&runner.id(i))
+                    .map_or(0.0, |c| c.airtime.as_secs_f64());
+                (total - baseline[i]).max(0.0)
+            })
+            .collect();
+        let mean = loads.iter().sum::<f64>() / n as f64;
+        let (busiest, max) = loads
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, v)| (i, *v))
+            .unwrap_or((0, 0.0));
+        vec![
+            ("fairness", Some(jain_index(&loads))),
+            ("peak", Some(if mean > 0.0 { max / mean } else { 0.0 })),
+            ("busiest", Some(busiest as f64)),
+        ]
+    });
+    for ((n, name, _), cell) in cells.iter().zip(&stats) {
+        // The busiest node is a discrete identity, not an average: name
+        // it when the replications agree, otherwise say so.
+        let busiest = match cell.get("busiest") {
+            Some(s) if s.min == s.max => format!("node {:.0}", s.min),
+            Some(_) => "varies".to_string(),
+            None => "-".to_string(),
+        };
+        table.push_row(vec![
+            n.to_string(),
+            (*name).to_string(),
+            fmt_opt(cell.get("fairness"), |v| format!("{v:.2}")),
+            fmt_opt(cell.get("peak"), |v| format!("{v:.1}x")),
+            busiest,
+        ]);
     }
     table
 }
@@ -938,7 +1150,7 @@ pub fn a3_jitter_ablation(opt: &ExpOptions) -> ExpTable {
 /// the SNR tie-break reliably picks the strong one.
 #[must_use]
 pub fn a4_snr_tiebreak(opt: &ExpOptions) -> ExpTable {
-    let seeds: u64 = if opt.quick { 3 } else { 10 };
+    let seeds = opt.seed_set_or(if opt.quick { 3 } else { 10 });
     let packets = if opt.quick { 10 } else { 20 };
     let mut table = ExpTable::new(
         "A4 — SNR route tie-break on vs. off (diamond with a strong and a marginal relay)",
@@ -950,51 +1162,50 @@ pub fn a4_snr_tiebreak(opt: &ExpOptions) -> ExpTable {
     // Endpoints 1.2 R apart; relay A at the midpoint (0.6 R links,
     // solid), relay B equidistant at 0.95 R links (grey zone).
     let positions = vec![
-        lora_phy::propagation::Position::new(0.0, 0.0),             // 0: source
-        lora_phy::propagation::Position::new(0.6 * range, 0.0),     // 1: strong relay
+        lora_phy::propagation::Position::new(0.0, 0.0), // 0: source
+        lora_phy::propagation::Position::new(0.6 * range, 0.0), // 1: strong relay
         lora_phy::propagation::Position::new(0.6 * range, 0.7365 * range), // 2: weak relay
-        lora_phy::propagation::Position::new(1.2 * range, 0.0),     // 3: sink
+        lora_phy::propagation::Position::new(1.2 * range, 0.0), // 3: sink
     ];
-    for (name, tiebreak) in [("hop count only", false), ("SNR tie-break", true)] {
-        let mut strong = 0usize;
-        let mut sent = 0usize;
-        let mut delivered = 0usize;
-        for seed in 0..seeds {
-            let mut runner = NetworkBuilder::mesh(positions.clone(), opt.seed ^ (seed << 24))
-                .sim_config(sim.clone())
-                .protocol(ProtocolChoice::Mesh {
-                    hello_interval: Duration::from_secs(15),
-                    route_timeout: Duration::from_secs(90),
-                })
-                .snr_tiebreak(tiebreak)
-                .build();
-            runner.run_until(Duration::from_secs(120));
-            let start = Duration::from_secs(121);
-            runner.apply(&workload::periodic(
-                0,
-                Target::Node(3),
-                16,
-                start,
-                Duration::from_secs(10),
-                packets,
-            ));
-            runner.run_until(start + Duration::from_secs(10 * packets as u64 + 60));
-            if runner
-                .mesh_node(0)
-                .and_then(|m| m.routing_table().next_hop(Runner::address_of(3)))
-                == Some(Runner::address_of(1))
-            {
-                strong += 1;
-            }
-            let report = runner.report();
-            sent += report.sent;
-            delivered += report.delivered;
-        }
+    let cells = [("hop count only", false), ("SNR tie-break", true)];
+    let stats = crate::sweep::sweep(&cells, &seeds, opt.jobs, |&(_, tiebreak), seed| {
+        let mut runner = NetworkBuilder::mesh(positions.clone(), seed)
+            .sim_config(sim.clone())
+            .protocol(ProtocolChoice::Mesh {
+                hello_interval: Duration::from_secs(15),
+                route_timeout: Duration::from_secs(90),
+            })
+            .snr_tiebreak(tiebreak)
+            .build();
+        runner.run_until(Duration::from_secs(120));
+        let start = Duration::from_secs(121);
+        runner.apply(&workload::periodic(
+            0,
+            Target::Node(3),
+            16,
+            start,
+            Duration::from_secs(10),
+            packets,
+        ));
+        runner.run_until(start + Duration::from_secs(10 * packets as u64 + 60));
+        let strong = runner
+            .mesh_node(0)
+            .and_then(|m| m.routing_table().next_hop(Runner::address_of(3)))
+            == Some(Runner::address_of(1));
+        let report = runner.report();
+        vec![
+            ("strong", Some(f64::from(u8::from(strong)))),
+            ("sent", Some(report.sent as f64)),
+            ("delivered", Some(report.delivered as f64)),
+        ]
+    });
+    for ((name, _), cell) in cells.iter().zip(&stats) {
+        let sent = cell.total("sent");
         table.push_row(vec![
-            name.to_string(),
-            format!("{strong}/{seeds}"),
-            sent.to_string(),
-            fmt_pct(delivered as f64 / sent.max(1) as f64),
+            (*name).to_string(),
+            format!("{:.0}/{}", cell.total("strong"), seeds.len()),
+            format!("{sent:.0}"),
+            fmt_pct(cell.total("delivered") / sent.max(1.0)),
         ]);
     }
     table
@@ -1044,7 +1255,10 @@ mod tests {
         let t = e2_overhead(&opt());
         assert_eq!(t.rows.len(), 2);
         let frames: Vec<u64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
-        assert!(frames[0] > frames[1], "30 s interval must send more than 120 s: {t}");
+        assert!(
+            frames[0] > frames[1],
+            "30 s interval must send more than 120 s: {t}"
+        );
     }
 
     #[test]
@@ -1052,7 +1266,10 @@ mod tests {
         let t = e3_pdr_vs_hops(&opt());
         assert_eq!(t.rows.len(), 2);
         assert!(t.rows[0][2].contains('%'), "{t}");
-        assert!(t.rows[0][2].contains('±'), "replicated runs report a deviation: {t}");
+        assert!(
+            t.rows[0][2].contains('±'),
+            "replicated runs report a deviation: {t}"
+        );
     }
 
     #[test]
@@ -1063,7 +1280,10 @@ mod tests {
         let parse_ms = |s: &str| -> f64 { s.trim_end_matches(" ms").parse().unwrap() };
         let sf7 = parse_ms(&t.rows[0][3]);
         let sf12 = parse_ms(&t.rows[2][3]);
-        assert!(sf12 > sf7 * 5.0, "SF12 ({sf12} ms) should dwarf SF7 ({sf7} ms)\n{t}");
+        assert!(
+            sf12 > sf7 * 5.0,
+            "SF12 ({sf12} ms) should dwarf SF7 ({sf7} ms)\n{t}"
+        );
     }
 
     #[test]

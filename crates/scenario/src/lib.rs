@@ -16,6 +16,10 @@
 //!   returning a printable [`report::ExpTable`].
 //! * [`report`] — plain-text table formatting shared by the benchmark
 //!   binaries and EXPERIMENTS.md.
+//! * [`sweep`] — the parallel multi-seed sweep engine: shards a
+//!   parameter grid × seed set across a worker pool and reduces each
+//!   cell to mean / stddev / min / max / 95 % CI, independent of the
+//!   thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +29,12 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod summary;
+pub mod sweep;
 pub mod workload;
 
 pub use adapter::{AppEvent, HostedProtocol, ProtocolFirmware, ProtocolNode};
 pub use report::ExpTable;
 pub use runner::{NetworkBuilder, ProtocolChoice, Runner, TrafficReport};
+pub use summary::Summary;
+pub use sweep::{run_parallel, seed_list, CellStats};
 pub use workload::{Target, TrafficEvent};

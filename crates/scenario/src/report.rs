@@ -78,10 +78,7 @@ impl ExpTable {
     pub fn to_markdown(&self) -> String {
         let mut out = format!("### {}\n\n", self.title);
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.columns.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

@@ -207,7 +207,10 @@ impl NetworkBuilder {
         for (i, pos) in self.positions.iter().enumerate() {
             let address = Runner::address_of(i);
             let node = match &self.protocol {
-                ProtocolChoice::Mesh { hello_interval, route_timeout } => {
+                ProtocolChoice::Mesh {
+                    hello_interval,
+                    route_timeout,
+                } => {
                     let cfg = MeshConfig::builder(address)
                         .modulation(modulation)
                         .role(self.roles.get(i).copied().unwrap_or(0))
@@ -378,9 +381,9 @@ impl Runner {
                 at: e.at,
             });
             let id = self.ids[e.from];
-            let tag = self
-                .sim
-                .with_node(id, |fw, _| fw.add_action(AppAction::SendReliable { dst, payload }));
+            let tag = self.sim.with_node(id, |fw, _| {
+                fw.add_action(AppAction::SendReliable { dst, payload })
+            });
             self.sim.schedule_app(e.at, id, tag);
         } else {
             let (marker, payload) = self.marker_payload(e.payload_len);
@@ -391,9 +394,9 @@ impl Runner {
                 at: e.at,
             });
             let id = self.ids[e.from];
-            let tag = self
-                .sim
-                .with_node(id, |fw, _| fw.add_action(AppAction::SendDatagram { dst, payload }));
+            let tag = self.sim.with_node(id, |fw, _| {
+                fw.add_action(AppAction::SendDatagram { dst, payload })
+            });
             self.sim.schedule_app(e.at, id, tag);
         }
     }
@@ -404,7 +407,9 @@ impl Runner {
     pub fn mesh_converged(&self) -> bool {
         let n = self.len();
         (0..n).all(|i| {
-            let Some(mesh) = self.mesh_node(i) else { return false };
+            let Some(mesh) = self.mesh_node(i) else {
+                return false;
+            };
             (0..n)
                 .filter(|&j| j != i)
                 .all(|j| mesh.routing_table().next_hop(Self::address_of(j)).is_some())
@@ -455,7 +460,9 @@ impl Runner {
                         }
                         let marker =
                             u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
-                        let Some(rec) = self.sent.get(marker as usize) else { continue };
+                        let Some(rec) = self.sent.get(marker as usize) else {
+                            continue;
+                        };
                         if rec.marker != marker || Self::address_of(rec.from) != *src {
                             continue;
                         }
@@ -473,11 +480,9 @@ impl Runner {
                         }
                     }
                     AppEvent::ReliableReceived { src, payload } => {
-                        if let Some(rec) = self
-                            .reliable
-                            .iter()
-                            .find(|r| Self::address_of(r.from) == *src && r.to == j && r.len == payload.len())
-                        {
+                        if let Some(rec) = self.reliable.iter().find(|r| {
+                            Self::address_of(r.from) == *src && r.to == j && r.len == payload.len()
+                        }) {
                             reliable_completed += 1;
                             reliable_latencies.push(t.saturating_sub(rec.at));
                         }
@@ -595,6 +600,15 @@ mod tests {
         NetworkBuilder::mesh(topology::line(n, spacing), seed).build()
     }
 
+    /// The sweep engine builds and runs one Runner per worker thread;
+    /// this fails to compile if the whole stack stops being Send.
+    #[test]
+    fn runner_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Runner>();
+        assert_send::<TrafficReport>();
+    }
+
     #[test]
     fn two_node_mesh_converges() {
         let mut r = line_mesh(2, 80.0, 1);
@@ -623,14 +637,7 @@ mod tests {
         r.run_until_converged(Duration::from_secs(5), Duration::from_secs(600))
             .expect("converged");
         let start = r.now() + Duration::from_secs(5);
-        let events = workload::periodic(
-            0,
-            Target::Node(2),
-            16,
-            start,
-            Duration::from_secs(15),
-            4,
-        );
+        let events = workload::periodic(0, Target::Node(2), 16, start, Duration::from_secs(15), 4);
         r.apply(&events);
         r.run_until(start + Duration::from_secs(120));
         let report = r.report();
@@ -670,8 +677,22 @@ mod tests {
             .protocol(ProtocolChoice::Star { gateway: 0 })
             .build();
         let events = [
-            workload::periodic(1, Target::Node(0), 16, Duration::from_secs(1), Duration::from_secs(5), 2),
-            workload::periodic(2, Target::Node(0), 16, Duration::from_secs(2), Duration::from_secs(5), 2),
+            workload::periodic(
+                1,
+                Target::Node(0),
+                16,
+                Duration::from_secs(1),
+                Duration::from_secs(5),
+                2,
+            ),
+            workload::periodic(
+                2,
+                Target::Node(0),
+                16,
+                Duration::from_secs(2),
+                Duration::from_secs(5),
+                2,
+            ),
         ]
         .concat();
         r.apply(&events);

@@ -67,6 +67,17 @@ impl Summary {
             format!("{} ± {}", f(self.mean), f(self.std_dev))
         }
     }
+
+    /// Formats as `mean ± ci95` (the 95 % confidence half-width) with
+    /// the given formatter for both parts; plain `mean` for n < 2.
+    #[must_use]
+    pub fn fmt_ci(&self, f: impl Fn(f64) -> String) -> String {
+        if self.n < 2 {
+            f(self.mean)
+        } else {
+            format!("{} ± {}", f(self.mean), f(self.ci95_half_width()))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +109,14 @@ mod tests {
     fn fmt_pm_includes_deviation() {
         let s = Summary::of(&[1.0, 3.0]);
         assert_eq!(s.fmt_pm(|v| format!("{v:.1}")), "2.0 ± 1.4");
+    }
+
+    #[test]
+    fn fmt_ci_uses_confidence_half_width() {
+        let s = Summary::of(&[1.0, 3.0]);
+        // sd = √2, ci95 = 1.96·√2/√2 = 1.96.
+        assert_eq!(s.fmt_ci(|v| format!("{v:.2}")), "2.00 ± 1.96");
+        assert_eq!(Summary::of(&[5.0]).fmt_ci(|v| format!("{v:.1}")), "5.0");
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Parallel multi-seed sweep engine.
+//!
+//! Every experiment is a *parameter grid* (cells: network sizes,
+//! protocols, speeds, …) crossed with a *seed set* (independent
+//! replications of each cell). Simulation runs are deterministic pure
+//! functions of `(cell, seed)` and share nothing, so the engine shards
+//! the flattened `cells × seeds` work list across a [`std::thread`]
+//! worker pool and aggregates each cell's per-seed metrics into a
+//! [`Summary`] (mean / stddev / min / max / 95 % CI) — turning every
+//! single-sample figure of the reproduction into a distribution at
+//! `wall-clock ÷ cores` cost, with **no** new dependencies.
+//!
+//! Determinism is preserved by construction: results are written into
+//! per-item slots (never appended in completion order) and reduced in
+//! seed order, so any `jobs` count — including 1 — produces *identical*
+//! aggregates. `tests/sweep.rs` locks this in.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub use crate::summary::Summary;
+
+/// Spreads replication seeds from a base seed. Index 0 *is* the base
+/// seed, so a 1-seed sweep reproduces the corresponding single run
+/// exactly; further seeds are spread by the golden-ratio increment.
+#[must_use]
+pub fn seed_list(base: u64, count: usize) -> Vec<u64> {
+    (0..count.max(1) as u64)
+        .map(|i| base.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        .collect()
+}
+
+/// One named observation from a single simulation run. `None` marks a
+/// metric the run could not produce (no packets delivered → no latency);
+/// missing observations are skipped during aggregation.
+pub type Observation = (&'static str, Option<f64>);
+
+/// A cell's metrics aggregated across the seed set.
+#[derive(Clone, Debug)]
+pub struct CellStats {
+    /// Per-metric summaries, in the order the run function emitted them.
+    /// `None` when no seed produced the metric.
+    pub metrics: Vec<(&'static str, Option<Summary>)>,
+}
+
+impl CellStats {
+    /// The summary for `name`, when at least one seed observed it.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Summary> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, s)| s.as_ref())
+    }
+
+    /// Sum of the metric across seeds (`mean × n`), rounded — for count
+    /// metrics such as packets sent.
+    #[must_use]
+    pub fn total(&self, name: &str) -> f64 {
+        self.get(name).map_or(0.0, |s| s.mean * s.n as f64)
+    }
+}
+
+/// Runs `f` over every item of `work` on `jobs` worker threads and
+/// returns the results in *work order* regardless of completion order.
+///
+/// This is the engine's core primitive; [`sweep`] layers the grid × seed
+/// cross product and the statistical reduction on top. It is public so
+/// other parallel-friendly loops (the CLI's multi-seed mode, custom
+/// harnesses) can reuse the pool without inventing their own.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn run_parallel<C, T, F>(work: &[C], jobs: usize, f: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(work.len().max(1));
+    if jobs == 1 {
+        return work.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..work.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = work.get(i) else { break };
+                let result = f(item);
+                slots.lock().expect("no poisoned result slots")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("worker threads joined")
+        .into_iter()
+        .map(|r| r.expect("every work item produced a result"))
+        .collect()
+}
+
+/// Runs `run(cell, seed)` for every cell × seed combination, sharded
+/// across `jobs` threads, and reduces each cell's observations to
+/// [`CellStats`] in seed order.
+///
+/// Every seed of a cell must emit the same metric names in the same
+/// order (they come from the same code path, so this is natural).
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or if two seeds of the same cell disagree
+/// on the metric list.
+pub fn sweep<C, F>(cells: &[C], seeds: &[u64], jobs: usize, run: F) -> Vec<CellStats>
+where
+    C: Sync,
+    F: Fn(&C, u64) -> Vec<Observation> + Sync,
+{
+    assert!(!seeds.is_empty(), "sweep needs at least one seed");
+    let work: Vec<(usize, u64)> = (0..cells.len())
+        .flat_map(|c| seeds.iter().map(move |&s| (c, s)))
+        .collect();
+    let results = run_parallel(&work, jobs, |&(c, seed)| run(&cells[c], seed));
+    results
+        .chunks(seeds.len())
+        .map(|replications| {
+            let names: Vec<&'static str> = replications[0].iter().map(|(n, _)| *n).collect();
+            let metrics = names
+                .iter()
+                .enumerate()
+                .map(|(k, &name)| {
+                    let values: Vec<f64> = replications
+                        .iter()
+                        .map(|obs| {
+                            assert_eq!(obs[k].0, name, "metric lists must match across seeds");
+                            obs[k].1
+                        })
+                        .filter_map(|v| v.filter(|x| x.is_finite()))
+                        .collect();
+                    let summary = if values.is_empty() {
+                        None
+                    } else {
+                        Some(Summary::of(&values))
+                    };
+                    (name, summary)
+                })
+                .collect();
+            CellStats { metrics }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_list_starts_at_base() {
+        let s = seed_list(42, 4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], 42);
+        let unique: std::collections::BTreeSet<_> = s.iter().collect();
+        assert_eq!(unique.len(), 4);
+        assert_eq!(seed_list(7, 0), vec![7], "count clamps to 1");
+    }
+
+    #[test]
+    fn run_parallel_preserves_work_order() {
+        let work: Vec<u64> = (0..100).collect();
+        let serial = run_parallel(&work, 1, |&x| x * x);
+        let parallel = run_parallel(&work, 8, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[99], 99 * 99);
+    }
+
+    #[test]
+    fn run_parallel_handles_more_jobs_than_items() {
+        assert_eq!(run_parallel(&[1, 2], 16, |&x| x + 1), vec![2, 3]);
+        assert_eq!(
+            run_parallel::<u32, u32, _>(&[], 4, |&x| x),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn sweep_aggregates_per_cell_in_seed_order() {
+        let cells = [10.0f64, 20.0];
+        let seeds = seed_list(1, 3);
+        let stats = sweep(&cells, &seeds, 2, |&cell, seed| {
+            vec![
+                ("value", Some(cell + (seed % 3) as f64)),
+                ("sometimes", if seed % 2 == 0 { Some(1.0) } else { None }),
+            ]
+        });
+        assert_eq!(stats.len(), 2);
+        let v = stats[0].get("value").unwrap();
+        assert_eq!(v.n, 3);
+        assert!(v.mean >= 10.0 && v.mean <= 12.0);
+        assert!(stats[1].get("value").unwrap().mean >= 20.0);
+        // Missing observations are skipped, not zero-filled.
+        let s = stats[0].get("sometimes");
+        if let Some(s) = s {
+            assert!(s.n < 3);
+            assert_eq!(s.mean, 1.0);
+        }
+        assert_eq!(stats[0].metrics.len(), 2);
+    }
+
+    #[test]
+    fn sweep_is_jobs_invariant() {
+        let cells: Vec<usize> = (0..5).collect();
+        let seeds = seed_list(99, 7);
+        let run = |&cell: &usize, seed: u64| {
+            // A cheap deterministic pseudo-simulation.
+            let mut rng = radio_sim::rng::SimRng::new(seed ^ cell as u64);
+            vec![
+                ("x", Some(rng.gen_f64())),
+                ("y", Some(rng.gen_f64() * cell as f64)),
+            ]
+        };
+        let a = sweep(&cells, &seeds, 1, run);
+        let b = sweep(&cells, &seeds, 4, run);
+        for (ca, cb) in a.iter().zip(&b) {
+            for ((na, sa), (nb, sb)) in ca.metrics.iter().zip(&cb.metrics) {
+                assert_eq!(na, nb);
+                let (sa, sb) = (sa.unwrap(), sb.unwrap());
+                assert_eq!(
+                    sa.mean.to_bits(),
+                    sb.mean.to_bits(),
+                    "bitwise identical means"
+                );
+                assert_eq!(sa.std_dev.to_bits(), sb.std_dev.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cell_stats_total_counts() {
+        let stats = sweep(&[0u8], &seed_list(5, 4), 2, |_, _| {
+            vec![("sent", Some(12.0))]
+        });
+        assert_eq!(stats[0].total("sent"), 48.0);
+        assert_eq!(stats[0].total("missing"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_set_rejected() {
+        let _ = sweep(&[1], &[], 1, |_: &i32, _| Vec::new());
+    }
+}

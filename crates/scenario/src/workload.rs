@@ -132,7 +132,14 @@ mod tests {
 
     #[test]
     fn periodic_spacing() {
-        let ev = periodic(0, Target::Node(1), 16, Duration::from_secs(10), Duration::from_secs(5), 4);
+        let ev = periodic(
+            0,
+            Target::Node(1),
+            16,
+            Duration::from_secs(10),
+            Duration::from_secs(5),
+            4,
+        );
         assert_eq!(ev.len(), 4);
         assert_eq!(ev[0].at, Duration::from_secs(10));
         assert_eq!(ev[3].at, Duration::from_secs(25));
@@ -159,7 +166,14 @@ mod tests {
 
     #[test]
     fn all_to_one_excludes_sink_and_staggers() {
-        let ev = all_to_one(4, 0, 16, Duration::from_secs(100), Duration::from_secs(30), 2);
+        let ev = all_to_one(
+            4,
+            0,
+            16,
+            Duration::from_secs(100),
+            Duration::from_secs(30),
+            2,
+        );
         assert_eq!(ev.len(), 6); // 3 senders × 2
         assert!(ev.iter().all(|e| e.from != 0));
         assert!(ev.iter().all(|e| e.to == Target::Node(0)));

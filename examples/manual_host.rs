@@ -50,8 +50,10 @@ impl Ord for Scheduled {
 }
 
 fn main() {
-    let mut nodes = [MeshNode::new(MeshConfig::builder(Address::new(0x0001)).build()),
-        MeshNode::new(MeshConfig::builder(Address::new(0x0002)).build())];
+    let mut nodes = [
+        MeshNode::new(MeshConfig::builder(Address::new(0x0001)).build()),
+        MeshNode::new(MeshConfig::builder(Address::new(0x0002)).build()),
+    ];
     let modulation = nodes[0].config().modulation;
     let mut queue: BinaryHeap<Scheduled> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -125,10 +127,17 @@ fn main() {
                         queue.push(Scheduled(
                             now + airtime,
                             seq,
-                            HostEvent::FrameArrives { at_node: 1 - i, bytes },
+                            HostEvent::FrameArrives {
+                                at_node: 1 - i,
+                                bytes,
+                            },
                         ));
                         seq += 1;
-                        queue.push(Scheduled(now + airtime, seq, HostEvent::TxDone { at_node: i }));
+                        queue.push(Scheduled(
+                            now + airtime,
+                            seq,
+                            HostEvent::TxDone { at_node: i },
+                        ));
                     }
                 }
             }
@@ -136,7 +145,10 @@ fn main() {
 
         // The "application": once a route exists, node 0 pings node 1.
         if !sent_app_message
-            && nodes[0].routing_table().next_hop(Address::new(0x0002)).is_some()
+            && nodes[0]
+                .routing_table()
+                .next_hop(Address::new(0x0002))
+                .is_some()
         {
             sent_app_message = true;
             println!(
@@ -144,7 +156,11 @@ fn main() {
                 now.as_secs_f64()
             );
             nodes[0]
-                .send_datagram(Address::new(0x0002), b"hello from a bare host".to_vec(), now)
+                .send_datagram(
+                    Address::new(0x0002),
+                    b"hello from a bare host".to_vec(),
+                    now,
+                )
                 .expect("route exists");
         }
         for event in nodes[1].take_events() {

@@ -40,11 +40,14 @@ fn main() {
         .expect("diamond converges");
 
     let dst = Runner::address_of(3);
-    let via = net.mesh_node(0).unwrap().routing_table().next_hop(dst).unwrap();
+    let via = net
+        .mesh_node(0)
+        .unwrap()
+        .routing_table()
+        .next_hop(dst)
+        .unwrap();
     let victim = usize::from(via.value()) - 1;
-    println!(
-        "Converged. Node 0 reaches node 3 via node {victim}; killing it mid-run.\n"
-    );
+    println!("Converged. Node 0 reaches node 3 via node {victim}; killing it mid-run.\n");
 
     // Continuous traffic: one report every 5 s for 5 minutes.
     let start = net.now() + Duration::from_secs(1);
@@ -85,7 +88,10 @@ fn main() {
 
     let report = net.report();
     println!("\nTimeline:");
-    println!("  node {victim} killed at  t = {:.0} s", kill_at.as_secs_f64());
+    println!(
+        "  node {victim} killed at  t = {:.0} s",
+        kill_at.as_secs_f64()
+    );
     match repaired_at {
         Some(t) => println!(
             "  route repaired at  t = {:.0} s ({:.0} s outage)",
@@ -94,7 +100,10 @@ fn main() {
         ),
         None => println!("  route was never repaired!"),
     }
-    println!("  node {victim} revived at t = {:.0} s", revive_at.as_secs_f64());
+    println!(
+        "  node {victim} revived at t = {:.0} s",
+        revive_at.as_secs_f64()
+    );
     println!("\nTraffic during the run:");
     println!("  sent      : {}", report.sent);
     println!("  delivered : {}", report.delivered);

@@ -32,7 +32,10 @@ fn main() {
     let converged = net
         .run_until_converged(Duration::from_secs(2), Duration::from_secs(600))
         .expect("mesh must converge");
-    println!("Mesh converged after {:.0} s of simulated time.", converged.as_secs_f64());
+    println!(
+        "Mesh converged after {:.0} s of simulated time.",
+        converged.as_secs_f64()
+    );
 
     // Show each node's routing table — the state the demo visualises.
     for i in 0..net.len() {
@@ -60,7 +63,10 @@ fn main() {
     net.run_until(start + Duration::from_secs(60));
 
     let report = net.report();
-    println!("\nSent {} datagrams from node 0 to node 2 (2 hops):", report.sent);
+    println!(
+        "\nSent {} datagrams from node 0 to node 2 (2 hops):",
+        report.sent
+    );
     println!("  delivered : {}", report.delivered);
     println!(
         "  mean end-to-end latency : {:.1} ms",

@@ -29,12 +29,9 @@ fn main() {
     let spacing = default_spacing();
     let side = spacing * (SENSORS as f64).sqrt() * 0.85;
     let mut rng = SimRng::new(7);
-    let positions =
-        topology::connected_random(SENSORS, side, side, spacing, &mut rng, 2000)
-            .expect("connected field");
-    println!(
-        "{SENSORS} sensors over a {side:.0} m × {side:.0} m field; collector at node 0\n"
-    );
+    let positions = topology::connected_random(SENSORS, side, side, spacing, &mut rng, 2000)
+        .expect("connected field");
+    println!("{SENSORS} sensors over a {side:.0} m × {side:.0} m field; collector at node 0\n");
 
     let mut net = NetworkBuilder::mesh(positions, 7).build();
     let converged = net
@@ -44,7 +41,11 @@ fn main() {
 
     // Hop distribution from the collector's perspective.
     let collector = net.mesh_node(0).unwrap();
-    let mut hops: Vec<u8> = collector.routing_table().routes().map(|r| r.metric).collect();
+    let mut hops: Vec<u8> = collector
+        .routing_table()
+        .routes()
+        .map(|r| r.metric)
+        .collect();
     hops.sort_unstable();
     println!(
         "Collector reaches {} sensors; hop counts: {:?}",
@@ -74,7 +75,9 @@ fn main() {
     );
     println!(
         "  mean latency      : {:.0} ms",
-        report.mean_latency().map_or(0.0, |d| d.as_secs_f64() * 1000.0)
+        report
+            .mean_latency()
+            .map_or(0.0, |d| d.as_secs_f64() * 1000.0)
     );
     println!(
         "  network airtime   : {:.1} s ({:.2} % of the hour)",

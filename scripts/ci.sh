@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the repository: formatting, a fully offline release
+# build, and the fully offline test suite. Run from anywhere; no network
+# access is required (the workspace has no registry dependencies).
+#
+#   ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "ci: all checks passed"

@@ -18,10 +18,19 @@ fn run_protocol(protocol: ProtocolChoice, seed: u64) -> TrafficReport {
     let mut rng = SimRng::new(99);
     let positions = topology::connected_random(n, side, side, spacing, &mut rng, 2000)
         .expect("connected placement");
-    let mut net = NetworkBuilder::mesh(positions, seed).protocol(protocol).build();
+    let mut net = NetworkBuilder::mesh(positions, seed)
+        .protocol(protocol)
+        .build();
     let start = Duration::from_secs(300);
     net.run_until(start);
-    net.apply(&workload::all_to_one(n, 0, 16, start, Duration::from_secs(60), 4));
+    net.apply(&workload::all_to_one(
+        n,
+        0,
+        16,
+        start,
+        Duration::from_secs(60),
+        4,
+    ));
     net.run_until(start + Duration::from_secs(60 * 4 + 120));
     net.report()
 }
@@ -44,7 +53,11 @@ fn mesh_beats_star_on_multi_hop_topologies() {
 fn flooding_delivers_but_burns_more_frames_per_packet() {
     let mesh = run_protocol(ProtocolChoice::mesh_fast(), 42);
     let flooding = run_protocol(ProtocolChoice::Flooding { ttl: 7 }, 42);
-    assert!(flooding.pdr().unwrap() >= 0.9, "flooding pdr {:?}", flooding.pdr());
+    assert!(
+        flooding.pdr().unwrap() >= 0.9,
+        "flooding pdr {:?}",
+        flooding.pdr()
+    );
     // Flooding's data-plane cost: every delivery involves ~N relays,
     // whereas the mesh forwards along one path. Compare frames net of
     // the mesh's routing chatter by using per-delivered-packet data

@@ -20,11 +20,20 @@ fn fingerprint(seed: u64, grey_zone: bool) -> String {
         .build();
     net.run_until(Duration::from_secs(120));
     let start = Duration::from_secs(125);
-    net.apply(&workload::all_to_one(6, 0, 16, start, Duration::from_secs(30), 4));
+    net.apply(&workload::all_to_one(
+        6,
+        0,
+        16,
+        start,
+        Duration::from_secs(30),
+        4,
+    ));
     net.schedule(workload::bulk(1, 5, 900, start + Duration::from_secs(10)));
     let victim = net.id(2);
-    net.sim_mut().schedule_kill(start + Duration::from_secs(60), victim);
-    net.sim_mut().schedule_revive(start + Duration::from_secs(180), victim);
+    net.sim_mut()
+        .schedule_kill(start + Duration::from_secs(60), victim);
+    net.sim_mut()
+        .schedule_revive(start + Duration::from_secs(180), victim);
     net.run_until(start + Duration::from_secs(400));
 
     let report = net.report();
@@ -33,10 +42,16 @@ fn fingerprint(seed: u64, grey_zone: bool) -> String {
     for i in 0..net.len() {
         let mesh = net.mesh_node(i).unwrap();
         for r in mesh.routing_table().routes() {
-            tables.push_str(&format!("{}:{}via{}m{};", i, r.destination, r.via, r.metric));
+            tables.push_str(&format!(
+                "{}:{}via{}m{};",
+                i, r.destination, r.via, r.metric
+            ));
         }
         let s = mesh.stats();
-        tables.push_str(&format!("s{}={},{},{};", i, s.frames_sent, s.forwarded, s.hellos_received));
+        tables.push_str(&format!(
+            "s{}={},{},{};",
+            i, s.frames_sent, s.forwarded, s.hellos_received
+        ));
     }
     format!(
         "sent={} del={} lat={:?} rel={} frames={} coll={} floor={} | {}",
@@ -92,7 +107,11 @@ fn baseline_protocols_are_deterministic_too() {
         ));
         net.run_until(Duration::from_secs(120));
         let r = net.report();
-        (r.delivered, r.frames_transmitted, format!("{:?}", r.latencies))
+        (
+            r.delivered,
+            r.frames_transmitted,
+            format!("{:?}", r.latencies),
+        )
     };
     assert_eq!(run(5), run(5));
 }

@@ -35,7 +35,11 @@ fn experiments_are_deterministic_across_invocations() {
 #[test]
 fn seed_changes_tables() {
     let a = experiments::e3_pdr_vs_hops(&ExpOptions::quick());
-    let b = experiments::e3_pdr_vs_hops(&ExpOptions { seed: 1234, quick: true });
+    let b = experiments::e3_pdr_vs_hops(&ExpOptions {
+        seed: 1234,
+        quick: true,
+        ..ExpOptions::default()
+    });
     // Grey-zone losses depend on the seed, so the PDR column differs.
     assert_ne!(a, b);
 }

@@ -107,8 +107,14 @@ fn routes_across_partition_expire() {
     // After the route timeout everything beyond the cut is gone.
     net.run_until(kill_at + Duration::from_secs(90));
     let table = net.mesh_node(0).unwrap().routing_table();
-    assert!(table.next_hop(Runner::address_of(1)).is_none(), "dead neighbour kept");
-    assert!(table.next_hop(Runner::address_of(2)).is_none(), "unreachable kept");
+    assert!(
+        table.next_hop(Runner::address_of(1)).is_none(),
+        "dead neighbour kept"
+    );
+    assert!(
+        table.next_hop(Runner::address_of(2)).is_none(),
+        "unreachable kept"
+    );
 }
 
 #[test]
@@ -128,7 +134,8 @@ fn late_joiner_is_absorbed() {
     let end = net.id(2);
     let t = net.now();
     net.sim_mut().schedule_kill(t + Duration::from_secs(1), end);
-    net.sim_mut().schedule_revive(t + Duration::from_secs(120), end);
+    net.sim_mut()
+        .schedule_revive(t + Duration::from_secs(120), end);
     net.run_until(t + Duration::from_secs(300));
     let table = net.mesh_node(2).unwrap().routing_table();
     assert_eq!(table.len(), 2, "revived node relearned the mesh: {table:?}");

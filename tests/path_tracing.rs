@@ -18,7 +18,14 @@ fn datagram_follows_the_advertised_route() {
     net.run_until_converged(Duration::from_secs(2), Duration::from_secs(1200))
         .expect("line converges");
     let start = net.now() + Duration::from_secs(1);
-    net.apply(&workload::periodic(0, Target::Node(3), 16, start, Duration::from_secs(30), 1));
+    net.apply(&workload::periodic(
+        0,
+        Target::Node(3),
+        16,
+        start,
+        Duration::from_secs(30),
+        1,
+    ));
     net.run_until(start + Duration::from_secs(60));
     assert_eq!(net.report().delivered, 1);
 
@@ -40,7 +47,11 @@ fn datagram_follows_the_advertised_route() {
                     && m.via == Runner::address_of(hop)
             })
             .collect();
-        assert_eq!(addressed.len(), 1, "node {hop} should receive exactly one copy for it");
+        assert_eq!(
+            addressed.len(),
+            1,
+            "node {hop} should receive exactly one copy for it"
+        );
         ttls.push(addressed[0].1.ttl);
     }
     // TTL decreases by one per relay.

@@ -81,7 +81,14 @@ fn sensor_reports_route_to_discovered_gateway() {
         .expect("gateway discovered");
     assert_eq!(gw, Runner::address_of(3));
     let start = net.now() + Duration::from_secs(1);
-    net.apply(&workload::periodic(0, Target::Node(3), 16, start, Duration::from_secs(10), 5));
+    net.apply(&workload::periodic(
+        0,
+        Target::Node(3),
+        16,
+        start,
+        Duration::from_secs(10),
+        5,
+    ));
     net.run_until(start + Duration::from_secs(120));
     assert_eq!(net.report().pdr(), Some(1.0));
 }
@@ -92,5 +99,8 @@ fn plain_nodes_have_no_gateway() {
     let mut net = NetworkBuilder::mesh(topology::line(3, spacing), 4).build();
     net.run_until_converged(Duration::from_secs(2), Duration::from_secs(1200))
         .expect("line converges");
-    assert_eq!(net.mesh_node(0).unwrap().routing_table().closest_gateway(), None);
+    assert_eq!(
+        net.mesh_node(0).unwrap().routing_table().closest_gateway(),
+        None
+    );
 }

@@ -35,7 +35,10 @@ fn clean_links_deliver_everything() {
     assert_eq!(report.duplicates, 0);
     // 3 hops at SF7: ~240 ms end to end.
     let mean = report.mean_latency().unwrap();
-    assert!(mean > Duration::from_millis(200) && mean < Duration::from_millis(600), "{mean:?}");
+    assert!(
+        mean > Duration::from_millis(200) && mean < Duration::from_millis(600),
+        "{mean:?}"
+    );
 }
 
 #[test]
@@ -80,7 +83,10 @@ fn lossy_links_degrade_but_do_not_break() {
     net.run_until(start + Duration::from_secs(400));
     let report = net.report();
     let pdr = report.pdr().unwrap();
-    assert!(pdr > 0.3 && pdr < 1.0, "expected partial delivery, got {pdr}");
+    assert!(
+        pdr > 0.3 && pdr < 1.0,
+        "expected partial delivery, got {pdr}"
+    );
 }
 
 #[test]
@@ -223,7 +229,14 @@ fn forwarding_respects_ttl_limit() {
     net.run_until_converged(Duration::from_secs(5), Duration::from_secs(3600))
         .expect("line-12 converges");
     let at = net.now() + Duration::from_secs(1);
-    net.apply(&workload::periodic(0, Target::Node(11), 16, at, Duration::from_secs(20), 3));
+    net.apply(&workload::periodic(
+        0,
+        Target::Node(11),
+        16,
+        at,
+        Duration::from_secs(20),
+        3,
+    ));
     net.run_until(at + Duration::from_secs(200));
     let report = net.report();
     assert_eq!(report.delivered, 0, "TTL should kill 11-hop datagrams");
