@@ -180,6 +180,24 @@ fn bench_medium(filter: &str) {
             radio_sim::firmware::NodeId(1),
         )
     });
+    bench(filter, "medium/dbm_to_milliwatts", || {
+        std::hint::black_box(lora_phy::power::Dbm::new(-87.3)).to_milliwatts()
+    });
+    bench(filter, "medium/capture_ratio_linear", || {
+        std::hint::black_box(medium.config()).capture_ratio_linear()
+    });
+}
+
+fn bench_link_cache(filter: &str) {
+    // The same PHY-only beacon workload with the link cache on and off:
+    // the gap is what the cache + audible-neighbor culling buys on the
+    // start_tx / lock_receiver hot path.
+    bench(filter, "simulator/beacon_grid64_10s_cached", || {
+        bench::scaling::run(64, true, 10, 42).1
+    });
+    bench(filter, "simulator/beacon_grid64_10s_uncached", || {
+        bench::scaling::run(64, false, 10, 42).1
+    });
 }
 
 fn main() {
@@ -195,4 +213,5 @@ fn main() {
     bench_rng(&filter);
     bench_simulator(&filter);
     bench_medium(&filter);
+    bench_link_cache(&filter);
 }

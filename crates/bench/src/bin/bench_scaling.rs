@@ -1,0 +1,167 @@
+//! Scaling benchmark for the simulator hot path: the static-grid beacon
+//! scenario at N ∈ {16, 64, 256} nodes, run with the link cache on and
+//! off, asserting identical metrics and reporting events/sec, ns/event
+//! and the cached-vs-uncached speedup.
+//!
+//! ```text
+//! bench_scaling [--smoke] [--out PATH] [--secs N] [--seed N]
+//! ```
+//!
+//! `--out PATH` writes a JSON report (`scripts/bench.sh` points it at
+//! `BENCH_PR2.json` so the repo keeps a perf trajectory across PRs);
+//! `--smoke` shrinks the run to a CI-friendly correctness check.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use bench::scaling;
+use radio_sim::metrics::Metrics;
+
+/// Wall-clock timings and outcome of one (n, link_cache) measurement.
+struct Measurement {
+    metrics: Metrics,
+    events: u64,
+    wall: Duration,
+}
+
+/// Runs one configuration `repeats` times and keeps the fastest wall
+/// time (the usual bench practice: minimum is the least noisy estimator
+/// of the true cost).
+fn measure(n: usize, link_cache: bool, sim_secs: u64, seed: u64, repeats: usize) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let (metrics, events) = scaling::run(n, link_cache, sim_secs, seed);
+        let wall = start.elapsed();
+        if best.as_ref().is_none_or(|b| wall < b.wall) {
+            best = Some(Measurement {
+                metrics,
+                events,
+                wall,
+            });
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+struct Row {
+    nodes: usize,
+    events: u64,
+    cached_events_per_sec: f64,
+    cached_ns_per_event: f64,
+    uncached_events_per_sec: f64,
+    uncached_ns_per_event: f64,
+    speedup: f64,
+}
+
+fn json_report(sim_secs: u64, seed: u64, rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"scaling_static_grid_beacon\",");
+    let _ = writeln!(s, "  \"sim_seconds\": {sim_secs},");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"nodes\": {}, \"events\": {}, \
+             \"cached_events_per_sec\": {:.0}, \"cached_ns_per_event\": {:.1}, \
+             \"uncached_events_per_sec\": {:.0}, \"uncached_ns_per_event\": {:.1}, \
+             \"speedup\": {:.2}}}",
+            r.nodes,
+            r.events,
+            r.cached_events_per_sec,
+            r.cached_ns_per_event,
+            r.uncached_events_per_sec,
+            r.uncached_ns_per_event,
+            r.speedup
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut sim_secs: Option<u64> = None;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let int = |v: Option<String>, flag: &str| -> u64 {
+            v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{flag} requires an integer");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--secs" => sim_secs = Some(int(args.next(), "--secs")),
+            "--seed" => seed = int(args.next(), "--seed"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_scaling [--smoke] [--out PATH] [--secs N] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let sizes: &[usize] = if smoke { &[16] } else { &[16, 64, 256] };
+    let sim_secs = sim_secs.unwrap_or(if smoke { 20 } else { 120 });
+    let repeats = if smoke { 1 } else { 3 };
+
+    println!("static-grid beacon scenario, {sim_secs} simulated seconds, seed {seed}");
+    println!(
+        "{:>6} {:>10} {:>14} {:>13} {:>14} {:>13} {:>8}",
+        "nodes", "events", "cached ev/s", "cached ns/ev", "uncached ev/s", "unc. ns/ev", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let uncached = measure(n, false, sim_secs, seed, repeats);
+        let cached = measure(n, true, sim_secs, seed, repeats);
+        // The cache must be behaviourally transparent — a differing run
+        // would make every speedup number meaningless.
+        assert_eq!(
+            cached.metrics, uncached.metrics,
+            "link cache changed behaviour at n={n}"
+        );
+        assert_eq!(cached.events, uncached.events);
+        let per_sec = |m: &Measurement| m.events as f64 / m.wall.as_secs_f64();
+        let per_event_ns = |m: &Measurement| m.wall.as_nanos() as f64 / m.events as f64;
+        let row = Row {
+            nodes: n,
+            events: cached.events,
+            cached_events_per_sec: per_sec(&cached),
+            cached_ns_per_event: per_event_ns(&cached),
+            uncached_events_per_sec: per_sec(&uncached),
+            uncached_ns_per_event: per_event_ns(&uncached),
+            speedup: uncached.wall.as_secs_f64() / cached.wall.as_secs_f64(),
+        };
+        println!(
+            "{:>6} {:>10} {:>14.0} {:>13.1} {:>14.0} {:>13.1} {:>7.2}x",
+            row.nodes,
+            row.events,
+            row.cached_events_per_sec,
+            row.cached_ns_per_event,
+            row.uncached_events_per_sec,
+            row.uncached_ns_per_event,
+            row.speedup
+        );
+        rows.push(row);
+    }
+
+    if let Some(path) = out_path {
+        let report = json_report(sim_secs, seed, &rows);
+        std::fs::write(&path, &report).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}

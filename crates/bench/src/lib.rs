@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scaling;
+
 use scenario::experiments::ExpOptions;
 
 /// Parses the common CLI of the experiment binaries: `--quick` shrinks

@@ -90,6 +90,9 @@ pub struct Cli {
     pub sf: SpreadingFactor,
     /// Probabilistic reception near the SNR floor.
     pub grey_zone: bool,
+    /// Per-topology-epoch link-budget caching in the simulator (on by
+    /// default; `--no-link-cache` forces the reference path).
+    pub link_cache: bool,
     /// Enforce the EU868 1 % duty cycle.
     pub eu868: bool,
     /// Scheduled failures: `(node, at)`.
@@ -118,6 +121,7 @@ impl Default for Cli {
             jobs: 1,
             sf: SpreadingFactor::Sf7,
             grey_zone: false,
+            link_cache: true,
             eu868: false,
             kills: Vec::new(),
             revives: Vec::new(),
@@ -158,6 +162,7 @@ OPTIONS:
   --jobs N                                worker threads for --seeds [1]
   --sf 7..12                              spreading factor     [7]
   --grey-zone                             probabilistic reception
+  --no-link-cache                         disable link-budget caching
   --eu868                                 enforce the 1 % duty cycle
   --kill NODE@SECS                        fail a node (repeatable)
   --revive NODE@SECS                      recover a node (repeatable)
@@ -280,6 +285,7 @@ impl Cli {
                         .ok_or_else(|| ParseError(format!("SF must be 7..=12, got {n}")))?;
                 }
                 "--grey-zone" => cli.grey_zone = true,
+                "--no-link-cache" => cli.link_cache = false,
                 "--eu868" => cli.eu868 = true,
                 "--per-node" => cli.per_node = true,
                 "--snr-tiebreak" => cli.snr_tiebreak = true,
@@ -480,6 +486,12 @@ mod tests {
         assert!(parse(&["--kill", "1-10"]).is_err());
         assert!(parse(&["--spacing-frac", "5.0"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn link_cache_flag() {
+        assert!(parse(&[]).unwrap().link_cache, "cache on by default");
+        assert!(!parse(&["--no-link-cache"]).unwrap().link_cache);
     }
 
     #[test]

@@ -19,12 +19,18 @@ impl Dbm {
     }
 
     /// The raw dBm value.
+    #[inline]
     #[must_use]
     pub fn value(self) -> f64 {
         self.0
     }
 
     /// Converts to linear milliwatts.
+    ///
+    /// This is a `powf` — cheap enough to call once per link, expensive
+    /// enough that per-frame hot paths should cache the result (see
+    /// `radio_sim::link_cache`).
+    #[inline]
     #[must_use]
     pub fn to_milliwatts(self) -> Milliwatts {
         Milliwatts(10f64.powf(self.0 / 10.0))
@@ -81,12 +87,14 @@ impl Milliwatts {
     }
 
     /// The raw milliwatt value.
+    #[inline]
     #[must_use]
     pub fn value(self) -> f64 {
         self.0
     }
 
     /// Converts to dBm. Zero power maps to negative infinity dBm.
+    #[inline]
     #[must_use]
     pub fn to_dbm(self) -> Dbm {
         Dbm(10.0 * self.0.log10())

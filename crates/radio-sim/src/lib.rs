@@ -24,6 +24,8 @@
 //! * [`rng`] — a seedable, forkable xoshiro256++ PRNG ([`SimRng`]).
 //! * [`event`] — the deterministic event queue.
 //! * [`medium`] — the shared channel: who hears whom, collisions, capture.
+//! * [`link_cache`] — per-topology-epoch cache of link budgets and
+//!   audible-neighbor lists (the hot-path accelerator).
 //! * [`radio`] — per-node half-duplex radio state machine.
 //! * [`firmware`] — the [`Firmware`] trait protocol implementations adapt to.
 //! * [`topology`] — node placement generators.
@@ -61,6 +63,7 @@
 
 pub mod event;
 pub mod firmware;
+pub mod link_cache;
 pub mod medium;
 pub mod metrics;
 pub mod mobility;

@@ -1,0 +1,193 @@
+//! Per-topology-epoch cache of link budgets and audible-neighbor lists.
+//!
+//! Path-loss and shadowing math is deterministic in the endpoint
+//! positions, so between position changes every `(a, b)` pair has a
+//! fixed received power. The uncached simulator nevertheless recomputes
+//! it (two `log10` calls and a `powf`) for every pair on every frame —
+//! the dominant cost of large simulations. [`LinkCache`] computes each
+//! link budget **once per topology epoch**:
+//!
+//! * Rows are filled lazily: the first transmission from node `i` in an
+//!   epoch computes row `i`; later frames are array lookups.
+//! * Links are symmetric (equal antenna gains, per-pair shadowing), so a
+//!   row reuses entries already computed by other rows bit-for-bit.
+//! * Each row carries the node's **audible-neighbor list** — the sorted
+//!   indices of nodes that can hear it — so transmission fan-out,
+//!   interferer seeding and CAD scans iterate only nodes that matter
+//!   instead of all N.
+//!
+//! The cache holds *values*, never decisions: the simulator invalidates
+//! it wholesale on every mobility tick, node addition and explicit
+//! position change, which keeps cached and uncached runs byte-identical
+//! (see `tests/link_cache_diff.rs`).
+
+use lora_phy::power::Dbm;
+
+/// The cached budget of one directed link (symmetric in practice).
+#[derive(Clone, Copy, Debug)]
+pub struct Link {
+    /// Received power in dBm.
+    pub power: Dbm,
+    /// Received power in linear milliwatts (interference sums).
+    pub power_mw: f64,
+    /// Whether the power exceeds the shared modulation's sensitivity.
+    pub audible: bool,
+}
+
+impl Link {
+    /// A self-link / placeholder carrying no power.
+    fn silent() -> Self {
+        Link {
+            power: Dbm::new(f64::NEG_INFINITY),
+            power_mw: 0.0,
+            audible: false,
+        }
+    }
+}
+
+/// One node's cached links to every other node.
+#[derive(Clone, Debug)]
+pub struct LinkRow {
+    /// Link budget to every node index (entry `i` of row `i` is silent).
+    pub links: Vec<Link>,
+    /// Sorted indices of the nodes that can hear this node.
+    pub audible: Vec<usize>,
+}
+
+/// Lazily filled symmetric matrix of link budgets, invalidated wholesale
+/// whenever any position may have changed.
+#[derive(Debug, Default)]
+pub struct LinkCache {
+    rows: Vec<Option<LinkRow>>,
+}
+
+impl LinkCache {
+    /// An empty cache for a simulation with no nodes yet.
+    #[must_use]
+    pub fn new() -> Self {
+        LinkCache::default()
+    }
+
+    /// Number of nodes the cache is sized for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the cache is sized for zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Resizes for `n` nodes, dropping every cached row (a new node
+    /// changes row lengths and neighbor lists).
+    pub fn resize(&mut self, n: usize) {
+        self.rows.clear();
+        self.rows.resize_with(n, || None);
+    }
+
+    /// Drops every cached row. Called on any event that may move a node
+    /// (mobility tick, explicit position change).
+    pub fn invalidate_all(&mut self) {
+        for row in &mut self.rows {
+            *row = None;
+        }
+    }
+
+    /// Row `i`, computing it on first access this epoch. `compute(j)`
+    /// must return the link budget between nodes `i` and `j`; it is only
+    /// invoked for pairs no other cached row already covers (links are
+    /// symmetric, so entry `i` of a cached row `j` is reused directly).
+    pub fn row(&mut self, i: usize, mut compute: impl FnMut(usize) -> Link) -> &LinkRow {
+        if self.rows[i].is_none() {
+            let n = self.rows.len();
+            let mut links = Vec::with_capacity(n);
+            let mut audible = Vec::new();
+            for j in 0..n {
+                let link = if j == i {
+                    Link::silent()
+                } else if let Some(other) = &self.rows[j] {
+                    other.links[i]
+                } else {
+                    compute(j)
+                };
+                if link.audible {
+                    audible.push(j);
+                }
+                links.push(link);
+            }
+            self.rows[i] = Some(LinkRow { links, audible });
+        }
+        self.rows[i].as_ref().expect("row just filled")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(power_dbm: f64, audible: bool) -> Link {
+        Link {
+            power: Dbm::new(power_dbm),
+            power_mw: Dbm::new(power_dbm).to_milliwatts().value(),
+            audible,
+        }
+    }
+
+    #[test]
+    fn rows_fill_lazily_and_reuse_symmetry() {
+        let mut cache = LinkCache::new();
+        cache.resize(4);
+        let mut computed = Vec::new();
+        let row0 = cache.row(0, |j| {
+            computed.push((0, j));
+            link(-80.0 - j as f64, true)
+        });
+        assert_eq!(row0.audible, vec![1, 2, 3]);
+        assert_eq!(computed, vec![(0, 1), (0, 2), (0, 3)]);
+
+        // Row 1 must reuse (0,1) from row 0 and only compute (1,2), (1,3).
+        let mut computed = Vec::new();
+        let row1 = cache.row(1, |j| {
+            computed.push((1, j));
+            link(-90.0, false)
+        });
+        assert_eq!(computed, vec![(1, 2), (1, 3)]);
+        assert!((row1.links[0].power.value() - (-81.0)).abs() < 1e-12);
+        assert_eq!(row1.audible, vec![0]);
+
+        // A second access computes nothing.
+        let _ = cache.row(0, |_| panic!("row 0 is cached"));
+    }
+
+    #[test]
+    fn invalidate_all_recomputes() {
+        let mut cache = LinkCache::new();
+        cache.resize(2);
+        let _ = cache.row(0, |_| link(-80.0, true));
+        cache.invalidate_all();
+        let mut calls = 0;
+        let _ = cache.row(0, |_| {
+            calls += 1;
+            link(-80.0, true)
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn resize_clears_and_grows() {
+        let mut cache = LinkCache::new();
+        cache.resize(2);
+        let _ = cache.row(1, |_| link(-80.0, true));
+        cache.resize(3);
+        assert_eq!(cache.len(), 3);
+        let mut calls = 0;
+        let row = cache.row(1, |_| {
+            calls += 1;
+            link(-120.0, false)
+        });
+        assert_eq!(calls, 2, "old rows must not survive a resize");
+        assert!(row.audible.is_empty());
+    }
+}

@@ -32,6 +32,7 @@ use lora_phy::power::Dbm;
 use lora_phy::propagation::{PathLossModel, Position, Shadowing};
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::event::FrameId;
 use crate::firmware::NodeId;
@@ -57,6 +58,18 @@ pub struct RfConfig {
     /// When true, reception near the SNR floor is probabilistic
     /// (logistic waterfall); when false it is a hard threshold.
     pub grey_zone: bool,
+}
+
+impl RfConfig {
+    /// The capture threshold as a linear power ratio (`10^(dB/10)`).
+    ///
+    /// Hot paths compare linear powers against this; computing it here
+    /// (and caching it in [`Medium`]) keeps the `powf` out of the
+    /// per-interferer loop.
+    #[must_use]
+    pub fn capture_ratio_linear(&self) -> f64 {
+        10f64.powf(self.capture_threshold_db / 10.0)
+    }
 }
 
 impl Default for RfConfig {
@@ -86,8 +99,21 @@ pub struct ActiveTx {
     pub start: SimTime,
     /// When it will end.
     pub end: SimTime,
-    /// The frame contents.
-    pub payload: Vec<u8>,
+    /// The frame contents, shared zero-copy with every locked receiver.
+    pub payload: Arc<[u8]>,
+}
+
+/// What [`Medium::begin_tx`] hands back: the frame id plus the airtime
+/// and length the medium already computed, so callers don't re-derive
+/// (or re-look-up) either.
+#[derive(Clone, Copy, Debug)]
+pub struct TxHandle {
+    /// The new frame's identifier.
+    pub frame: FrameId,
+    /// Time on air of the frame under the shared modulation.
+    pub airtime: std::time::Duration,
+    /// Payload length in bytes.
+    pub len: usize,
 }
 
 /// Why a reception attempt failed.
@@ -121,6 +147,8 @@ pub struct Medium {
     config: RfConfig,
     active: BTreeMap<FrameId, ActiveTx>,
     next_frame: u64,
+    /// [`RfConfig::capture_ratio_linear`], hoisted out of the hot loops.
+    capture_ratio_linear: f64,
 }
 
 impl Medium {
@@ -128,6 +156,7 @@ impl Medium {
     #[must_use]
     pub fn new(config: RfConfig) -> Self {
         Medium {
+            capture_ratio_linear: config.capture_ratio_linear(),
             config,
             active: BTreeMap::new(),
             next_frame: 0,
@@ -138,6 +167,14 @@ impl Medium {
     #[must_use]
     pub fn config(&self) -> &RfConfig {
         &self.config
+    }
+
+    /// The precomputed linear capture ratio
+    /// ([`RfConfig::capture_ratio_linear`]).
+    #[inline]
+    #[must_use]
+    pub fn capture_ratio_linear(&self) -> f64 {
+        self.capture_ratio_linear
     }
 
     /// The airtime of a frame of `len` bytes under the shared modulation.
@@ -187,17 +224,20 @@ impl Medium {
         }
     }
 
-    /// Registers a new transmission and returns its frame id.
+    /// Registers a new transmission, returning its frame id together with
+    /// the airtime and payload length (so the caller needs no re-lookup).
     pub fn begin_tx(
         &mut self,
         sender: NodeId,
         origin: Position,
         start: SimTime,
-        payload: Vec<u8>,
-    ) -> FrameId {
+        payload: impl Into<Arc<[u8]>>,
+    ) -> TxHandle {
+        let payload: Arc<[u8]> = payload.into();
+        let len = payload.len();
+        let airtime = self.airtime(len);
         let frame = FrameId(self.next_frame);
         self.next_frame += 1;
-        let end = start + self.airtime(payload.len());
         self.active.insert(
             frame,
             ActiveTx {
@@ -205,11 +245,15 @@ impl Medium {
                 sender,
                 origin,
                 start,
-                end,
+                end: start + airtime,
                 payload,
             },
         );
-        frame
+        TxHandle {
+            frame,
+            airtime,
+            len,
+        }
     }
 
     /// Removes a completed (or aborted) transmission, returning it.
@@ -301,19 +345,21 @@ mod tests {
         let mut m = medium();
         let a = m.begin_tx(NodeId(0), pos(0.0), SimTime::ZERO, vec![0; 10]);
         let b = m.begin_tx(NodeId(1), pos(1.0), SimTime::ZERO, vec![0; 10]);
-        assert!(b > a);
-        assert!(m.get(a).is_some());
+        assert!(b.frame > a.frame);
+        assert!(m.get(a.frame).is_some());
         assert_eq!(m.active().count(), 2);
-        let ended = m.end_tx(a).unwrap();
+        let ended = m.end_tx(a.frame).unwrap();
         assert_eq!(ended.sender, NodeId(0));
-        assert!(m.get(a).is_none());
+        assert!(m.get(a.frame).is_none());
     }
 
     #[test]
     fn tx_end_time_matches_airtime() {
         let mut m = medium();
-        let f = m.begin_tx(NodeId(0), pos(0.0), SimTime::from_secs(1), vec![0; 20]);
-        let tx = m.get(f).unwrap();
+        let h = m.begin_tx(NodeId(0), pos(0.0), SimTime::from_secs(1), vec![0; 20]);
+        assert_eq!(h.airtime, m.airtime(20));
+        assert_eq!(h.len, 20);
+        let tx = m.get(h.frame).unwrap();
         assert_eq!(tx.end, SimTime::from_secs(1) + m.airtime(20));
     }
 
@@ -447,9 +493,19 @@ mod tests {
     }
 
     #[test]
+    fn capture_ratio_linear_matches_threshold() {
+        let m = medium();
+        let expected = 10f64.powf(m.config().capture_threshold_db / 10.0);
+        assert_eq!(m.capture_ratio_linear(), expected);
+        assert_eq!(m.config().capture_ratio_linear(), expected);
+    }
+
+    #[test]
     fn preamble_window() {
         let mut m = medium();
-        let f = m.begin_tx(NodeId(0), pos(0.0), SimTime::ZERO, vec![0; 10]);
+        let f = m
+            .begin_tx(NodeId(0), pos(0.0), SimTime::ZERO, vec![0; 10])
+            .frame;
         let tx = m.get(f).unwrap().clone();
         let preamble = m.config().modulation.preamble_time();
         assert!(m.in_preamble(&tx, SimTime::ZERO + preamble / 2));

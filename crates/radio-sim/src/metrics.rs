@@ -24,7 +24,10 @@ pub struct NodeCounters {
 }
 
 /// Aggregated PHY statistics for a run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` so differential tests can assert two runs (e.g. link
+/// cache on vs off) produced identical statistics wholesale.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Metrics {
     /// Total frames put on the air.
     pub frames_transmitted: u64,
@@ -41,6 +44,8 @@ pub struct Metrics {
     pub lost_injected: u64,
     /// Transmit commands refused because the radio was busy.
     pub tx_while_busy: u64,
+    /// Transmit commands refused because the node was dead (killed).
+    pub tx_while_dead: u64,
     /// Transmit commands refused because the frame exceeded the PHY limit.
     pub tx_oversized: u64,
     /// Receptions aborted because the receiving node started transmitting

@@ -8,6 +8,7 @@
 //! model) and cumulative transmit airtime (for duty-cycle reporting).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use lora_phy::link::SignalQuality;
 use lora_phy::power::StateDurations;
@@ -56,8 +57,9 @@ pub struct Reception {
     pub quality: SignalQuality,
     /// Linear received power of the locked frame in milliwatts.
     pub signal_mw: f64,
-    /// The frame contents (delivered to the firmware on success).
-    pub payload: Vec<u8>,
+    /// The frame contents (delivered to the firmware on success), shared
+    /// zero-copy with the medium's [`crate::medium::ActiveTx`].
+    pub payload: Arc<[u8]>,
     /// Currently overlapping interferers and their received powers (mW).
     pub interferers: BTreeMap<FrameId, f64>,
     /// The worst instantaneous total interference seen so far (mW).
@@ -75,14 +77,14 @@ impl Reception {
         sender: crate::firmware::NodeId,
         quality: SignalQuality,
         signal_mw: f64,
-        payload: Vec<u8>,
+        payload: impl Into<Arc<[u8]>>,
     ) -> Self {
         Reception {
             frame,
             sender,
             quality,
             signal_mw,
-            payload,
+            payload: payload.into(),
             interferers: BTreeMap::new(),
             peak_interference_mw: 0.0,
             corrupted: false,

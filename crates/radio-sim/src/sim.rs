@@ -29,6 +29,7 @@ use lora_phy::propagation::Position;
 
 use crate::event::{EventQueue, FrameId, SimEvent};
 use crate::firmware::{Context, Firmware, NodeId, RadioCommand};
+use crate::link_cache::{Link, LinkCache};
 use crate::medium::{Medium, RfConfig, RxOutcome};
 use crate::metrics::Metrics;
 use crate::mobility::{Mobility, MobilityState};
@@ -48,6 +49,13 @@ pub struct SimConfig {
     pub trace_capacity: usize,
     /// Interval between mobility position updates.
     pub mobility_tick: Duration,
+    /// Cache per-pair link budgets between topology changes and cull
+    /// transmission fan-out to audible neighbors (see
+    /// [`crate::link_cache`]). Behaviourally transparent — cached and
+    /// uncached runs produce identical traces, metrics and RNG draws —
+    /// so this stays on except when differential-testing the cache
+    /// itself.
+    pub link_cache: bool,
 }
 
 impl Default for SimConfig {
@@ -57,6 +65,7 @@ impl Default for SimConfig {
             cad_symbols: 2,
             trace_capacity: 0,
             mobility_tick: Duration::from_secs(1),
+            link_cache: true,
         }
     }
 }
@@ -89,6 +98,17 @@ pub struct Simulator<F: Firmware> {
     mobility_scheduled: bool,
     /// Injected per-link loss probabilities, keyed by unordered pair.
     link_loss: std::collections::HashMap<(usize, usize), f64>,
+    /// Cached link budgets for the current topology epoch.
+    link_cache: LinkCache,
+    /// Indices of nodes currently in [`RadioState::Rx`]. The culled
+    /// fan-out must still visit these even when they cannot hear the new
+    /// frame: sub-sensitivity interference still enters their
+    /// interference sums.
+    rx_nodes: std::collections::BTreeSet<usize>,
+    /// Reused fan-out index buffer (avoids a per-transmission alloc).
+    fanout_scratch: Vec<usize>,
+    /// Events processed so far (throughput accounting for benches).
+    events_processed: u64,
 }
 
 impl<F: Firmware> Simulator<F> {
@@ -108,6 +128,10 @@ impl<F: Firmware> Simulator<F> {
             started: false,
             mobility_scheduled: false,
             link_loss: std::collections::HashMap::new(),
+            link_cache: LinkCache::new(),
+            rx_nodes: std::collections::BTreeSet::new(),
+            fanout_scratch: Vec::new(),
+            events_processed: 0,
         }
     }
 
@@ -134,6 +158,7 @@ impl<F: Firmware> Simulator<F> {
             alive: true,
             scheduled_wake: None,
         });
+        self.link_cache.resize(self.nodes.len());
         if self.started {
             self.fire(id.0, |fw, ctx| fw.on_start(ctx));
         }
@@ -169,6 +194,7 @@ impl<F: Firmware> Simulator<F> {
     /// Moves a node instantly (tests and custom scenarios).
     pub fn set_position(&mut self, id: NodeId, position: Position) {
         self.nodes[id.0].position = position;
+        self.link_cache.invalidate_all();
     }
 
     /// A node's radio (state durations feed the energy model).
@@ -193,6 +219,12 @@ impl<F: Firmware> Simulator<F> {
     #[must_use]
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Number of events the simulator has processed (bench throughput).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// The debug trace (empty unless [`SimConfig::trace_capacity`] > 0).
@@ -291,6 +323,7 @@ impl<F: Firmware> Simulator<F> {
         };
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        self.events_processed += 1;
         match event {
             SimEvent::Timer(node) => self.handle_timer(node),
             SimEvent::TxEnd(node, frame) => self.handle_tx_end(node, frame),
@@ -382,13 +415,141 @@ impl<F: Firmware> Simulator<F> {
         }
     }
 
+    /// The link budget between nodes `i` and `j`, computed directly from
+    /// their current positions (the cache's fill function, and the whole
+    /// story when the cache is disabled).
+    fn compute_link(medium: &Medium, nodes: &[NodeSlot<F>], i: usize, j: usize) -> Link {
+        let power =
+            medium.received_power(&nodes[i].position, &nodes[j].position, NodeId(i), NodeId(j));
+        Link {
+            power,
+            power_mw: power.to_milliwatts().value(),
+            audible: medium.audible(power),
+        }
+    }
+
+    /// The (cached) link budget between nodes `i` and `j` at their
+    /// current positions. Only call when [`SimConfig::link_cache`] is on.
+    fn link_for(&mut self, i: usize, j: usize) -> Link {
+        let (medium, nodes) = (&self.medium, &self.nodes);
+        self.link_cache
+            .row(i, |k| Self::compute_link(medium, nodes, i, k))
+            .links[j]
+    }
+
+    /// Received power (mW) at node `rx` of an active transmission by
+    /// `sender` that started at `origin`. Uses the cache only when the
+    /// sender has not moved since transmission start — after a mobility
+    /// tick the cached (current-position) power would be wrong for a
+    /// frame already on the air.
+    fn active_tx_power_mw(&mut self, sender: usize, origin: Position, rx: usize) -> f64 {
+        if self.config.link_cache && self.nodes[sender].position == origin {
+            self.link_for(sender, rx).power_mw
+        } else {
+            self.medium
+                .received_power(
+                    &origin,
+                    &self.nodes[rx].position,
+                    NodeId(sender),
+                    NodeId(rx),
+                )
+                .to_milliwatts()
+                .value()
+        }
+    }
+
+    /// Like [`Self::active_tx_power_mw`] but answering the CAD question:
+    /// is the transmission audible at `rx`?
+    fn active_tx_audible(&mut self, sender: usize, origin: Position, rx: usize) -> bool {
+        if self.config.link_cache && self.nodes[sender].position == origin {
+            self.link_for(sender, rx).audible
+        } else {
+            let power = self.medium.received_power(
+                &origin,
+                &self.nodes[rx].position,
+                NodeId(sender),
+                NodeId(rx),
+            );
+            self.medium.audible(power)
+        }
+    }
+
+    /// The CAD predicate: any in-flight transmission (other than
+    /// `except`) audible at node `i`?
+    fn channel_busy(&mut self, i: usize, except: Option<NodeId>) -> bool {
+        if !self.config.link_cache {
+            return self
+                .medium
+                .channel_busy_at(&self.nodes[i].position, NodeId(i), except);
+        }
+        let active: Vec<(NodeId, Position)> = self
+            .medium
+            .active()
+            .map(|tx| (tx.sender, tx.origin))
+            .collect();
+        for (sender, origin) in active {
+            if Some(sender) == except || sender.0 == i {
+                continue;
+            }
+            if self.active_tx_audible(sender.0, origin, i) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fills `out` with the node indices `start_tx`'s fan-out must visit
+    /// for a transmission by `i`, in ascending order.
+    ///
+    /// With the cache on this is the merge of `i`'s audible neighbors and
+    /// the currently-receiving nodes; every skipped index is provably a
+    /// no-op in the uncached loop (inaudible + not in Rx ⇒ no lock, no
+    /// interference entry, no CAD note). With the cache off it is simply
+    /// every node, preserving the historical iteration exactly.
+    fn fill_fanout(&mut self, i: usize, out: &mut Vec<usize>) {
+        out.clear();
+        if !self.config.link_cache {
+            out.extend(0..self.nodes.len());
+            return;
+        }
+        let (medium, nodes) = (&self.medium, &self.nodes);
+        let row = self
+            .link_cache
+            .row(i, |k| Self::compute_link(medium, nodes, i, k));
+        let mut audible = row.audible.iter().copied().peekable();
+        let mut receiving = self.rx_nodes.iter().copied().peekable();
+        loop {
+            match (audible.peek(), receiving.peek()) {
+                (Some(&a), Some(&r)) => {
+                    let next = a.min(r);
+                    if a <= r {
+                        audible.next();
+                    }
+                    if r <= a {
+                        receiving.next();
+                    }
+                    out.push(next);
+                }
+                (Some(&a), None) => {
+                    audible.next();
+                    out.push(a);
+                }
+                (None, Some(&r)) => {
+                    receiving.next();
+                    out.push(r);
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
     fn start_tx(&mut self, i: usize, bytes: Vec<u8>) {
         if bytes.len() > LoRaModulation::MAX_PHY_PAYLOAD {
             self.metrics.tx_oversized += 1;
             return;
         }
         if !self.nodes[i].alive {
-            self.metrics.tx_while_busy += 1;
+            self.metrics.tx_while_dead += 1;
             return;
         }
         match self.nodes[i].radio.state() {
@@ -399,6 +560,7 @@ impl<F: Firmware> Simulator<F> {
                 // this). The pending RxEnd event goes stale.
                 self.metrics.rx_aborted_by_tx += 1;
                 self.nodes[i].radio.to_idle(self.now);
+                self.rx_nodes.remove(&i);
             }
             RadioState::Tx { .. } | RadioState::Cad { .. } | RadioState::Off => {
                 self.metrics.tx_while_busy += 1;
@@ -407,38 +569,42 @@ impl<F: Firmware> Simulator<F> {
         }
         let sender = NodeId(i);
         let origin = self.nodes[i].position;
-        let airtime = self.medium.airtime(bytes.len());
-        let frame = self.medium.begin_tx(sender, origin, self.now, bytes);
-        let end = self.now + airtime;
+        let tx = self.medium.begin_tx(sender, origin, self.now, bytes);
+        let frame = tx.frame;
+        let end = self.now + tx.airtime;
         self.nodes[i].radio.begin_tx(self.now, frame, end);
         self.queue.schedule(end, SimEvent::TxEnd(sender, frame));
-        self.metrics.record_tx(sender, airtime);
-        let len = self.medium.get(frame).map_or(0, |tx| tx.payload.len());
+        self.metrics.record_tx(sender, tx.airtime);
         self.trace.push(
             self.now,
             TraceEvent::TxStart {
                 node: sender,
                 frame,
-                len,
+                len: tx.len,
             },
         );
 
-        // Decide how every other node experiences this frame.
-        for j in 0..self.nodes.len() {
+        // Decide how every other node experiences this frame. The culled
+        // list visits exactly the nodes for which the full 0..n loop
+        // would do anything.
+        let mut fanout = std::mem::take(&mut self.fanout_scratch);
+        self.fill_fanout(i, &mut fanout);
+        let use_cache = self.config.link_cache;
+        for &j in &fanout {
             if j == i || !self.nodes[j].alive {
                 continue;
             }
             let receiver = NodeId(j);
-            let power =
-                self.medium
-                    .received_power(&origin, &self.nodes[j].position, sender, receiver);
-            let power_mw = power.to_milliwatts().value();
-            let audible = self.medium.audible(power);
+            let link = if use_cache {
+                self.link_for(i, j)
+            } else {
+                Self::compute_link(&self.medium, &self.nodes, i, j)
+            };
 
             match *self.nodes[j].radio.state() {
                 RadioState::Idle => {
-                    if audible {
-                        self.lock_receiver(j, frame, power_mw, end);
+                    if link.audible {
+                        self.lock_receiver(j, frame, link.power, link.power_mw, end);
                     }
                 }
                 RadioState::Rx { frame: current, .. } => {
@@ -449,11 +615,9 @@ impl<F: Firmware> Simulator<F> {
                             .reception
                             .as_mut()
                             .expect("Rx state implies a reception");
-                        rec.add_interferer(frame, power_mw);
-                        let capture_ratio =
-                            10f64.powf(self.medium.config().capture_threshold_db / 10.0);
-                        audible
-                            && power_mw >= rec.signal_mw * capture_ratio
+                        rec.add_interferer(frame, link.power_mw);
+                        link.audible
+                            && link.power_mw >= rec.signal_mw * self.medium.capture_ratio_linear()
                             && self
                                 .medium
                                 .get(current)
@@ -471,46 +635,42 @@ impl<F: Firmware> Simulator<F> {
                                 reason: crate::medium::LossReason::Truncated,
                             },
                         );
-                        self.lock_receiver(j, frame, power_mw, end);
+                        self.lock_receiver(j, frame, link.power, link.power_mw, end);
                     }
                 }
                 RadioState::Cad { .. } => {
-                    if audible {
+                    if link.audible {
                         self.nodes[j].radio.note_cad_activity();
                     }
                 }
                 RadioState::Tx { .. } | RadioState::Off => {}
             }
         }
+        self.fanout_scratch = fanout;
     }
 
     /// Locks receiver `j` onto `frame`, seeding its interference set with
-    /// every other transmission already on the air.
-    fn lock_receiver(&mut self, j: usize, frame: FrameId, power_mw: f64, end: SimTime) {
+    /// every other transmission already on the air. `power`/`power_mw`
+    /// are the received power `start_tx` already computed for this link.
+    fn lock_receiver(&mut self, j: usize, frame: FrameId, power: Dbm, power_mw: f64, end: SimTime) {
         let receiver = NodeId(j);
-        let rx_pos = self.nodes[j].position;
+        let quality = self.medium.quality(power);
         let tx = self.medium.get(frame).expect("frame just registered");
-        let quality = self.medium.quality(
-            self.medium
-                .received_power(&tx.origin, &rx_pos, tx.sender, receiver),
-        );
-        let payload = tx.payload.clone();
-        let mut reception = Reception::new(frame, tx.sender, quality, power_mw, payload);
-        let interferers: Vec<(FrameId, f64)> = self
+        let sender = tx.sender;
+        let payload = tx.payload.clone(); // Arc bump, not a byte copy
+        let mut reception = Reception::new(frame, sender, quality, power_mw, payload);
+        let interferers: Vec<(FrameId, NodeId, Position)> = self
             .medium
             .active()
             .filter(|a| a.frame != frame && a.sender != receiver)
-            .map(|a| {
-                let p = self
-                    .medium
-                    .received_power(&a.origin, &rx_pos, a.sender, receiver);
-                (a.frame, p.to_milliwatts().value())
-            })
+            .map(|a| (a.frame, a.sender, a.origin))
             .collect();
-        for (f, p) in interferers {
+        for (f, s, origin) in interferers {
+            let p = self.active_tx_power_mw(s.0, origin, j);
             reception.add_interferer(f, p);
         }
         self.nodes[j].radio.begin_rx(self.now, reception, end);
+        self.rx_nodes.insert(j);
         self.queue.schedule(end, SimEvent::RxEnd(receiver, frame));
     }
 
@@ -549,6 +709,8 @@ impl<F: Firmware> Simulator<F> {
             .take()
             .expect("Rx state implies a reception");
         slot.radio.to_idle(self.now);
+        self.rx_nodes.remove(&node.0);
+        let slot = &mut self.nodes[node.0];
         let mut outcome = self.medium.judge(&reception, &mut slot.rng);
         if matches!(outcome, RxOutcome::Delivered(_)) {
             let key = (
@@ -603,8 +765,7 @@ impl<F: Firmware> Simulator<F> {
             return;
         }
         let node = NodeId(i);
-        let pos = self.nodes[i].position;
-        let busy_now = self.medium.channel_busy_at(&pos, node, None);
+        let busy_now = self.channel_busy(i, None);
         let duration = self
             .medium
             .config()
@@ -627,8 +788,7 @@ impl<F: Firmware> Simulator<F> {
         if until != self.now {
             return;
         }
-        let pos = slot.position;
-        let busy = busy_seen || self.medium.channel_busy_at(&pos, node, None);
+        let busy = busy_seen || self.channel_busy(node.0, None);
         self.nodes[node.0].radio.to_idle(self.now);
         self.metrics.record_cad(node, busy);
         self.fire(node.0, |fw, ctx| fw.on_cad_done(busy, ctx));
@@ -656,6 +816,7 @@ impl<F: Firmware> Simulator<F> {
         }
         self.nodes[i].radio.power_off(self.now);
         self.nodes[i].scheduled_wake = None;
+        self.rx_nodes.remove(&i);
         self.trace.push(self.now, TraceEvent::Killed { node });
     }
 
@@ -688,6 +849,8 @@ impl<F: Firmware> Simulator<F> {
                 slot.position = slot.mobility.step(slot.position, dt, &mut slot.rng);
             }
         }
+        // Positions changed: every cached link budget is now stale.
+        self.link_cache.invalidate_all();
         self.queue.schedule(self.now + dt, SimEvent::MobilityTick);
     }
 }
@@ -1123,7 +1286,61 @@ mod tests {
         });
         s.run_for(Duration::from_secs(1));
         assert_eq!(s.metrics().tx_while_busy, 1);
+        assert_eq!(s.metrics().tx_while_dead, 0);
         assert_eq!(s.metrics().frames_transmitted, 1);
+    }
+
+    #[test]
+    fn tx_while_dead_is_counted_separately() {
+        let mut s = sim();
+        let a = s.add_node(Probe::default(), Position::new(0.0, 0.0));
+        s.schedule_kill(Duration::from_millis(10), a);
+        s.run_for(Duration::from_secs(1));
+        s.with_node(a, |_fw, ctx| ctx.transmit(vec![0; 10]));
+        s.run_for(Duration::from_secs(1));
+        assert_eq!(s.metrics().tx_while_dead, 1);
+        assert_eq!(s.metrics().tx_while_busy, 0);
+        assert_eq!(s.metrics().frames_transmitted, 0);
+    }
+
+    #[test]
+    fn events_processed_counts_steps() {
+        let mut s = sim();
+        s.add_node(
+            sender_at(Duration::from_millis(10), vec![1, 2, 3]),
+            Position::new(0.0, 0.0),
+        );
+        s.add_node(Probe::default(), Position::new(100.0, 0.0));
+        assert_eq!(s.events_processed(), 0);
+        s.run_for(Duration::from_secs(1));
+        // At least: sender timer, TxEnd, RxEnd.
+        assert!(s.events_processed() >= 3, "{}", s.events_processed());
+    }
+
+    /// A spot check that disabling the cache leaves outcomes unchanged
+    /// (the exhaustive differential test lives in tests/link_cache_diff.rs).
+    #[test]
+    fn link_cache_off_matches_on() {
+        let run = |link_cache: bool| {
+            let mut cfg = SimConfig::default();
+            cfg.rf.grey_zone = true;
+            cfg.trace_capacity = 4096;
+            cfg.link_cache = link_cache;
+            let mut s = Simulator::new(cfg, 99);
+            for k in 0..8 {
+                s.add_node(
+                    sender_at(Duration::from_millis(7 * k as u64), vec![k; 12]),
+                    Position::new(f64::from(k) * 90.0, 0.0),
+                );
+            }
+            s.run_for(Duration::from_secs(2));
+            let trace: Vec<_> = s.trace().entries().cloned().collect();
+            (s.metrics().clone(), trace)
+        };
+        let cached = run(true);
+        let uncached = run(false);
+        assert_eq!(cached.0, uncached.0);
+        assert_eq!(cached.1, uncached.1);
     }
 
     #[test]

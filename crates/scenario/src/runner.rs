@@ -132,6 +132,14 @@ impl NetworkBuilder {
         self
     }
 
+    /// Enables or disables the simulator's link-budget cache
+    /// (behaviourally transparent; off only for differential testing).
+    #[must_use]
+    pub fn link_cache(mut self, on: bool) -> Self {
+        self.sim.link_cache = on;
+        self
+    }
+
     /// Enables or disables listen-before-talk on mesh nodes (ablation).
     #[must_use]
     pub fn csma(mut self, on: bool) -> Self {

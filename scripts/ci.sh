@@ -16,4 +16,7 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> bench_scaling --smoke (link-cache transparency + perf smoke)"
+cargo run --release --offline -p bench --bin bench_scaling -- --smoke
+
 echo "ci: all checks passed"
