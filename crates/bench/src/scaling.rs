@@ -65,8 +65,10 @@ impl Firmware for Beacon {
 /// the next perfect square).
 #[must_use]
 pub fn build(n: usize, link_cache: bool, seed: u64) -> Simulator<Beacon> {
-    let mut cfg = SimConfig::default();
-    cfg.link_cache = link_cache;
+    let cfg = SimConfig {
+        link_cache,
+        ..SimConfig::default()
+    };
     let spacing = topology::radio_range_m(&cfg.rf) * 0.8;
     let side = (n as f64).sqrt().ceil() as usize;
     let mut sim = Simulator::new(cfg, seed);

@@ -21,7 +21,15 @@
 //! `plen` counts every byte after the common header, so a frame is always
 //! `7 + plen ≤ 255` bytes and the length is verifiable on receipt.
 
+// This file is a meshlint R1 hot path: decoding operates on untrusted
+// over-the-air bytes and must return `Err`, never panic. No indexing,
+// no `unwrap`/`expect`, no `unreachable!` — all reads go through the
+// bounds-checked [`Reader`] cursor. `clippy::indexing_slicing` backs
+// this up at compile time.
+#![deny(clippy::indexing_slicing)]
+
 use crate::addr::Address;
+use crate::cast::sat_u8;
 use crate::error::CodecError;
 use crate::packet::{Forwarding, Packet, PacketKind, RouteEntry};
 
@@ -54,12 +62,67 @@ fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn get_u16(buf: &[u8], at: usize) -> u16 {
-    u16::from_le_bytes([buf[at], buf[at + 1]])
+/// Bounds-checked cursor over an untrusted frame. Every read either
+/// yields bytes or a [`CodecError::Truncated`] naming how many bytes
+/// the frame would have needed — there is no panicking path.
+struct Reader<'a> {
+    frame: &'a [u8],
+    pos: usize,
 }
 
-fn get_u32(buf: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+impl<'a> Reader<'a> {
+    fn new(frame: &'a [u8]) -> Self {
+        Reader { frame, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize {
+        self.frame.len().saturating_sub(self.pos)
+    }
+
+    /// Consumes exactly `n` bytes.
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.saturating_add(n);
+        let chunk = self.frame.get(self.pos..end).ok_or(CodecError::Truncated {
+            needed: end,
+            got: self.frame.len(),
+        })?;
+        self.pos = end;
+        Ok(chunk)
+    }
+
+    /// Consumes everything left.
+    fn rest(&mut self) -> &'a [u8] {
+        let chunk = self.frame.get(self.pos..).unwrap_or(&[]);
+        self.pos = self.frame.len();
+        chunk
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
+    }
+
+    fn u16_le(&mut self) -> Result<u16, CodecError> {
+        match *self.take(2)? {
+            [a, b] => Ok(u16::from_le_bytes([a, b])),
+            // `take(2)` returned exactly two bytes; this arm only keeps
+            // the match exhaustive without a panic path.
+            _ => Err(CodecError::Truncated {
+                needed: self.pos,
+                got: self.frame.len(),
+            }),
+        }
+    }
+
+    fn u32_le(&mut self) -> Result<u32, CodecError> {
+        match *self.take(4)? {
+            [a, b, c, d] => Ok(u32::from_le_bytes([a, b, c, d])),
+            _ => Err(CodecError::Truncated {
+                needed: self.pos,
+                got: self.frame.len(),
+            }),
+        }
+    }
 }
 
 /// Encodes a packet into its wire representation.
@@ -86,12 +149,21 @@ fn get_u32(buf: &[u8], at: usize) -> u32 {
 /// Returns [`CodecError::FrameTooLarge`] when the encoded frame would
 /// exceed the 255-byte PHY limit.
 pub fn encode(packet: &Packet) -> Result<Vec<u8>, CodecError> {
-    let mut buf = Vec::with_capacity(64);
+    // Compute the length first so `plen` is written once, correctly,
+    // instead of patched after the fact — and so the PHY limit is
+    // enforced before any allocation grows past it.
+    let total = encoded_len(packet);
+    if total > MAX_FRAME_LEN {
+        return Err(CodecError::FrameTooLarge(total));
+    }
+    let plen = sat_u8(total - COMMON_HEADER_LEN);
+
+    let mut buf = Vec::with_capacity(total);
     put_u16(&mut buf, packet.dst().value());
     put_u16(&mut buf, packet.src().value());
-    buf.push(packet.kind() as u8);
+    buf.push(packet.kind().wire());
     buf.push(packet.id());
-    buf.push(0); // plen patched below
+    buf.push(plen);
 
     if let Some(Forwarding { via, ttl }) = packet.forwarding() {
         put_u16(&mut buf, via.value());
@@ -137,10 +209,7 @@ pub fn encode(packet: &Packet) -> Result<Vec<u8>, CodecError> {
         }
     }
 
-    if buf.len() > MAX_FRAME_LEN {
-        return Err(CodecError::FrameTooLarge(buf.len()));
-    }
-    buf[6] = (buf.len() - COMMON_HEADER_LEN) as u8;
+    debug_assert_eq!(buf.len(), total, "encoded_len disagrees with encode");
     Ok(buf)
 }
 
@@ -157,30 +226,31 @@ pub fn decode(frame: &[u8]) -> Result<Packet, CodecError> {
             got: frame.len(),
         });
     }
-    let dst = Address::new(get_u16(frame, 0));
-    let src = Address::new(get_u16(frame, 2));
-    let kind = PacketKind::from_wire(frame[4]).ok_or(CodecError::UnknownKind(frame[4]))?;
-    let id = frame[5];
-    let declared = frame[6] as usize;
-    let actual = frame.len() - COMMON_HEADER_LEN;
+    let mut r = Reader::new(frame);
+    let dst = Address::new(r.u16_le()?);
+    let src = Address::new(r.u16_le()?);
+    let kind_byte = r.u8()?;
+    let kind = PacketKind::from_wire(kind_byte).ok_or(CodecError::UnknownKind(kind_byte))?;
+    let id = r.u8()?;
+    let declared = usize::from(r.u8()?);
+    let actual = r.remaining();
     if declared != actual {
         return Err(CodecError::LengthMismatch { declared, actual });
     }
-    let body = &frame[COMMON_HEADER_LEN..];
 
     if kind == PacketKind::Hello {
-        if body.is_empty() || !(body.len() - 1).is_multiple_of(ROUTE_ENTRY_LEN) {
+        if actual == 0 || !(actual - 1).is_multiple_of(ROUTE_ENTRY_LEN) {
             return Err(CodecError::MalformedRoutingPayload);
         }
-        let role = body[0];
-        let entries = body[1..]
-            .chunks_exact(ROUTE_ENTRY_LEN)
-            .map(|c| RouteEntry {
-                address: Address::new(u16::from_le_bytes([c[0], c[1]])),
-                metric: c[2],
-                role: c[3],
-            })
-            .collect();
+        let role = r.u8()?;
+        let mut entries = Vec::with_capacity(r.remaining() / ROUTE_ENTRY_LEN);
+        while r.remaining() > 0 {
+            entries.push(RouteEntry {
+                address: Address::new(r.u16_le()?),
+                metric: r.u8()?,
+                role: r.u8()?,
+            });
+        }
         return Ok(Packet::Hello {
             src,
             id,
@@ -190,88 +260,75 @@ pub fn decode(frame: &[u8]) -> Result<Packet, CodecError> {
     }
 
     // All remaining kinds carry the forwarding extension.
-    if body.len() < FORWARDING_LEN {
-        return Err(CodecError::Truncated {
-            needed: COMMON_HEADER_LEN + FORWARDING_LEN,
-            got: frame.len(),
-        });
-    }
     let fwd = Forwarding {
-        via: Address::new(u16::from_le_bytes([body[0], body[1]])),
-        ttl: body[2],
-    };
-    let rest = &body[FORWARDING_LEN..];
-
-    let need = |n: usize| -> Result<(), CodecError> {
-        if rest.len() < n {
-            Err(CodecError::Truncated {
-                needed: COMMON_HEADER_LEN + FORWARDING_LEN + n,
-                got: frame.len(),
-            })
-        } else {
-            Ok(())
-        }
+        via: Address::new(r.u16_le()?),
+        ttl: r.u8()?,
     };
 
     match kind {
-        PacketKind::Hello => unreachable!("handled above"),
+        // Returned above; this arm only keeps the match exhaustive
+        // without reintroducing a panic path.
+        PacketKind::Hello => Err(CodecError::UnknownKind(PacketKind::Hello.wire())),
         PacketKind::Data => Ok(Packet::Data {
             dst,
             src,
             id,
             fwd,
-            payload: rest.to_vec(),
+            payload: r.rest().to_vec(),
         }),
         PacketKind::Sync => {
-            need(7)?;
-            Ok(Packet::Sync {
+            let packet = Packet::Sync {
                 dst,
                 src,
                 id,
                 fwd,
-                seq: rest[0],
-                frag_count: get_u16(rest, 1),
-                total_len: get_u32(rest, 3),
-            })
+                seq: r.u8()?,
+                frag_count: r.u16_le()?,
+                total_len: r.u32_le()?,
+            };
+            if r.remaining() > 0 {
+                return Err(CodecError::TrailingBytes(r.remaining()));
+            }
+            Ok(packet)
         }
-        PacketKind::Frag => {
-            need(3)?;
-            Ok(Packet::Frag {
-                dst,
-                src,
-                id,
-                fwd,
-                seq: rest[0],
-                index: get_u16(rest, 1),
-                data: rest[3..].to_vec(),
-            })
-        }
+        PacketKind::Frag => Ok(Packet::Frag {
+            dst,
+            src,
+            id,
+            fwd,
+            seq: r.u8()?,
+            index: r.u16_le()?,
+            data: r.rest().to_vec(),
+        }),
         PacketKind::Ack => {
-            need(3)?;
-            Ok(Packet::Ack {
+            let packet = Packet::Ack {
                 dst,
                 src,
                 id,
                 fwd,
-                seq: rest[0],
-                index: get_u16(rest, 1),
-            })
+                seq: r.u8()?,
+                index: r.u16_le()?,
+            };
+            if r.remaining() > 0 {
+                return Err(CodecError::TrailingBytes(r.remaining()));
+            }
+            Ok(packet)
         }
         PacketKind::Lost => {
-            need(1)?;
-            if !(rest.len() - 1).is_multiple_of(2) {
+            let seq = r.u8()?;
+            if !r.remaining().is_multiple_of(2) {
                 return Err(CodecError::MalformedRoutingPayload);
             }
-            let missing = rest[1..]
-                .chunks_exact(2)
-                .map(|c| u16::from_le_bytes([c[0], c[1]]))
-                .collect();
+            let mut missing = Vec::with_capacity(r.remaining() / 2);
+            while r.remaining() > 0 {
+                missing.push(r.u16_le()?);
+            }
             Ok(Packet::Lost {
                 dst,
                 src,
                 id,
                 fwd,
-                seq: rest[0],
+                seq,
                 missing,
             })
         }
@@ -293,6 +350,9 @@ pub fn encoded_len(packet: &Packet) -> usize {
 }
 
 #[cfg(test)]
+// Tests index into frames they just built; a panic here is a test
+// failure, not a protocol crash.
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use crate::packet::SYNC_ACK_INDEX;

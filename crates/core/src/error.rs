@@ -27,6 +27,8 @@ pub enum CodecError {
     MalformedRoutingPayload,
     /// The encoded frame would exceed the LoRa PHY payload limit.
     FrameTooLarge(usize),
+    /// A fixed-size body carries bytes past its defined end.
+    TrailingBytes(usize),
 }
 
 impl fmt::Display for CodecError {
@@ -45,6 +47,9 @@ impl fmt::Display for CodecError {
             CodecError::MalformedRoutingPayload => write!(f, "malformed routing payload"),
             CodecError::FrameTooLarge(n) => {
                 write!(f, "encoded frame of {n} bytes exceeds the PHY limit")
+            }
+            CodecError::TrailingBytes(n) => {
+                write!(f, "{n} unexpected byte(s) after a fixed-size body")
             }
         }
     }

@@ -18,6 +18,7 @@
 //! # Module map
 //!
 //! * [`addr`] — 16-bit node addresses.
+//! * [`cast`] — checked narrowing conversions (meshlint rule C1).
 //! * [`packet`] — the packet types of the protocol.
 //! * [`codec`] — the compact wire format (7–12 byte headers).
 //! * [`routing`] — the distance-vector routing table.
@@ -48,8 +49,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod cast;
 pub mod codec;
 pub mod config;
 pub mod driver;

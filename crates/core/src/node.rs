@@ -293,7 +293,7 @@ impl MeshNode {
             },
             payload,
         };
-        if !self.txq.push(packet) {
+        if !self.enqueue(packet) {
             return Err(SendError::QueueFull);
         }
         self.stats.data_originated += 1;
@@ -377,7 +377,13 @@ impl MeshNode {
     }
 
     fn enqueue(&mut self, packet: Packet) -> bool {
-        self.txq.push(packet)
+        let accepted = self.txq.push(packet);
+        if !accepted {
+            // Surface the refusal instead of dropping silently: sweeps
+            // compare this counter to spot congestion collapse.
+            self.stats.queue_refusals += 1;
+        }
+        accepted
     }
 
     fn schedule_next_hello(&mut self, now: Duration) {
@@ -511,7 +517,11 @@ impl MeshNode {
 
     fn consume(&mut self, packet: Packet, now: Duration) {
         match packet {
-            Packet::Hello { .. } => unreachable!("hello handled in on_frame"),
+            Packet::Hello { .. } => {
+                // Handled in on_frame; tolerate a misrouted Hello
+                // instead of crashing the node.
+                debug_assert!(false, "hello handled in on_frame");
+            }
             Packet::Data { src, payload, .. } => {
                 self.stats.data_delivered += 1;
                 self.events.push_back(MeshEvent::Datagram { src, payload });
@@ -597,9 +607,12 @@ impl MeshNode {
             self.stats.no_route_drops += 1;
             return;
         };
-        let fwd = packet
-            .forwarding_mut()
-            .expect("only unicast packets are forwarded");
+        // Only unicast packets reach here; a Hello without forwarding
+        // would be a caller bug — drop it rather than panic.
+        let Some(fwd) = packet.forwarding_mut() else {
+            debug_assert!(false, "only unicast packets are forwarded");
+            return;
+        };
         if fwd.ttl <= 1 {
             self.stats.ttl_expired += 1;
             return;
@@ -803,9 +816,13 @@ impl NodeProtocol for MeshNode {
             }
             _ => {
                 let dst = packet.dst();
-                let fwd = packet
-                    .forwarding()
-                    .expect("unicast packets carry forwarding");
+                // Every non-Hello kind decodes with a forwarding
+                // extension; treat its absence as a decode error rather
+                // than a panic on over-the-air input.
+                let Some(fwd) = packet.forwarding() else {
+                    self.stats.decode_errors += 1;
+                    return Vec::new();
+                };
                 if dst == self.config.address {
                     self.consume(packet, now);
                 } else if dst.is_broadcast() {
@@ -1259,6 +1276,34 @@ mod tests {
         assert!(n.take_events().contains(&MeshEvent::AddressConflict {
             kind: PacketKind::Hello
         }));
+    }
+
+    #[test]
+    fn queue_refusals_are_counted_as_backpressure() {
+        let mut n = MeshNode::new(
+            MeshConfig::builder(A1)
+                .region(Region::Unlimited)
+                .tx_queue_capacity(1)
+                .hello_interval(Duration::from_secs(1000))
+                .build(),
+        );
+        let _ = n.on_start(Duration::ZERO);
+        // First broadcast datagram fills the single-slot queue.
+        assert!(n
+            .send_datagram(Address::BROADCAST, b"one".to_vec(), Duration::ZERO)
+            .is_ok());
+        assert_eq!(n.stats().queue_refusals, 0);
+        // Equal-priority traffic cannot evict: refused and counted.
+        assert_eq!(
+            n.send_datagram(Address::BROADCAST, b"two".to_vec(), Duration::ZERO),
+            Err(SendError::QueueFull)
+        );
+        assert_eq!(
+            n.send_datagram(Address::BROADCAST, b"three".to_vec(), Duration::ZERO),
+            Err(SendError::QueueFull)
+        );
+        assert_eq!(n.stats().queue_refusals, 2);
+        assert_eq!(n.stats().data_originated, 1);
     }
 
     #[test]

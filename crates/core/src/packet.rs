@@ -51,6 +51,19 @@ impl PacketKind {
             _ => None,
         }
     }
+
+    /// The wire discriminant (inverse of [`PacketKind::from_wire`]).
+    #[must_use]
+    pub fn wire(self) -> u8 {
+        match self {
+            PacketKind::Hello => 0x01,
+            PacketKind::Data => 0x02,
+            PacketKind::Sync => 0x03,
+            PacketKind::Frag => 0x04,
+            PacketKind::Ack => 0x05,
+            PacketKind::Lost => 0x06,
+        }
+    }
 }
 
 impl fmt::Display for PacketKind {

@@ -115,7 +115,7 @@ impl OutboundTransfer {
     /// Number of fragments.
     #[must_use]
     pub fn frag_count(&self) -> u16 {
-        self.fragments.len() as u16
+        crate::cast::sat_u16(self.fragments.len())
     }
 
     /// Total payload length in bytes.
@@ -382,7 +382,7 @@ impl InboundTransfer {
             .iter()
             .enumerate()
             .filter(|(_, f)| f.is_none())
-            .map(|(i, _)| i as u16)
+            .map(|(i, _)| crate::cast::sat_u16(i))
             .collect()
     }
 

@@ -27,6 +27,11 @@ pub struct NodeStats {
     /// Frames received that claimed our own address as originator
     /// (duplicate-address indicator).
     pub address_conflicts: u64,
+    /// Outbound packets the transmit queue refused at admission
+    /// (backpressure: the queue was full of equal-or-higher-priority
+    /// traffic). Hellos, forwards and reliable-transfer control packets
+    /// all land here instead of vanishing silently.
+    pub queue_refusals: u64,
     /// Outbound frames dropped after exhausting CAD retries.
     pub cad_exhausted: u64,
     /// Outbound frames delayed or refused by the duty-cycle budget.

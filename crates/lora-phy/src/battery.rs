@@ -95,6 +95,9 @@ impl ConsumptionProfile {
 }
 
 #[cfg(test)]
+// Exact float equality is the point of these tests: both sides run the
+// identical deterministic computation.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

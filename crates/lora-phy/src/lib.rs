@@ -34,6 +34,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// PHY math is all floating point; `==` on two computed dB/Hz values is
+// almost always a latent bug — compare against a tolerance instead.
+#![deny(clippy::float_cmp)]
 
 pub mod airtime;
 pub mod battery;

@@ -173,6 +173,9 @@ impl Shadowing {
 }
 
 #[cfg(test)]
+// Exact float equality is the point of these tests: both sides run the
+// identical deterministic computation.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -14,7 +14,7 @@
 //! broadcast, since there is no designated next hop), so frame sizes and
 //! airtime are identical between the protocols.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::time::Duration;
 
 use lora_phy::link::SignalQuality;
@@ -105,7 +105,9 @@ pub struct FloodingNode {
     mac: Mac,
     txq: TxQueue,
     rng: ProtocolRng,
-    seen: HashSet<(Address, u8)>,
+    /// Duplicate-suppression cache. A `BTreeSet` (meshlint rule D1):
+    /// iteration order never leaks hasher state into traces.
+    seen: BTreeSet<(Address, u8)>,
     seen_order: VecDeque<(Address, u8)>,
     pending: Vec<PendingRelay>,
     events: VecDeque<FloodingEvent>,
@@ -141,7 +143,7 @@ impl FloodingNode {
             mac,
             txq: TxQueue::new(config.tx_queue_capacity),
             rng: ProtocolRng::new(config.seed),
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             seen_order: VecDeque::new(),
             pending: Vec::new(),
             events: VecDeque::new(),
@@ -321,7 +323,10 @@ impl NodeProtocol for FloodingNode {
             .time_on_air(codec::encoded_len(front));
         match self.mac.on_cad_done(busy, airtime, now, &mut self.rng) {
             MacAction::Transmit => {
-                let packet = self.txq.pop().expect("peeked above");
+                // Peeked non-empty above, but stay panic-free anyway.
+                let Some(packet) = self.txq.pop() else {
+                    return Vec::new();
+                };
                 match codec::encode(&packet) {
                     Ok(frame) => {
                         self.frames_sent += 1;

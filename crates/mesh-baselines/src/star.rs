@@ -229,7 +229,10 @@ impl NodeProtocol for StarNode {
             .time_on_air(codec::encoded_len(front));
         match self.mac.on_cad_done(busy, airtime, now, &mut self.rng) {
             MacAction::Transmit => {
-                let packet = self.txq.pop().expect("peeked above");
+                // Peeked non-empty above, but stay panic-free anyway.
+                let Some(packet) = self.txq.pop() else {
+                    return Vec::new();
+                };
                 match codec::encode(&packet) {
                     Ok(frame) => {
                         self.frames_sent += 1;

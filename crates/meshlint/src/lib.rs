@@ -1,0 +1,1081 @@
+//! Project-specific static analysis for the loramesher-repro workspace.
+//!
+//! The whole evaluation methodology of this reproduction rests on the
+//! simulator being strictly deterministic (byte-identical traces for
+//! equal seeds, jobs-invariant sweep aggregates) and on the protocol
+//! core never panicking on over-the-air input. Nothing in the language
+//! enforces either property, so this crate does: a small, dependency-
+//! free analyzer that walks the workspace's `.rs` sources with a
+//! hand-rolled comment/string-aware lexer and reports violations of
+//! four project rules:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `d1` | no `HashMap`/`HashSet` in determinism-critical crates — iteration order feeds traces and RNG draws |
+//! | `d2` | no `Instant::now`/`SystemTime`/`thread_rng` outside `bench`/`testkit` — simulated time only |
+//! | `r1` | no `unwrap`/`expect`/`panic!`/`[]`-indexing in `core`'s packet/codec/routing hot paths — frame decode returns `Err`, never panics |
+//! | `c1` | no bare `as` narrowing casts to `u8`/`u16`/`i8`/`i16` in determinism-critical crates — addresses, lengths and sequence numbers use `try_from` or checked helpers |
+//!
+//! Individual sites can be exempted with a written justification:
+//!
+//! ```text
+//! // meshlint::allow(d1): keyed lookups only; never iterated.
+//! use std::collections::HashMap;
+//! ```
+//!
+//! The directive suppresses findings of that rule on the same line and
+//! on the next line, and **must** carry a non-empty reason after the
+//! colon — a reasonless allow is itself reported.
+//!
+//! Test code is out of scope: `tests/`, `benches/`, `examples/` and
+//! `fixtures/` directories are skipped wholesale, and `#[cfg(test)]`
+//! modules inside source files are excised before matching.
+//!
+//! [`Baseline`] supports ratcheting: grandfathered findings recorded in
+//! a baseline file are tolerated (and tracked for burn-down) while any
+//! *new* finding fails the run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The four project rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No `HashMap`/`HashSet` in determinism-critical crates.
+    D1,
+    /// No wall-clock or OS entropy outside `bench`/`testkit`.
+    D2,
+    /// No panic paths in the protocol core's hot files.
+    R1,
+    /// No bare narrowing `as` casts in determinism-critical crates.
+    C1,
+}
+
+impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 4] = [Rule::D1, Rule::D2, Rule::R1, Rule::C1];
+
+    /// The identifier used in `meshlint::allow(<id>)` directives and
+    /// baseline entries.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "d1",
+            Rule::D2 => "d2",
+            Rule::R1 => "r1",
+            Rule::C1 => "c1",
+        }
+    }
+
+    /// Parses a rule identifier.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
+        match id.trim() {
+            "d1" => Some(Rule::D1),
+            "d2" => Some(Rule::D2),
+            "r1" => Some(Rule::R1),
+            "c1" => Some(Rule::C1),
+            _ => None,
+        }
+    }
+
+    /// One-line description of the invariant the rule protects.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D1 => "hashed collection in a determinism-critical crate",
+            Rule::D2 => "wall clock or OS entropy outside bench/testkit",
+            Rule::R1 => "panic path in a protocol hot file",
+            Rule::C1 => "bare narrowing `as` cast in a determinism-critical crate",
+        }
+    }
+
+    /// The suggested fix appended to every finding.
+    #[must_use]
+    pub fn hint(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "use BTreeMap/BTreeSet (deterministic iteration), or justify with \
+                 // meshlint::allow(d1): <why iteration order cannot leak>"
+            }
+            Rule::D2 => {
+                "thread simulated time (Duration/SimTime) and the seeded SimRng through \
+                 instead; wall clock and OS entropy break replayability"
+            }
+            Rule::R1 => {
+                "decode of untrusted input must return Err, never panic: use get()/try_from \
+                 and propagate a CodecError"
+            }
+            Rule::C1 => {
+                "use u16::try_from(..) / u8::try_from(..) or the checked helpers in \
+                 loramesher::cast; a silent wrap corrupts addresses, lengths and seqs"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation at one site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl Finding {
+    /// The key under which this finding is tracked in a [`Baseline`].
+    /// Line numbers are deliberately excluded so unrelated edits above a
+    /// grandfathered site do not turn it into a "new" finding.
+    #[must_use]
+    pub fn baseline_key(&self) -> String {
+        format!("{}|{}|{}", self.rule.id(), self.file, self.snippet)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}\n    {}\n    fix: {}",
+            self.file,
+            self.line,
+            self.col,
+            self.rule.id(),
+            self.rule.summary(),
+            self.snippet,
+            self.rule.hint()
+        )
+    }
+}
+
+/// A malformed `meshlint::allow` directive (unknown rule or missing
+/// reason). These always fail the run: a broken escape hatch must not
+/// silently stop suppressing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirectiveError {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for DirectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: bad directive: {}",
+            self.file, self.line, self.message
+        )
+    }
+}
+
+/// What to scan and which rules apply where.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workspace root; all reported paths are relative to it.
+    pub root: PathBuf,
+    /// Directories under the root to walk (default: `crates`, `src`).
+    pub scan_roots: Vec<String>,
+    /// Path prefixes (relative, forward slashes) excluded entirely.
+    pub skip_prefixes: Vec<String>,
+    /// Crate names (the directory under `crates/`) whose sources are
+    /// determinism-critical: rules `d1` and `c1` apply.
+    pub deterministic_crates: Vec<String>,
+    /// Crate names exempt from rule `d2` (they legitimately measure
+    /// wall time or host entropy).
+    pub wallclock_crates: Vec<String>,
+    /// Files (relative paths) forming the protocol hot path: rule `r1`.
+    pub hot_path_files: Vec<String>,
+}
+
+impl Config {
+    /// The configuration for this workspace.
+    #[must_use]
+    pub fn workspace(root: impl Into<PathBuf>) -> Self {
+        Config {
+            root: root.into(),
+            scan_roots: vec!["crates".into(), "src".into()],
+            // meshlint's own sources mention the forbidden tokens by
+            // name (rule tables, fixtures); scanning them would be
+            // self-referential noise.
+            skip_prefixes: vec!["crates/meshlint".into()],
+            deterministic_crates: vec![
+                "radio-sim".into(),
+                "core".into(),
+                "scenario".into(),
+                "mesh-baselines".into(),
+            ],
+            wallclock_crates: vec!["bench".into(), "testkit".into()],
+            hot_path_files: vec![
+                "crates/core/src/codec.rs".into(),
+                "crates/core/src/packet.rs".into(),
+                "crates/core/src/routing.rs".into(),
+            ],
+        }
+    }
+
+    /// The crate name a relative path belongs to (`crates/<name>/...`),
+    /// or `None` for the root package.
+    fn crate_of(rel: &str) -> Option<&str> {
+        rel.strip_prefix("crates/")?.split('/').next()
+    }
+
+    fn rules_for(&self, rel: &str) -> Vec<Rule> {
+        let mut rules = Vec::new();
+        let krate = Self::crate_of(rel);
+        let deterministic = krate.is_some_and(|c| self.deterministic_crates.iter().any(|d| d == c));
+        if deterministic {
+            rules.push(Rule::D1);
+            rules.push(Rule::C1);
+        }
+        let wallclock_ok = krate.is_some_and(|c| self.wallclock_crates.iter().any(|w| w == c));
+        if !wallclock_ok {
+            rules.push(Rule::D2);
+        }
+        if self.hot_path_files.iter().any(|f| f == rel) {
+            rules.push(Rule::R1);
+        }
+        rules.sort_unstable();
+        rules
+    }
+}
+
+/// Result of analysing one source tree.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Violations, in path → line order.
+    pub findings: Vec<Finding>,
+    /// Sites suppressed by a well-formed allow directive.
+    pub allowed: usize,
+    /// Malformed directives (always fatal).
+    pub directive_errors: Vec<DirectiveError>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+/// Walks the configured tree and applies every rule.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable directory or file).
+pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
+    let mut files = Vec::new();
+    for scan_root in &cfg.scan_roots {
+        let dir = cfg.root.join(scan_root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut analysis = Analysis::default();
+    for path in files {
+        let rel = relative_slash_path(&cfg.root, &path);
+        if cfg
+            .skip_prefixes
+            .iter()
+            .any(|p| rel.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        let source = fs::read_to_string(&path)?;
+        analyze_source(cfg, &rel, &source, &mut analysis);
+        analysis.files_scanned += 1;
+    }
+    Ok(analysis)
+}
+
+/// Analyses a single file's source text (the pure core, used directly
+/// by the fixture tests). Appends to `out`.
+pub fn analyze_source(cfg: &Config, rel: &str, source: &str, out: &mut Analysis) {
+    let rules = cfg.rules_for(rel);
+    let masked = mask(source);
+    for err in &masked.directive_errors {
+        out.directive_errors.push(DirectiveError {
+            file: rel.to_string(),
+            line: err.0,
+            message: err.1.clone(),
+        });
+    }
+    if rules.is_empty() {
+        return;
+    }
+    let test_lines = test_region_lines(&masked.text);
+    let source_lines: Vec<&str> = source.lines().collect();
+    for (idx, masked_line) in masked.text.lines().enumerate() {
+        let line_no = idx + 1;
+        if test_lines.contains(&line_no) {
+            continue;
+        }
+        for &rule in &rules {
+            for col in match_rule(rule, masked_line) {
+                if masked.is_allowed(rule, line_no) {
+                    out.allowed += 1;
+                    continue;
+                }
+                out.findings.push(Finding {
+                    rule,
+                    file: rel.to_string(),
+                    line: line_no,
+                    col,
+                    snippet: snippet_of(source_lines.get(idx).copied().unwrap_or("")),
+                });
+            }
+        }
+    }
+}
+
+fn snippet_of(line: &str) -> String {
+    let trimmed = line.trim();
+    if trimmed.len() > 120 {
+        let mut cut = 120;
+        while !trimmed.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &trimmed[..cut])
+    } else {
+        trimmed.to_string()
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    const SKIP_DIRS: [&str; 5] = ["target", "tests", "benches", "examples", "fixtures"];
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+// ---------------------------------------------------------------------
+// Lexing: masking comments and literals, extracting allow directives
+// ---------------------------------------------------------------------
+
+/// A source file with comments, string literals and char literals
+/// blanked out (newlines preserved), plus the allow directives and
+/// directive errors found in the comments.
+struct Masked {
+    text: String,
+    /// `(line, rule)` pairs: rule findings on `line` or `line + 1` are
+    /// suppressed.
+    allows: Vec<(usize, Rule)>,
+    /// `(line, message)` for malformed directives.
+    directive_errors: Vec<(usize, String)>,
+}
+
+impl Masked {
+    fn is_allowed(&self, rule: Rule, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+    }
+}
+
+/// Blanks every byte of comments and string/char literals (except
+/// newlines) so the rule matchers can scan raw text without false hits,
+/// while collecting `meshlint::allow` directives from the comments.
+fn mask(source: &str) -> Masked {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut allows = Vec::new();
+    let mut errors = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for b in out.iter_mut().take(to).skip(from) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = memchr_newline(bytes, i);
+                parse_directive(source, i, end, line, &mut allows, &mut errors);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                // Keep the delimiters so `""` stays lexically a string.
+                blank(&mut out, start + 1, i.saturating_sub(1));
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // r"...", r#"..."#, br"...", rb#"..."# etc.
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(i) == Some(&b'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                i += 1; // opening quote
+                loop {
+                    match bytes.get(i) {
+                        None => break,
+                        Some(b'\n') => {
+                            line += 1;
+                            i += 1;
+                        }
+                        Some(b'"') if closing_hashes(bytes, i + 1) >= hashes => {
+                            i += 1 + hashes;
+                            break;
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a lifetime is `'` followed by
+                // an identifier NOT terminated by a closing `'`.
+                let next = bytes.get(i + 1).copied();
+                let is_lifetime = next.is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+                    && bytes.get(i + 2) != Some(&b'\'');
+                if is_lifetime {
+                    i += 2;
+                } else {
+                    let start = i;
+                    i += 1;
+                    if bytes.get(i) == Some(&b'\\') {
+                        i += 2; // escaped char
+                                // \x41, \u{...}
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else {
+                        // Possibly multibyte; advance to the closing quote.
+                        while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+                            i += 1;
+                        }
+                    }
+                    if bytes.get(i) == Some(&b'\'') {
+                        i += 1;
+                    }
+                    blank(&mut out, start, i);
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    Masked {
+        text: String::from_utf8(out).unwrap_or_default(),
+        allows,
+        directive_errors: errors,
+    }
+}
+
+fn memchr_newline(bytes: &[u8], from: usize) -> usize {
+    bytes
+        .iter()
+        .skip(from)
+        .position(|&b| b == b'\n')
+        .map_or(bytes.len(), |p| from + p)
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Only treat r/b prefixes as raw strings when not part of a longer
+    // identifier (e.g. `for` ends in 'r').
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    if j == i {
+        return false;
+    }
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"') && bytes.get(i).is_some_and(|&c| c == b'r' || c == b'b') && {
+        // Require an actual `r` in the prefix unless it is `b"..."`.
+        let prefix = &bytes[i..j];
+        prefix.contains(&b'r') || prefix == b"b"
+    }
+}
+
+fn closing_hashes(bytes: &[u8], from: usize) -> usize {
+    bytes.iter().skip(from).take_while(|&&b| b == b'#').count()
+}
+
+/// Parses a `meshlint::allow(<rule>): <reason>` directive out of a line
+/// comment spanning `bytes[start..end)`.
+fn parse_directive(
+    source: &str,
+    start: usize,
+    end: usize,
+    line: usize,
+    allows: &mut Vec<(usize, Rule)>,
+    errors: &mut Vec<(usize, String)>,
+) {
+    let comment = source.get(start..end).unwrap_or("");
+    let Some(pos) = comment.find("meshlint::allow") else {
+        return;
+    };
+    let rest = comment.get(pos + "meshlint::allow".len()..).unwrap_or("");
+    let Some(open) = rest.find('(') else {
+        errors.push((line, "expected `(<rule>)` after meshlint::allow".into()));
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        errors.push((line, "unclosed `(` in meshlint::allow".into()));
+        return;
+    };
+    let ids = rest.get(open + 1..close).unwrap_or("");
+    let after = rest.get(close + 1..).unwrap_or("").trim_start();
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        errors.push((
+            line,
+            "meshlint::allow requires a written reason: `// meshlint::allow(<rule>): <why>`".into(),
+        ));
+        return;
+    }
+    for id in ids.split(',') {
+        match Rule::from_id(id) {
+            Some(rule) => allows.push((line, rule)),
+            None => errors.push((line, format!("unknown rule '{}'", id.trim()))),
+        }
+    }
+}
+
+/// Lines (1-based) covered by `#[cfg(test)] mod … { … }` regions in the
+/// masked text.
+fn test_region_lines(masked: &str) -> std::collections::BTreeSet<usize> {
+    let bytes = masked.as_bytes();
+    let mut lines = std::collections::BTreeSet::new();
+    let mut search_from = 0usize;
+    while let Some(found) = find_from(masked, "#[cfg(test)]", search_from) {
+        let attr_end = found + "#[cfg(test)]".len();
+        search_from = attr_end;
+        // Skip whitespace and further attributes, then require `mod`.
+        let mut j = attr_end;
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'#') {
+                // Skip a bracketed attribute.
+                while j < bytes.len() && bytes[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        if !masked.get(j..).is_some_and(|r| r.starts_with("mod")) {
+            continue; // cfg(test) on something other than a module
+        }
+        let Some(open_rel) = masked.get(j..).and_then(|r| r.find('{')) else {
+            continue;
+        };
+        let open = j + open_rel;
+        let mut depth = 0i64;
+        let mut k = open;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let first_line = line_of(bytes, found);
+        let last_line = line_of(bytes, k.min(bytes.len().saturating_sub(1)));
+        for l in first_line..=last_line {
+            lines.insert(l);
+        }
+        search_from = k;
+    }
+    lines
+}
+
+fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    haystack.get(from..)?.find(needle).map(|p| from + p)
+}
+
+fn line_of(bytes: &[u8], pos: usize) -> usize {
+    1 + bytes.iter().take(pos).filter(|&&b| b == b'\n').count()
+}
+
+// ---------------------------------------------------------------------
+// Rule matchers
+// ---------------------------------------------------------------------
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether `text[pos..pos+len]` sits on identifier boundaries.
+fn on_boundary(text: &str, pos: usize, len: usize) -> bool {
+    let bytes = text.as_bytes();
+    let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+    let after_ok = pos + len >= bytes.len() || !is_ident_byte(bytes[pos + len]);
+    before_ok && after_ok
+}
+
+/// All boundary-respecting occurrences of `needle` in `line`, as
+/// 1-based columns.
+fn word_matches(line: &str, needle: &str) -> Vec<usize> {
+    let mut cols = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = find_from(line, needle, from) {
+        if on_boundary(line, pos, needle.len()) {
+            cols.push(pos + 1);
+        }
+        from = pos + needle.len();
+    }
+    cols
+}
+
+/// Columns (1-based) where `rule` fires on one masked line.
+fn match_rule(rule: Rule, line: &str) -> Vec<usize> {
+    let mut cols = Vec::new();
+    match rule {
+        Rule::D1 => {
+            cols.extend(word_matches(line, "HashMap"));
+            cols.extend(word_matches(line, "HashSet"));
+        }
+        Rule::D2 => {
+            cols.extend(word_matches(line, "Instant"));
+            cols.extend(word_matches(line, "SystemTime"));
+            cols.extend(word_matches(line, "thread_rng"));
+        }
+        Rule::R1 => {
+            // Method-call forms: the char before `.` is part of the
+            // receiver, so plain substring search is exact.
+            for needle in [".unwrap()", ".expect("] {
+                let mut from = 0usize;
+                while let Some(pos) = find_from(line, needle, from) {
+                    cols.push(pos + 1);
+                    from = pos + needle.len();
+                }
+            }
+            // Macro forms need identifier boundaries so `debug_assert!`
+            // (compiled out in release, permitted) does not match
+            // `assert!`.
+            for needle in [
+                "panic!",
+                "unreachable!",
+                "todo!",
+                "unimplemented!",
+                "assert!",
+                "assert_eq!",
+                "assert_ne!",
+            ] {
+                cols.extend(word_matches(line, needle));
+            }
+            cols.extend(index_expr_cols(line));
+        }
+        Rule::C1 => {
+            for needle in ["as u8", "as u16", "as i8", "as i16"] {
+                for col in word_matches(line, needle) {
+                    // Require the keyword form ` as u16`, not an
+                    // identifier that happens to end with "as".
+                    let before = line.as_bytes().get(col.wrapping_sub(2)).copied();
+                    if before.is_none() || before == Some(b' ') || before == Some(b'(') {
+                        cols.push(col);
+                    }
+                }
+            }
+        }
+    }
+    cols.sort_unstable();
+    cols
+}
+
+/// Columns of `[` tokens that open an *index expression*: the previous
+/// non-space character is an identifier character, `)`, or `]` — i.e.
+/// `frame[0]`, `f()[1]`, `m[a][b]` — as opposed to array literals,
+/// types, attributes (`#[...]`) and macro brackets (`vec![...]`).
+fn index_expr_cols(line: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut cols = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let Some(j) = bytes.iter().take(i).rposition(|&c| c != b' ') else {
+            continue;
+        };
+        let p = bytes[j];
+        if !(is_ident_byte(p) || p == b')' || p == b']') {
+            continue;
+        }
+        // `&'a [u8]`: an identifier that is really a lifetime name — walk
+        // to its start and check for a leading tick.
+        if is_ident_byte(p) {
+            let mut s = j;
+            while s > 0 && is_ident_byte(bytes[s - 1]) {
+                s -= 1;
+            }
+            if s > 0 && bytes[s - 1] == b'\'' {
+                continue;
+            }
+        }
+        cols.push(i + 1);
+    }
+    cols
+}
+
+// ---------------------------------------------------------------------
+// Baseline ratcheting
+// ---------------------------------------------------------------------
+
+/// Grandfathered findings: a multiset of [`Finding::baseline_key`]s.
+///
+/// New findings (beyond the baselined count per key) fail the run;
+/// baselined ones are tracked so the debt is visible and can only burn
+/// down (stale entries are reported for removal).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+/// How an analysis compares against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Ratchet {
+    /// Findings not covered by the baseline — these fail the run.
+    pub new: Vec<Finding>,
+    /// Findings tolerated because the baseline grandfathers them.
+    pub grandfathered: Vec<Finding>,
+    /// Baseline entries no longer observed: `(key, count)` pairs that
+    /// should be deleted to lock in the progress.
+    pub stale: Vec<(String, usize)>,
+}
+
+impl Baseline {
+    /// An empty baseline: every finding is new.
+    #[must_use]
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// Builds a baseline grandfathering exactly the given findings.
+    #[must_use]
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts = BTreeMap::new();
+        for f in findings {
+            *counts.entry(f.baseline_key()).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Parses the baseline file format: one `rule|file|snippet` key per
+    /// line (repeated keys grandfather multiple identical sites); `#`
+    /// lines and blank lines are ignored.
+    #[must_use]
+    pub fn parse(text: &str) -> Self {
+        let mut counts = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            *counts.entry(line.to_string()).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Loads a baseline file; a missing file is an empty baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors other than `NotFound`.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        match fs::read_to_string(path) {
+            Ok(text) => Ok(Self::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Self::empty()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Serialises to the line-per-key format, sorted.
+    #[must_use]
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# meshlint baseline: grandfathered findings (burn these down; never add).\n\
+             # One `rule|file|snippet` key per line; regenerate with `meshlint --write-baseline`.\n",
+        );
+        for (key, count) in &self.counts {
+            for _ in 0..*count {
+                out.push_str(key);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Number of grandfathered keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Whether nothing is grandfathered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Splits findings into new vs grandfathered and reports stale
+    /// baseline entries.
+    #[must_use]
+    pub fn ratchet(&self, findings: &[Finding]) -> Ratchet {
+        let mut remaining = self.counts.clone();
+        let mut result = Ratchet::default();
+        for f in findings {
+            let key = f.baseline_key();
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    result.grandfathered.push(f.clone());
+                }
+                _ => result.new.push(f.clone()),
+            }
+        }
+        result.stale = remaining.into_iter().filter(|&(_, n)| n > 0).collect();
+        result
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON output (hand-rolled: the crate must stay dependency-free)
+// ---------------------------------------------------------------------
+
+/// Escapes a string for inclusion in JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders machine-readable results: every finding plus the ratchet
+/// summary.
+#[must_use]
+pub fn to_json(ratchet: &Ratchet, analysis: &Analysis) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    let render = |f: &Finding, is_new: bool| {
+        format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"snippet\": \"{}\", \"hint\": \"{}\", \"new\": {}}}",
+            f.rule.id(),
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            json_escape(&f.snippet),
+            json_escape(f.rule.hint()),
+            is_new
+        )
+    };
+    let rows: Vec<String> = ratchet
+        .new
+        .iter()
+        .map(|f| render(f, true))
+        .chain(ratchet.grandfathered.iter().map(|f| render(f, false)))
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str(&format!(
+        "\n  ],\n  \"new\": {},\n  \"grandfathered\": {},\n  \"stale_baseline_entries\": {},\n  \
+         \"allowed\": {},\n  \"directive_errors\": {},\n  \"files_scanned\": {}\n}}\n",
+        ratchet.new.len(),
+        ratchet.grandfathered.len(),
+        ratchet.stale.len(),
+        analysis.allowed,
+        analysis.directive_errors.len(),
+        analysis.files_scanned
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_comments_and_strings() {
+        let src = "let a = \"HashMap\"; // HashMap here\nlet b = 'x';\n/* HashMap\nHashMap */ let c = 1;\n";
+        let m = mask(src);
+        assert!(!m.text.contains("HashMap"));
+        assert!(m.text.contains("let a ="));
+        assert!(m.text.contains("let c = 1;"));
+        assert_eq!(m.text.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet r = r#\"Instant::now\"#;\n";
+        let m = mask(src);
+        assert!(!m.text.contains("Instant"));
+        assert!(m.text.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn directive_parsing() {
+        let src = "// meshlint::allow(d1): keyed lookups only\nuse std::collections::HashMap;\n";
+        let m = mask(src);
+        assert_eq!(m.allows, vec![(1, Rule::D1)]);
+        assert!(m.is_allowed(Rule::D1, 1));
+        assert!(m.is_allowed(Rule::D1, 2));
+        assert!(!m.is_allowed(Rule::D1, 3));
+        assert!(!m.is_allowed(Rule::D2, 2));
+    }
+
+    #[test]
+    fn directive_without_reason_is_an_error() {
+        let m = mask("// meshlint::allow(d1)\nuse std::collections::HashMap;\n");
+        assert!(m.allows.is_empty());
+        assert_eq!(m.directive_errors.len(), 1);
+        let m2 = mask("// meshlint::allow(bogus): because\n");
+        assert_eq!(m2.directive_errors.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_excised() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap() }\n}\nfn after() {}\n";
+        let lines = test_region_lines(src);
+        assert!(lines.contains(&2) && lines.contains(&5));
+        assert!(!lines.contains(&1) && !lines.contains(&6));
+    }
+
+    #[test]
+    fn index_expression_detection() {
+        assert_eq!(index_expr_cols("let x = frame[0];"), vec![14]);
+        assert!(index_expr_cols("#[derive(Debug)]").is_empty());
+        assert!(index_expr_cols("let v = vec![1, 2];").is_empty());
+        assert!(index_expr_cols("let t: [u8; 4] = [0; 4];").is_empty());
+        assert_eq!(index_expr_cols("f()[1]"), vec![4]);
+        assert!(index_expr_cols("fn take(&mut self) -> Result<&'a [u8], E> {").is_empty());
+        assert!(index_expr_cols("frame: &'static [u8],").is_empty());
+    }
+
+    #[test]
+    fn c1_requires_keyword_position() {
+        assert!(match_rule(Rule::C1, "let atlas u8 = 1;").is_empty());
+        assert_eq!(match_rule(Rule::C1, "let x = n as u16;").len(), 1);
+        assert!(match_rule(Rule::C1, "let x = n as u64;").is_empty());
+        assert!(match_rule(Rule::C1, "let x = alias u8;").is_empty());
+    }
+
+    #[test]
+    fn baseline_ratchet_counts_multiset() {
+        let f = |line: usize| Finding {
+            rule: Rule::D1,
+            file: "a.rs".into(),
+            line,
+            col: 1,
+            snippet: "use std::collections::HashMap;".into(),
+        };
+        let base = Baseline::from_findings(&[f(1)]);
+        // Same key at a different line: still grandfathered (keys are
+        // line-independent); a second occurrence is new.
+        let r = base.ratchet(&[f(9), f(12)]);
+        assert_eq!(r.grandfathered.len(), 1);
+        assert_eq!(r.new.len(), 1);
+        assert!(r.stale.is_empty());
+        // Burned-down finding leaves a stale entry.
+        let r2 = base.ratchet(&[]);
+        assert_eq!(r2.stale.len(), 1);
+        // Round-trip through the file format.
+        assert_eq!(Baseline::parse(&base.serialize()), base);
+    }
+}

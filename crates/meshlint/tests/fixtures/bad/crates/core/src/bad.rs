@@ -1,0 +1,8 @@
+//! Fixture: malformed directives must fail the run, not silently
+//! stop suppressing.
+
+// meshlint::allow(d1)
+use std::collections::HashMap;
+
+// meshlint::allow(bogus): the rule name does not exist
+pub fn nothing() {}

@@ -1,0 +1,6 @@
+//! Fixture: bench is exempt from d2 — measuring wall time is its job.
+
+pub fn measure() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

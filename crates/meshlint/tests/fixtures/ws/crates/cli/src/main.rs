@@ -1,0 +1,13 @@
+//! Fixture: forbidden tokens inside strings and comments never fire,
+//! and `HashMap` is fine outside determinism-critical crates.
+
+// HashMap HashSet Instant SystemTime thread_rng panic! frame[0] x.unwrap()
+pub const DOC: &str = "Instant::now() HashMap frame[0] x.unwrap() as u16";
+pub const RAW: &str = r#"SystemTime thread_rng() panic!("no")"#;
+
+use std::collections::HashMap;
+
+pub fn main() {
+    let _counts: HashMap<&str, usize> = HashMap::new();
+    let _lit = [1u8, 2, 3]; // array literal: not an index expression
+}

@@ -1,0 +1,9 @@
+//! Fixture: violations suppressed by well-formed allow directives.
+
+// meshlint::allow(d1): keyed lookups only; never iterated.
+use std::collections::HashMap;
+
+pub fn cast(n: usize) -> u16 {
+    // meshlint::allow(c1): length bounded by the 255-byte PHY frame limit.
+    n as u16
+}

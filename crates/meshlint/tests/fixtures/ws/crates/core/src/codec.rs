@@ -1,0 +1,28 @@
+//! Fixture: a hot-path file seeded with one violation of every class
+//! meshlint must catch (this file is never compiled).
+
+use std::collections::HashMap; // d1: hashed collection in core
+
+pub fn decode(frame: &[u8]) -> u8 {
+    let first = frame[0]; // r1: unchecked indexing
+    let len = frame.len() as u8; // c1: bare narrowing cast
+    let v: Option<u8> = None;
+    v.unwrap(); // r1: unwrap
+    v.expect("boom"); // r1: expect
+    if first == 0 {
+        panic!("zero"); // r1: panic
+    }
+    unreachable!() // r1: unreachable
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+        let frame = [0u8; 4];
+        let _ = frame[0];
+        let _ = frame.len() as u8;
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: wall-clock and OS-entropy use in a simulation crate.
+
+pub fn now_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis() // d2
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now() // d2 (matches once: declaration line too)
+}
+
+pub fn roll() -> u64 {
+    rand::thread_rng().gen() // d2
+}

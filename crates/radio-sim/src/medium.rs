@@ -194,6 +194,7 @@ impl Medium {
         b: NodeId,
     ) -> Dbm {
         let loss = self.config.path_loss.loss_db(tx_pos.distance(rx_pos))
+            // meshlint::allow(c1): shadowing hash-mix input — node-id wraparound is deterministic and harmless.
             + self.config.shadowing.offset_db(a.0 as u16, b.0 as u16);
         LinkBudget {
             tx_power: self.config.tx_power,

@@ -1,6 +1,6 @@
 //! PHY-level counters collected during a simulation run.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crate::firmware::NodeId;
@@ -53,8 +53,9 @@ pub struct Metrics {
     pub rx_aborted_by_tx: u64,
     /// Total airtime across all nodes.
     pub total_airtime: Duration,
-    /// Per-node counters.
-    pub per_node: HashMap<NodeId, NodeCounters>,
+    /// Per-node counters. A `BTreeMap` (meshlint rule D1) so reports and
+    /// digests that iterate it are deterministic without sorting.
+    pub per_node: BTreeMap<NodeId, NodeCounters>,
 }
 
 impl Metrics {

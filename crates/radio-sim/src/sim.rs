@@ -97,7 +97,9 @@ pub struct Simulator<F: Firmware> {
     started: bool,
     mobility_scheduled: bool,
     /// Injected per-link loss probabilities, keyed by unordered pair.
-    link_loss: std::collections::HashMap<(usize, usize), f64>,
+    /// A `BTreeMap` (meshlint rule D1): deterministic iteration order,
+    /// so no observable behaviour can ever depend on hasher state.
+    link_loss: std::collections::BTreeMap<(usize, usize), f64>,
     /// Cached link budgets for the current topology epoch.
     link_cache: LinkCache,
     /// Indices of nodes currently in [`RadioState::Rx`]. The culled
@@ -127,7 +129,7 @@ impl<F: Firmware> Simulator<F> {
             root_rng: SimRng::new(seed),
             started: false,
             mobility_scheduled: false,
-            link_loss: std::collections::HashMap::new(),
+            link_loss: std::collections::BTreeMap::new(),
             link_cache: LinkCache::new(),
             rx_nodes: std::collections::BTreeSet::new(),
             fanout_scratch: Vec::new(),

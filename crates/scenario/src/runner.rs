@@ -6,7 +6,7 @@
 //! marker embedded in each payload), yielding a [`TrafficReport`] with
 //! packet-delivery ratio, end-to-end latencies and airtime cost.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 use lora_phy::propagation::Position;
@@ -450,7 +450,9 @@ impl Runner {
     pub fn report(&self) -> TrafficReport {
         let now = self.now();
         let mut latencies = Vec::new();
-        let mut delivered_keys: HashSet<(u32, usize)> = HashSet::new();
+        // BTreeSet (meshlint rule D1): membership-only today, but a
+        // deterministic order keeps any future iteration replay-safe.
+        let mut delivered_keys: BTreeSet<(u32, usize)> = BTreeSet::new();
         let mut duplicates = 0u64;
         let mut send_errors = 0u64;
         let mut reliable_completed = 0usize;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate for the repository: formatting, a fully offline release
-# build, and the fully offline test suite. Run from anywhere; no network
-# access is required (the workspace has no registry dependencies).
+# Tier-1 gate for the repository: formatting, the static-analysis wall
+# (clippy -D warnings + meshlint), a fully offline release build, and
+# the fully offline test suite. Run from anywhere; no network access is
+# required (the workspace has no registry dependencies).
 #
 #   ./scripts/ci.sh
 set -euo pipefail
@@ -12,6 +13,12 @@ cargo fmt --check
 
 echo "==> cargo build --release --offline --workspace"
 cargo build --release --offline --workspace
+
+echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> meshlint (determinism & robustness rules, ratcheted)"
+cargo run -q --release --offline -p meshlint -- --root . --baseline meshlint.baseline
 
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Static-analysis gate: the clippy lint wall plus the project-specific
+# meshlint determinism/robustness rules, ratcheted against the committed
+# baseline. Run from anywhere; fully offline.
+#
+#   ./scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> meshlint (determinism & robustness rules, ratcheted)"
+cargo run -q --release --offline -p meshlint -- --root . --baseline meshlint.baseline
+
+echo "lint: all checks passed"

@@ -1,0 +1,186 @@
+//! Differential test for the determinism-motivated collection swap
+//! (PR 3): replacing `HashMap`/`HashSet` with `BTreeMap`/`BTreeSet` in
+//! `radio_sim::sim` (injected link loss), `radio_sim::metrics`
+//! (per-node counters), `scenario::runner` (delivery dedup keys) and
+//! `mesh_baselines::flooding` (duplicate suppression) must not change
+//! any observable behaviour.
+//!
+//! The golden fingerprints below were recorded at commit 052e215 —
+//! immediately *before* the swap — by running these exact scenarios on
+//! the `HashMap` implementations. The post-swap tree must reproduce
+//! them bit-for-bit: traces, PHY metrics (including RNG-fed grey-zone
+//! outcomes), traffic reports and per-node routing state.
+
+use std::time::Duration;
+
+use lora_phy::propagation::Shadowing;
+use loramesher_repro::radio_sim::sim::SimConfig;
+use loramesher_repro::radio_sim::topology;
+use loramesher_repro::scenario::runner::{NetworkBuilder, ProtocolChoice, Runner};
+use loramesher_repro::scenario::workload::{self, Target};
+
+/// FNV-1a: a stable, dependency-free 64-bit digest.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serialises everything observable about a finished run into one
+/// string: the full event trace, global and per-node PHY metrics (in
+/// ascending node order), the traffic report and per-node protocol
+/// state.
+fn observe(net: &Runner) -> String {
+    let mut out = String::new();
+    for (t, ev) in net.sim().trace().entries() {
+        out.push_str(&format!("{t:?}|{ev:?};"));
+    }
+    let m = net.phy_metrics();
+    out.push_str(&format!(
+        "tx={} del={} floor={} coll={} trunc={} inj={} busy={} dead={} air={:?};",
+        m.frames_transmitted,
+        m.frames_delivered,
+        m.lost_below_floor,
+        m.lost_collision,
+        m.lost_truncated,
+        m.lost_injected,
+        m.tx_while_busy,
+        m.tx_while_dead,
+        m.total_airtime,
+    ));
+    let mut ids: Vec<_> = m.per_node.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let c = &m.per_node[&id];
+        out.push_str(&format!(
+            "n{}:{},{},{},{},{};",
+            id.0, c.transmitted, c.received, c.lost, c.cad_scans, c.cad_busy
+        ));
+    }
+    let r = net.report();
+    out.push_str(&format!(
+        "sent={} del={} dup={} err={} lat={:?} rel={}/{};",
+        r.sent,
+        r.delivered,
+        r.duplicates,
+        r.send_errors,
+        r.latencies,
+        r.reliable_completed,
+        r.reliable_failed,
+    ));
+    for i in 0..net.len() {
+        if let Some(mesh) = net.mesh_node(i) {
+            for route in mesh.routing_table().routes() {
+                out.push_str(&format!(
+                    "{}:{}via{}m{};",
+                    i, route.destination, route.via, route.metric
+                ));
+            }
+            let s = mesh.stats();
+            out.push_str(&format!(
+                "s{}={},{},{},{};",
+                i, s.frames_sent, s.forwarded, s.hellos_received, s.data_delivered
+            ));
+        }
+    }
+    out
+}
+
+fn traced_config() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.rf.grey_zone = true;
+    cfg.rf.shadowing = Shadowing::new(4.0, 7);
+    cfg.trace_capacity = 1 << 16;
+    cfg
+}
+
+/// Mesh grid with unicast traffic, a reliable transfer and node churn:
+/// exercises `sim.rs` (trace, churn), `metrics.rs` (per-node counters)
+/// and `runner.rs` (delivery dedup keys).
+fn mesh_fingerprint(seed: u64) -> u64 {
+    let spacing = topology::radio_range_m(&SimConfig::default().rf) * 0.8;
+    let mut net = NetworkBuilder::mesh(topology::grid(3, 2, spacing), seed)
+        .sim_config(traced_config())
+        .build();
+    net.run_until(Duration::from_secs(120));
+    let start = Duration::from_secs(125);
+    net.apply(&workload::all_to_one(
+        6,
+        0,
+        16,
+        start,
+        Duration::from_secs(30),
+        4,
+    ));
+    net.schedule(workload::bulk(1, 5, 900, start + Duration::from_secs(10)));
+    let victim = net.id(2);
+    net.sim_mut()
+        .schedule_kill(start + Duration::from_secs(60), victim);
+    net.sim_mut()
+        .schedule_revive(start + Duration::from_secs(180), victim);
+    net.run_until(start + Duration::from_secs(400));
+    fnv1a(observe(&net).as_bytes())
+}
+
+/// Managed flooding over a line: every relay consults the
+/// duplicate-suppression set in `mesh_baselines::flooding`.
+fn flooding_fingerprint(seed: u64) -> u64 {
+    let mut net = NetworkBuilder::mesh(topology::line(4, 100.0), seed)
+        .protocol(ProtocolChoice::Flooding { ttl: 5 })
+        .sim_config(traced_config())
+        .build();
+    net.apply(&workload::periodic(
+        0,
+        Target::Node(3),
+        16,
+        Duration::from_secs(5),
+        Duration::from_secs(10),
+        6,
+    ));
+    net.apply(&workload::periodic(
+        3,
+        Target::Broadcast,
+        12,
+        Duration::from_secs(8),
+        Duration::from_secs(15),
+        4,
+    ));
+    net.run_until(Duration::from_secs(180));
+    fnv1a(observe(&net).as_bytes())
+}
+
+/// (seed, golden digest) pairs recorded on the pre-swap `HashMap`
+/// implementations at commit 052e215.
+const MESH_GOLDEN: [(u64, u64); 2] = [
+    (11, 8_692_589_240_337_773_995),
+    (31, 16_374_478_427_912_794_311),
+];
+const FLOODING_GOLDEN: [(u64, u64); 2] = [
+    (11, 1_602_448_124_015_804_826),
+    (31, 5_274_257_377_190_025_510),
+];
+
+#[test]
+fn mesh_traces_unchanged_by_collection_swap() {
+    for (seed, golden) in MESH_GOLDEN {
+        assert_eq!(
+            mesh_fingerprint(seed),
+            golden,
+            "mesh run at seed {seed} diverged from the pre-swap recording"
+        );
+    }
+}
+
+#[test]
+fn flooding_traces_unchanged_by_collection_swap() {
+    for (seed, golden) in FLOODING_GOLDEN {
+        assert_eq!(
+            flooding_fingerprint(seed),
+            golden,
+            "flooding run at seed {seed} diverged from the pre-swap recording"
+        );
+    }
+}

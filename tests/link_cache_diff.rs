@@ -194,7 +194,7 @@ fn mesh_scenario_identical() {
 fn sweep_aggregates_identical() {
     let aggregate = |link_cache: bool, jobs: usize| {
         let seeds = seed_list(42, 4);
-        let rows = scenario::run_parallel(&seeds, jobs, |&seed| {
+        scenario::run_parallel(&seeds, jobs, |&seed| {
             let f = run_static(seed, link_cache);
             (
                 f.1.frames_delivered,
@@ -202,8 +202,7 @@ fn sweep_aggregates_identical() {
                 f.1.frames_transmitted,
                 f.3,
             )
-        });
-        rows
+        })
     };
     let cached = aggregate(true, 1);
     assert_eq!(cached, aggregate(false, 1));
