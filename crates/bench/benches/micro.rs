@@ -188,6 +188,44 @@ fn bench_medium(filter: &str) {
     });
 }
 
+fn bench_queue(filter: &str) {
+    use radio_sim::event::{EventQueue, SimEvent};
+    use radio_sim::time::SimTime;
+    use radio_sim::NodeId;
+
+    // Schedule+pop through a queue pre-loaded with `pending` events, the
+    // steady-state shape of an N-node run: cost of the calendar ring's
+    // bucket lookup and cursor scan at several fill levels.
+    for pending in [16usize, 256, 4096] {
+        let mut q = EventQueue::new();
+        let mut t: u64 = 0;
+        for i in 0..pending {
+            t += 11_311; // ≈11 µs apart: spread over a few buckets
+            q.schedule(SimTime::from_micros(t / 1000), SimEvent::App(NodeId(i), 0));
+        }
+        let mut now = t;
+        bench(
+            filter,
+            &format!("queue/schedule_pop_at_{pending}_pending"),
+            || {
+                now += 11_311;
+                q.schedule(SimTime::from_micros(now / 1000), SimEvent::MobilityTick);
+                q.pop()
+            },
+        );
+    }
+    // The timer churn path: reschedule (tombstoning the previous wake)
+    // then pop — the O(1) stale-drop the generation stamps buy.
+    let mut q = EventQueue::new();
+    let mut now_us: u64 = 0;
+    bench(filter, "queue/timer_reschedule_pop", || {
+        now_us += 500;
+        q.schedule_timer(SimTime::from_micros(now_us), NodeId(0));
+        q.schedule_timer(SimTime::from_micros(now_us + 100), NodeId(0));
+        q.pop()
+    });
+}
+
 fn bench_link_cache(filter: &str) {
     // The same PHY-only beacon workload with the link cache on and off:
     // the gap is what the cache + audible-neighbor culling buys on the
@@ -213,5 +251,6 @@ fn main() {
     bench_rng(&filter);
     bench_simulator(&filter);
     bench_medium(&filter);
+    bench_queue(&filter);
     bench_link_cache(&filter);
 }

@@ -1,14 +1,15 @@
 //! Scaling benchmark for the simulator hot path: the static-grid beacon
-//! scenario at N ∈ {16, 64, 256} nodes, run with the link cache on and
-//! off, asserting identical metrics and reporting events/sec, ns/event
-//! and the cached-vs-uncached speedup.
+//! scenario at N ∈ {16, 64, 256, 1024} nodes, run with the link cache
+//! on and off, asserting identical metrics and reporting events/sec,
+//! ns/event and the cached-vs-uncached speedup.
 //!
 //! ```text
 //! bench_scaling [--smoke] [--out PATH] [--secs N] [--seed N]
 //! ```
 //!
 //! `--out PATH` writes a JSON report (`scripts/bench.sh` points it at
-//! `BENCH_PR2.json` so the repo keeps a perf trajectory across PRs);
+//! `BENCH_PR4.json` so the repo keeps a perf trajectory across PRs;
+//! `BENCH_PR2.json` is the pre-overhaul baseline to compare against);
 //! `--smoke` shrinks the run to a CI-friendly correctness check.
 
 use std::fmt::Write as _;
@@ -112,7 +113,7 @@ fn main() {
             }
         }
     }
-    let sizes: &[usize] = if smoke { &[16] } else { &[16, 64, 256] };
+    let sizes: &[usize] = if smoke { &[16] } else { &[16, 64, 256, 1024] };
     let sim_secs = sim_secs.unwrap_or(if smoke { 20 } else { 120 });
     let repeats = if smoke { 1 } else { 3 };
 

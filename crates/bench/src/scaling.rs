@@ -8,9 +8,10 @@
 //! simulator hot path: `start_tx` fan-out, receiver locking and
 //! interference seeding.
 //!
-//! Shared by `src/bin/bench_scaling.rs` (the `BENCH_PR2.json` scaling
+//! Shared by `src/bin/bench_scaling.rs` (the `BENCH_PR4.json` scaling
 //! run) and `benches/micro.rs` (cached-vs-uncached hot-path benches).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use lora_phy::link::SignalQuality;
@@ -28,7 +29,10 @@ pub const BEACON_LEN: usize = 16;
 /// per node; counts the beacons it hears.
 pub struct Beacon {
     next: Duration,
-    seq: u8,
+    /// The beacon frame, built once: each transmission clones the `Arc`
+    /// (a refcount bump), keeping the steady-state loop allocation-free
+    /// — see `tests/alloc_regression.rs`.
+    frame: Arc<[u8]>,
     /// Frames this node decoded.
     pub heard: u64,
 }
@@ -39,7 +43,7 @@ impl Beacon {
     pub fn with_phase(phase: Duration) -> Self {
         Beacon {
             next: phase,
-            seq: 0,
+            frame: vec![0xB3; BEACON_LEN].into(),
             heard: 0,
         }
     }
@@ -48,8 +52,7 @@ impl Beacon {
 impl Firmware for Beacon {
     fn on_timer(&mut self, ctx: &mut Context) {
         if ctx.now() >= self.next {
-            ctx.transmit(vec![self.seq; BEACON_LEN]);
-            self.seq = self.seq.wrapping_add(1);
+            ctx.transmit(self.frame.clone());
             self.next += BEACON_INTERVAL;
         }
     }

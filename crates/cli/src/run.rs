@@ -285,6 +285,10 @@ fn run_scenario(cli: &Cli, seed: u64) -> (String, TrafficReport) {
         fmt_pct(report.channel_utilisation()),
         report.collisions,
     ));
+    out.push_str(&format!(
+        "scheduler: {} stale timers dropped\n",
+        net.phy_metrics().stale_timers_dropped,
+    ));
 
     if !cli.gateways.is_empty() {
         use loramesher::RoleQueries;

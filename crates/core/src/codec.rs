@@ -35,6 +35,8 @@ use crate::packet::{Forwarding, Packet, PacketKind, RouteEntry};
 
 /// Size of the common header present in every frame.
 pub const COMMON_HEADER_LEN: usize = 7;
+/// Byte offset of the packet id within the common header.
+pub const HEADER_ID_OFFSET: usize = 5;
 /// Size of the forwarding extension in unicast frames.
 pub const FORWARDING_LEN: usize = 3;
 /// Total header overhead of a Data frame.
@@ -149,24 +151,41 @@ impl<'a> Reader<'a> {
 /// Returns [`CodecError::FrameTooLarge`] when the encoded frame would
 /// exceed the 255-byte PHY limit.
 pub fn encode(packet: &Packet) -> Result<Vec<u8>, CodecError> {
+    let mut buf = Vec::new();
+    encode_into(packet, &mut buf)?;
+    Ok(buf)
+}
+
+/// Encodes a packet into a caller-supplied buffer, clearing it first.
+///
+/// The allocation-free sibling of [`encode`]: a reused buffer reaches a
+/// steady-state capacity after which encoding never touches the heap.
+/// On error the buffer is left cleared.
+///
+/// # Errors
+///
+/// Returns [`CodecError::FrameTooLarge`] when the encoded frame would
+/// exceed the 255-byte PHY limit.
+pub fn encode_into(packet: &Packet, buf: &mut Vec<u8>) -> Result<(), CodecError> {
     // Compute the length first so `plen` is written once, correctly,
     // instead of patched after the fact — and so the PHY limit is
-    // enforced before any allocation grows past it.
+    // enforced before the buffer grows past it.
+    buf.clear();
     let total = encoded_len(packet);
     if total > MAX_FRAME_LEN {
         return Err(CodecError::FrameTooLarge(total));
     }
     let plen = sat_u8(total - COMMON_HEADER_LEN);
 
-    let mut buf = Vec::with_capacity(total);
-    put_u16(&mut buf, packet.dst().value());
-    put_u16(&mut buf, packet.src().value());
+    buf.reserve(total);
+    put_u16(buf, packet.dst().value());
+    put_u16(buf, packet.src().value());
     buf.push(packet.kind().wire());
     buf.push(packet.id());
     buf.push(plen);
 
     if let Some(Forwarding { via, ttl }) = packet.forwarding() {
-        put_u16(&mut buf, via.value());
+        put_u16(buf, via.value());
         buf.push(ttl);
     }
 
@@ -174,7 +193,7 @@ pub fn encode(packet: &Packet) -> Result<Vec<u8>, CodecError> {
         Packet::Hello { role, entries, .. } => {
             buf.push(*role);
             for e in entries {
-                put_u16(&mut buf, e.address.value());
+                put_u16(buf, e.address.value());
                 buf.push(e.metric);
                 buf.push(e.role);
             }
@@ -187,30 +206,30 @@ pub fn encode(packet: &Packet) -> Result<Vec<u8>, CodecError> {
             ..
         } => {
             buf.push(*seq);
-            put_u16(&mut buf, *frag_count);
-            put_u32(&mut buf, *total_len);
+            put_u16(buf, *frag_count);
+            put_u32(buf, *total_len);
         }
         Packet::Frag {
             seq, index, data, ..
         } => {
             buf.push(*seq);
-            put_u16(&mut buf, *index);
+            put_u16(buf, *index);
             buf.extend_from_slice(data);
         }
         Packet::Ack { seq, index, .. } => {
             buf.push(*seq);
-            put_u16(&mut buf, *index);
+            put_u16(buf, *index);
         }
         Packet::Lost { seq, missing, .. } => {
             buf.push(*seq);
             for m in missing {
-                put_u16(&mut buf, *m);
+                put_u16(buf, *m);
             }
         }
     }
 
     debug_assert_eq!(buf.len(), total, "encoded_len disagrees with encode");
-    Ok(buf)
+    Ok(())
 }
 
 /// Decodes a wire frame into a packet.

@@ -32,7 +32,7 @@ use crate::config::MeshConfig;
 use crate::driver::{NodeProtocol, RadioRequest};
 use crate::error::SendError;
 use crate::mac::{Mac, MacAction};
-use crate::packet::{Forwarding, Packet, PacketKind, SYNC_ACK_INDEX};
+use crate::packet::{Forwarding, Packet, PacketKind, RouteEntry, SYNC_ACK_INDEX};
 use crate::queue::TxQueue;
 use crate::reliable::{InboundTransfer, OutboundTransfer, ReceiverAction, SenderAction};
 use crate::rng::ProtocolRng;
@@ -121,6 +121,15 @@ pub struct MeshNode {
     stats: NodeStats,
     events: VecDeque<MeshEvent>,
     next_hello: Duration,
+    /// Hello frame cache: while the routing table's
+    /// [`RoutingTable::version`] matches `hello_version`, consecutive
+    /// hellos carry identical entries, so the wire image is reused with
+    /// only the packet-id byte patched instead of re-serialising the
+    /// whole table every beacon interval.
+    hello_entries: Vec<RouteEntry>,
+    hello_wire: Vec<u8>,
+    hello_version: Option<u64>,
+    hello_wire_id: Option<u8>,
     next_packet_id: u8,
     next_seq: u8,
     outbound: BTreeMap<Address, OutboundTransfer>,
@@ -159,6 +168,10 @@ impl MeshNode {
             stats: NodeStats::new(),
             events: VecDeque::new(),
             next_hello: Duration::ZERO,
+            hello_entries: Vec::new(),
+            hello_wire: Vec::new(),
+            hello_version: None,
+            hello_wire_id: None,
             next_packet_id: 0,
             next_seq: 0,
             outbound: BTreeMap::new(),
@@ -397,14 +410,47 @@ impl MeshNode {
     }
 
     fn emit_hello(&mut self, now: Duration) {
-        let mut entries = self.routing.as_entries();
-        entries.truncate(codec::MAX_HELLO_ENTRIES);
         let id = self.next_id();
-        let hello = Packet::Hello {
-            src: self.config.address,
-            id,
-            role: self.config.role,
-            entries,
+        let hello = if self.hello_version == Some(self.routing.version()) {
+            // The table's Hello-visible content is unchanged since the
+            // cached encoding: only the packet id differs, so patch that
+            // single byte instead of re-serialising the whole table.
+            if let Some(b) = self.hello_wire.get_mut(codec::HEADER_ID_OFFSET) {
+                *b = id;
+            }
+            self.hello_wire_id = Some(id);
+            Packet::Hello {
+                src: self.config.address,
+                id,
+                role: self.config.role,
+                entries: self.hello_entries.clone(),
+            }
+        } else {
+            let mut entries = self.routing.as_entries();
+            entries.truncate(codec::MAX_HELLO_ENTRIES);
+            let hello = Packet::Hello {
+                src: self.config.address,
+                id,
+                role: self.config.role,
+                entries,
+            };
+            match codec::encode_into(&hello, &mut self.hello_wire) {
+                Ok(()) => {
+                    self.hello_version = Some(self.routing.version());
+                    self.hello_wire_id = Some(id);
+                    if let Packet::Hello { entries, .. } = &hello {
+                        self.hello_entries.clone_from(entries);
+                    }
+                }
+                Err(_) => {
+                    // Unencodable hello (cannot happen with the entry cap,
+                    // but stay safe): poison the cache.
+                    self.hello_version = None;
+                    self.hello_wire_id = None;
+                    self.hello_wire.clear();
+                }
+            }
+            hello
         };
         if self.enqueue(hello) {
             self.stats.hellos_sent += 1;
@@ -734,6 +780,18 @@ impl MeshNode {
     /// has already committed to `Transmitting`.
     fn transmit_front(&mut self, airtime: Duration) -> Option<RadioRequest> {
         let packet = self.txq.pop()?;
+        if let Packet::Hello { id, .. } = &packet {
+            if self.hello_wire_id == Some(*id) && !self.hello_wire.is_empty() {
+                debug_assert_eq!(
+                    codec::encode(&packet).ok().as_deref(),
+                    Some(self.hello_wire.as_slice()),
+                    "hello wire cache out of sync with the queued packet"
+                );
+                self.stats.frames_sent += 1;
+                self.stats.airtime += airtime;
+                return Some(RadioRequest::Transmit(self.hello_wire.clone()));
+            }
+        }
         match codec::encode(&packet) {
             Ok(frame) => {
                 self.stats.frames_sent += 1;
@@ -1467,6 +1525,55 @@ mod tests {
         let s = n.stats();
         assert_eq!(s.duty_cycle_deferrals, 0);
         assert_eq!(s.cad_exhausted, 0);
+    }
+
+    #[test]
+    fn hello_wire_cache_patches_id_until_table_changes() {
+        let mut n = node(A1);
+        n.routing.heard_from(A2, 0.0, Duration::ZERO);
+        n.emit_hello(Duration::ZERO);
+        let first_wire = n.hello_wire.clone();
+        let v = n.hello_version;
+        assert!(v.is_some());
+        // Unchanged table: the cached wire image is reused with only the
+        // packet-id byte rewritten.
+        n.emit_hello(Duration::from_secs(30));
+        assert_eq!(n.hello_version, v, "unchanged table must not re-encode");
+        assert_eq!(first_wire.len(), n.hello_wire.len());
+        let diff: Vec<usize> = first_wire
+            .iter()
+            .zip(n.hello_wire.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diff, vec![codec::HEADER_ID_OFFSET]);
+        // A routing change invalidates the cache and re-encodes.
+        n.routing.heard_from(A3, 0.0, Duration::from_secs(31));
+        n.emit_hello(Duration::from_secs(60));
+        assert_ne!(n.hello_version, v);
+        match codec::decode(&n.hello_wire).unwrap() {
+            Packet::Hello { entries, .. } => assert_eq!(entries.len(), 2),
+            p => panic!("unexpected {p:?}"),
+        }
+    }
+
+    #[test]
+    fn transmit_front_reuses_cached_hello_wire() {
+        let mut n = node(A1);
+        n.routing.heard_from(A2, 0.0, Duration::ZERO);
+        n.emit_hello(Duration::ZERO);
+        let wire = n.hello_wire.clone();
+        match n.transmit_front(Duration::from_millis(50)) {
+            Some(RadioRequest::Transmit(frame)) => {
+                assert_eq!(frame, wire);
+                match codec::decode(&frame).unwrap() {
+                    Packet::Hello { src, .. } => assert_eq!(src, A1),
+                    p => panic!("unexpected {p:?}"),
+                }
+            }
+            r => panic!("unexpected {r:?}"),
+        }
     }
 
     #[test]

@@ -107,6 +107,12 @@ impl Default for RoutingPolicy {
 pub struct RoutingTable {
     routes: BTreeMap<Address, Route>,
     policy: RoutingPolicy,
+    /// Bumped whenever the Hello-visible content of the table — the set
+    /// of `(destination, metric, role)` tuples — changes. Refreshes that
+    /// only touch timestamps or link statistics do not count, so an
+    /// unchanged `version` guarantees [`RoutingTable::as_entries`]
+    /// returns the same list and lets callers cache its encoding.
+    version: u64,
 }
 
 impl RoutingTable {
@@ -128,7 +134,21 @@ impl RoutingTable {
         RoutingTable {
             routes: BTreeMap::new(),
             policy,
+            version: 0,
         }
+    }
+
+    /// The Hello-content generation: unchanged between two calls if and
+    /// only if no `(destination, metric, role)` tuple was added, removed
+    /// or rewritten in between (timestamp/SNR refreshes don't count).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Marks the Hello-visible content as changed.
+    fn touch(&mut self) {
+        self.version = self.version.wrapping_add(1);
     }
 
     /// The active selection policy.
@@ -183,6 +203,9 @@ impl RoutingTable {
             snr_ewma: snr,
             heard_count: 0,
         });
+        // Freshly inserted (heard_count still 0) or promoted from a
+        // multi-hop metric: the Hello-visible tuple changed.
+        let advertised_change = entry.heard_count == 0 || entry.metric != 1;
         // A direct observation always beats any multi-hop route.
         if entry.via != neighbour {
             // Switching from a multi-hop route: restart link statistics.
@@ -195,6 +218,9 @@ impl RoutingTable {
         entry.last_seen = now;
         entry.snr = snr;
         entry.heard_count += 1;
+        if advertised_change {
+            self.touch();
+        }
     }
 
     /// The direct neighbours (metric-1 routes) with their link statistics.
@@ -216,11 +242,16 @@ impl RoutingTable {
     ) -> usize {
         let mut changed = 0;
         self.heard_from(neighbour, snr, now);
+        let mut role_changed = false;
         if let Some(r) = self.routes.get_mut(&neighbour) {
             if r.role != role {
                 r.role = role;
                 changed += 1;
+                role_changed = true;
             }
+        }
+        if role_changed {
+            self.touch();
         }
         for e in entries {
             if e.address == me || e.address == neighbour || e.address.is_broadcast() {
@@ -244,6 +275,7 @@ impl RoutingTable {
                             },
                         );
                         changed += 1;
+                        self.version = self.version.wrapping_add(1);
                     }
                 }
                 Some(r) => {
@@ -258,6 +290,9 @@ impl RoutingTable {
                         // Strictly better: adopt.
                         if r.via != neighbour || r.metric != candidate_metric {
                             changed += 1;
+                        }
+                        if r.metric != candidate_metric || r.role != e.role {
+                            self.version = self.version.wrapping_add(1);
                         }
                         if r.via != neighbour {
                             r.snr_ewma = snr; // new link: restart stats
@@ -280,9 +315,13 @@ impl RoutingTable {
                         if candidate_metric >= Self::INFINITY_METRIC {
                             self.routes.remove(&e.address);
                             changed += 1;
+                            self.version = self.version.wrapping_add(1);
                         } else {
                             if r.metric != candidate_metric {
                                 changed += 1;
+                            }
+                            if r.metric != candidate_metric || r.role != e.role {
+                                self.version = self.version.wrapping_add(1);
                             }
                             r.metric = candidate_metric;
                             r.role = e.role;
@@ -312,6 +351,9 @@ impl RoutingTable {
         for d in &dead {
             self.routes.remove(d);
         }
+        if !dead.is_empty() {
+            self.touch();
+        }
         dead
     }
 
@@ -326,6 +368,9 @@ impl RoutingTable {
             .collect();
         for d in &dead {
             self.routes.remove(d);
+        }
+        if !dead.is_empty() {
+            self.touch();
         }
         dead
     }
@@ -663,6 +708,90 @@ mod tests {
         assert!(s.contains("0002 via 0002"), "{s}");
         assert!(s.contains("0003 via 0002"), "{s}");
         assert!(s.contains("metric=2"), "{s}");
+    }
+
+    #[test]
+    fn version_tracks_hello_visible_changes_only() {
+        let mut t = RoutingTable::new();
+        let v0 = t.version();
+        // New direct route: bump.
+        t.heard_from(N2, 0.0, NOW);
+        let v1 = t.version();
+        assert_ne!(v1, v0);
+        // Pure refresh (same metric, same role): no bump.
+        t.heard_from(N2, 3.0, NOW + Duration::from_secs(1));
+        assert_eq!(t.version(), v1);
+        let same = [entry(N3, 1)];
+        // New multi-hop route: bump.
+        t.apply_hello(ME, N2, 0, &same, 0.0, NOW + Duration::from_secs(2));
+        let v2 = t.version();
+        assert_ne!(v2, v1);
+        // Identical re-advertisement: timestamps move, content doesn't.
+        t.apply_hello(ME, N2, 0, &same, 0.0, NOW + Duration::from_secs(3));
+        assert_eq!(t.version(), v2);
+        // Same-via metric degradation: bump.
+        t.apply_hello(
+            ME,
+            N2,
+            0,
+            &[entry(N3, 4)],
+            0.0,
+            NOW + Duration::from_secs(4),
+        );
+        let v3 = t.version();
+        assert_ne!(v3, v2);
+        // Role change on an existing entry: bump.
+        t.apply_hello(
+            ME,
+            N2,
+            0,
+            &[entry(N3, 4)],
+            0.0,
+            NOW + Duration::from_secs(5),
+        );
+        assert_eq!(t.version(), v3);
+        t.apply_hello(
+            ME,
+            N2,
+            0,
+            &[RouteEntry {
+                address: N3,
+                metric: 4,
+                role: 9,
+            }],
+            0.0,
+            NOW + Duration::from_secs(6),
+        );
+        let v4 = t.version();
+        assert_ne!(v4, v3);
+        // Purge with nothing stale: no bump.
+        assert!(t
+            .purge(NOW + Duration::from_secs(7), Duration::from_secs(600))
+            .is_empty());
+        assert_eq!(t.version(), v4);
+        // Purge that removes routes: bump.
+        assert!(!t
+            .purge(NOW + Duration::from_secs(900), Duration::from_secs(600))
+            .is_empty());
+        assert_ne!(t.version(), v4);
+    }
+
+    #[test]
+    fn version_bumps_on_neighbour_role_change_and_drop_via() {
+        let mut t = RoutingTable::new();
+        t.apply_hello(ME, N2, 0, &[entry(N3, 1)], 0.0, NOW);
+        let v = t.version();
+        // Neighbour's own role flips: bump even with unchanged entries.
+        t.apply_hello(ME, N2, 5, &[entry(N3, 1)], 0.0, NOW);
+        let v2 = t.version();
+        assert_ne!(v2, v);
+        // Dropping a via removes routes: bump.
+        t.drop_via(N2);
+        assert_ne!(t.version(), v2);
+        // drop_via on an empty table: no bump.
+        let v3 = t.version();
+        t.drop_via(N2);
+        assert_eq!(t.version(), v3);
     }
 
     #[test]

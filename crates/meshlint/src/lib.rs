@@ -228,6 +228,8 @@ impl Config {
                 "crates/core/src/codec.rs".into(),
                 "crates/core/src/packet.rs".into(),
                 "crates/core/src/routing.rs".into(),
+                "crates/radio-sim/src/event.rs".into(),
+                "crates/radio-sim/src/metrics.rs".into(),
             ],
         }
     }

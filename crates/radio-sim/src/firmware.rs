@@ -11,6 +11,7 @@
 //! native interface, so the adapter between them is a few lines and the
 //! protocol logic itself never touches simulator types.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use lora_phy::link::SignalQuality;
@@ -35,7 +36,11 @@ pub enum RadioCommand {
     ///
     /// The radio must be idle; the simulator counts violations instead of
     /// panicking so buggy protocols surface as metrics, not crashes.
-    Transmit(Vec<u8>),
+    ///
+    /// The payload is reference-counted so firmware that retransmits a
+    /// cached frame (periodic beacons, cached hellos) shares one buffer
+    /// with the medium instead of allocating per transmission.
+    Transmit(Arc<[u8]>),
     /// Start a channel-activity-detection scan; completion is reported via
     /// [`Firmware::on_cad_done`].
     StartCad,
@@ -58,11 +63,26 @@ impl<'a> Context<'a> {
     /// simulator and by tests that drive a firmware by hand.
     #[must_use]
     pub fn new(now: SimTime, node: NodeId, rng: &'a mut SimRng) -> Self {
+        Self::with_buffer(now, node, rng, Vec::new())
+    }
+
+    /// Creates a context that records commands into a caller-supplied
+    /// buffer (cleared first), so the simulator can reuse one allocation
+    /// across callbacks. Recover the buffer with
+    /// [`Context::take_commands`].
+    #[must_use]
+    pub fn with_buffer(
+        now: SimTime,
+        node: NodeId,
+        rng: &'a mut SimRng,
+        mut buffer: Vec<RadioCommand>,
+    ) -> Self {
+        buffer.clear();
         Context {
             now,
             node,
             rng,
-            commands: Vec::new(),
+            commands: buffer,
         }
     }
 
@@ -84,8 +104,12 @@ impl<'a> Context<'a> {
     }
 
     /// Requests transmission of `frame`.
-    pub fn transmit(&mut self, frame: Vec<u8>) {
-        self.commands.push(RadioCommand::Transmit(frame));
+    ///
+    /// Accepts anything convertible into a shared payload: a `Vec<u8>`
+    /// (one conversion allocation, as before) or an `Arc<[u8]>` clone
+    /// (allocation-free — the path cached-frame firmware should use).
+    pub fn transmit(&mut self, frame: impl Into<Arc<[u8]>>) {
+        self.commands.push(RadioCommand::Transmit(frame.into()));
     }
 
     /// Requests a channel-activity-detection scan.
@@ -159,9 +183,20 @@ mod tests {
             cmds,
             vec![
                 RadioCommand::StartCad,
-                RadioCommand::Transmit(vec![1, 2, 3])
+                RadioCommand::Transmit(vec![1, 2, 3].into())
             ]
         );
+    }
+
+    #[test]
+    fn with_buffer_reuses_and_clears_the_buffer() {
+        let mut rng = SimRng::new(1);
+        let stale = vec![RadioCommand::StartCad; 3];
+        let mut ctx = Context::with_buffer(SimTime::ZERO, NodeId(0), &mut rng, stale);
+        let payload: std::sync::Arc<[u8]> = vec![9u8; 4].into();
+        ctx.transmit(payload.clone());
+        let cmds = ctx.take_commands();
+        assert_eq!(cmds, vec![RadioCommand::Transmit(payload)]);
     }
 
     #[test]

@@ -31,7 +31,6 @@ use lora_phy::modulation::LoRaModulation;
 use lora_phy::power::Dbm;
 use lora_phy::propagation::{PathLossModel, Position, Shadowing};
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::event::FrameId;
@@ -145,7 +144,11 @@ pub enum RxOutcome {
 #[derive(Debug)]
 pub struct Medium {
     config: RfConfig,
-    active: BTreeMap<FrameId, ActiveTx>,
+    /// In-flight transmissions, ascending by [`FrameId`]. Frame ids are
+    /// assigned monotonically, so `begin_tx` appends in order and the
+    /// iteration order matches the old `BTreeMap` exactly — without the
+    /// per-transmission node allocations.
+    active: Vec<ActiveTx>,
     next_frame: u64,
     /// [`RfConfig::capture_ratio_linear`], hoisted out of the hot loops.
     capture_ratio_linear: f64,
@@ -158,7 +161,7 @@ impl Medium {
         Medium {
             capture_ratio_linear: config.capture_ratio_linear(),
             config,
-            active: BTreeMap::new(),
+            active: Vec::new(),
             next_frame: 0,
         }
     }
@@ -239,17 +242,14 @@ impl Medium {
         let airtime = self.airtime(len);
         let frame = FrameId(self.next_frame);
         self.next_frame += 1;
-        self.active.insert(
+        self.active.push(ActiveTx {
             frame,
-            ActiveTx {
-                frame,
-                sender,
-                origin,
-                start,
-                end: start + airtime,
-                payload,
-            },
-        );
+            sender,
+            origin,
+            start,
+            end: start + airtime,
+            payload,
+        });
         TxHandle {
             frame,
             airtime,
@@ -258,19 +258,26 @@ impl Medium {
     }
 
     /// Removes a completed (or aborted) transmission, returning it.
+    /// Order-preserving: the remaining transmissions stay ascending.
     pub fn end_tx(&mut self, frame: FrameId) -> Option<ActiveTx> {
-        self.active.remove(&frame)
+        self.active
+            .binary_search_by_key(&frame, |tx| tx.frame)
+            .ok()
+            .map(|pos| self.active.remove(pos))
     }
 
     /// Looks up an in-flight transmission.
     #[must_use]
     pub fn get(&self, frame: FrameId) -> Option<&ActiveTx> {
-        self.active.get(&frame)
+        self.active
+            .binary_search_by_key(&frame, |tx| tx.frame)
+            .ok()
+            .and_then(|pos| self.active.get(pos))
     }
 
-    /// Iterates over the in-flight transmissions.
+    /// Iterates over the in-flight transmissions in ascending frame order.
     pub fn active(&self) -> impl Iterator<Item = &ActiveTx> {
-        self.active.values()
+        self.active.iter()
     }
 
     /// Whether any in-flight transmission (other than `except`) is audible
@@ -282,7 +289,7 @@ impl Medium {
         listener: NodeId,
         except: Option<NodeId>,
     ) -> bool {
-        self.active.values().any(|tx| {
+        self.active.iter().any(|tx| {
             Some(tx.sender) != except
                 && tx.sender != listener
                 && self.audible(self.received_power(&tx.origin, pos, tx.sender, listener))

@@ -1,6 +1,5 @@
 //! PHY-level counters collected during a simulation run.
 
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crate::firmware::NodeId;
@@ -53,9 +52,15 @@ pub struct Metrics {
     pub rx_aborted_by_tx: u64,
     /// Total airtime across all nodes.
     pub total_airtime: Duration,
-    /// Per-node counters. A `BTreeMap` (meshlint rule D1) so reports and
-    /// digests that iterate it are deterministic without sorting.
-    pub per_node: BTreeMap<NodeId, NodeCounters>,
+    /// Wake-up timers the event queue discarded as stale tombstones
+    /// (superseded by a reschedule or cancelled by a kill) instead of
+    /// delivering to firmware.
+    pub stale_timers_dropped: u64,
+    /// Per-node counters, indexed by `NodeId`. Dense storage: iteration
+    /// order is node order, so reports and digests stay deterministic,
+    /// and the per-frame counter updates in the simulator hot path are
+    /// O(1) instead of a map lookup. Grown on first access per node.
+    pub per_node: Vec<NodeCounters>,
 }
 
 impl Metrics {
@@ -65,9 +70,19 @@ impl Metrics {
         Self::default()
     }
 
-    /// Mutable per-node counters, created on first access.
+    /// Mutable per-node counters, created (zeroed) on first access.
     pub fn node(&mut self, id: NodeId) -> &mut NodeCounters {
-        self.per_node.entry(id).or_default()
+        if id.0 >= self.per_node.len() {
+            self.per_node.resize(id.0 + 1, NodeCounters::default());
+        }
+        // meshlint::allow(r1): slot just created by the resize above
+        &mut self.per_node[id.0]
+    }
+
+    /// Per-node counters for `id`; zeroed if the node never recorded.
+    #[must_use]
+    pub fn node_counters(&self, id: NodeId) -> NodeCounters {
+        self.per_node.get(id.0).copied().unwrap_or_default()
     }
 
     /// Records a frame transmission of the given airtime.
@@ -154,10 +169,22 @@ mod tests {
         assert_eq!(m.total_airtime, Duration::from_millis(100));
         assert_eq!(m.frames_delivered, 1);
         assert_eq!(m.total_losses(), 2);
-        assert_eq!(m.per_node[&NodeId(0)].transmitted, 2);
-        assert_eq!(m.per_node[&NodeId(0)].cad_scans, 2);
-        assert_eq!(m.per_node[&NodeId(0)].cad_busy, 1);
-        assert_eq!(m.per_node[&NodeId(2)].lost, 2);
+        assert_eq!(m.node_counters(NodeId(0)).transmitted, 2);
+        assert_eq!(m.node_counters(NodeId(0)).cad_scans, 2);
+        assert_eq!(m.node_counters(NodeId(0)).cad_busy, 1);
+        assert_eq!(m.node_counters(NodeId(2)).lost, 2);
+    }
+
+    #[test]
+    fn node_counters_is_zero_for_untouched_nodes() {
+        let m = Metrics::new();
+        assert_eq!(m.node_counters(NodeId(42)), NodeCounters::default());
+        let mut m = Metrics::new();
+        m.record_delivery(NodeId(3));
+        // Nodes below the touched index exist, zeroed, for dense reports.
+        assert_eq!(m.per_node.len(), 4);
+        assert_eq!(m.node_counters(NodeId(1)), NodeCounters::default());
+        assert_eq!(m.node_counters(NodeId(3)).received, 1);
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! accounting the experiments need: time spent per state (for the energy
 //! model) and cumulative transmit airtime (for duty-cycle reporting).
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lora_phy::link::SignalQuality;
@@ -61,7 +60,11 @@ pub struct Reception {
     /// zero-copy with the medium's [`crate::medium::ActiveTx`].
     pub payload: Arc<[u8]>,
     /// Currently overlapping interferers and their received powers (mW).
-    pub interferers: BTreeMap<FrameId, f64>,
+    /// Ascending by frame id: the set is seeded from the medium's
+    /// ordered iteration and later arrivals carry higher ids, so the
+    /// float summation order (and thus every bit of the result) matches
+    /// the old `BTreeMap` storage exactly.
+    pub interferers: Vec<(FrameId, f64)>,
     /// The worst instantaneous total interference seen so far (mW).
     pub peak_interference_mw: f64,
     /// Set when the frame can no longer be decoded regardless of power
@@ -85,7 +88,7 @@ impl Reception {
             quality,
             signal_mw,
             payload: payload.into(),
-            interferers: BTreeMap::new(),
+            interferers: Vec::new(),
             peak_interference_mw: 0.0,
             corrupted: false,
         }
@@ -93,8 +96,11 @@ impl Reception {
 
     /// Records that an interfering transmission became active.
     pub fn add_interferer(&mut self, frame: FrameId, power_mw: f64) {
-        self.interferers.insert(frame, power_mw);
-        let current: f64 = self.interferers.values().sum();
+        match self.interferers.iter_mut().find(|(f, _)| *f == frame) {
+            Some(entry) => entry.1 = power_mw,
+            None => self.interferers.push((frame, power_mw)),
+        }
+        let current: f64 = self.interferers.iter().map(|&(_, p)| p).sum();
         if current > self.peak_interference_mw {
             self.peak_interference_mw = current;
         }
@@ -102,7 +108,9 @@ impl Reception {
 
     /// Records that an interfering transmission ended.
     pub fn remove_interferer(&mut self, frame: FrameId) {
-        self.interferers.remove(&frame);
+        if let Some(pos) = self.interferers.iter().position(|&(f, _)| f == frame) {
+            self.interferers.remove(pos);
+        }
     }
 
     /// Signal-to-interference ratio in dB against the worst overlap

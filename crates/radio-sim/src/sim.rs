@@ -56,6 +56,14 @@ pub struct SimConfig {
     /// so this stays on except when differential-testing the cache
     /// itself.
     pub link_cache: bool,
+    /// Drop superseded wake-up timers inside the event queue as O(1)
+    /// generation tombstones instead of re-querying
+    /// [`Firmware::next_wake`] on every stale pop. Behaviourally
+    /// transparent — firmware observes identical callbacks, RNG draws,
+    /// traces and metrics either way; only `events_processed` and the
+    /// stale-timer counters differ — so this stays on except when
+    /// differential-testing the engine itself (tests/engine_diff.rs).
+    pub timer_tombstones: bool,
 }
 
 impl Default for SimConfig {
@@ -66,6 +74,7 @@ impl Default for SimConfig {
             trace_capacity: 0,
             mobility_tick: Duration::from_secs(1),
             link_cache: true,
+            timer_tombstones: true,
         }
     }
 }
@@ -102,13 +111,21 @@ pub struct Simulator<F: Firmware> {
     link_loss: std::collections::BTreeMap<(usize, usize), f64>,
     /// Cached link budgets for the current topology epoch.
     link_cache: LinkCache,
-    /// Indices of nodes currently in [`RadioState::Rx`]. The culled
-    /// fan-out must still visit these even when they cannot hear the new
-    /// frame: sub-sensitivity interference still enters their
-    /// interference sums.
-    rx_nodes: std::collections::BTreeSet<usize>,
+    /// Indices of nodes currently in [`RadioState::Rx`], kept sorted
+    /// ascending. The culled fan-out must still visit these even when
+    /// they cannot hear the new frame: sub-sensitivity interference
+    /// still enters their interference sums. A sorted `Vec` rather than
+    /// a `BTreeSet`: membership churn in the hot path must not allocate.
+    rx_nodes: Vec<usize>,
     /// Reused fan-out index buffer (avoids a per-transmission alloc).
     fanout_scratch: Vec<usize>,
+    /// Reused firmware-command buffer for [`Simulator::fire`] (avoids a
+    /// per-callback alloc).
+    command_scratch: Vec<RadioCommand>,
+    /// Reused in-flight-transmission snapshot for `lock_receiver`.
+    interferer_scratch: Vec<(FrameId, NodeId, Position)>,
+    /// Reused in-flight-transmission snapshot for `channel_busy`.
+    active_scratch: Vec<(NodeId, Position)>,
     /// Events processed so far (throughput accounting for benches).
     events_processed: u64,
 }
@@ -131,8 +148,11 @@ impl<F: Firmware> Simulator<F> {
             mobility_scheduled: false,
             link_loss: std::collections::BTreeMap::new(),
             link_cache: LinkCache::new(),
-            rx_nodes: std::collections::BTreeSet::new(),
+            rx_nodes: Vec::new(),
             fanout_scratch: Vec::new(),
+            command_scratch: Vec::new(),
+            interferer_scratch: Vec::new(),
+            active_scratch: Vec::new(),
             events_processed: 0,
         }
     }
@@ -307,6 +327,8 @@ impl<F: Firmware> Simulator<F> {
             }
             self.step();
         }
+        // Peeking may have discarded stale tombstones after the last step.
+        self.metrics.stale_timers_dropped = self.queue.stale_timers_dropped();
         if until > self.now {
             self.now = until;
         }
@@ -326,8 +348,9 @@ impl<F: Firmware> Simulator<F> {
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.events_processed += 1;
+        self.metrics.stale_timers_dropped = self.queue.stale_timers_dropped();
         match event {
-            SimEvent::Timer(node) => self.handle_timer(node),
+            SimEvent::Timer(node, _) => self.handle_timer(node),
             SimEvent::TxEnd(node, frame) => self.handle_tx_end(node, frame),
             SimEvent::RxEnd(node, frame) => self.handle_rx_end(node, frame),
             SimEvent::CadEnd(node) => self.handle_cad_end(node),
@@ -365,16 +388,18 @@ impl<F: Firmware> Simulator<F> {
     /// its wake-up timer.
     fn fire<R>(&mut self, i: usize, f: impl FnOnce(&mut F, &mut Context) -> R) -> R {
         let now = self.now;
+        let scratch = std::mem::take(&mut self.command_scratch);
         let slot = &mut self.nodes[i];
-        let mut ctx = Context::new(now, NodeId(i), &mut slot.rng);
+        let mut ctx = Context::with_buffer(now, NodeId(i), &mut slot.rng, scratch);
         let result = f(&mut slot.firmware, &mut ctx);
-        let commands = ctx.take_commands();
-        for cmd in commands {
+        let mut commands = ctx.take_commands();
+        for cmd in commands.drain(..) {
             match cmd {
                 RadioCommand::Transmit(bytes) => self.start_tx(i, bytes),
                 RadioCommand::StartCad => self.start_cad(i),
             }
         }
+        self.command_scratch = commands;
         self.sync_wake(i);
         result
     }
@@ -391,16 +416,47 @@ impl<F: Firmware> Simulator<F> {
             if slot.scheduled_wake != Some(t) {
                 slot.scheduled_wake = Some(t);
                 let at = SimTime::from(t).max(self.now);
-                self.queue.schedule(at, SimEvent::Timer(NodeId(i)));
+                if self.config.timer_tombstones {
+                    // Tombstones any previously queued timer for this
+                    // node and stamps the new one with a fresh
+                    // generation.
+                    self.queue.schedule_timer(at, NodeId(i));
+                } else {
+                    // Legacy engine behaviour: pile up timer events and
+                    // sort out staleness in `handle_timer`. Stamping
+                    // with the current (never-bumped) generation keeps
+                    // them all live.
+                    let node = NodeId(i);
+                    let gen = self.queue.timer_generation(node);
+                    self.queue.schedule(at, SimEvent::Timer(node, gen));
+                }
             }
         } else {
-            slot.scheduled_wake = None;
+            if self.config.timer_tombstones && slot.scheduled_wake.is_some() {
+                self.queue.cancel_timer(NodeId(i));
+            }
+            self.nodes[i].scheduled_wake = None;
         }
     }
 
     fn handle_timer(&mut self, node: NodeId) {
         let slot = &self.nodes[node.0];
         if !slot.alive {
+            return;
+        }
+        if self.config.timer_tombstones {
+            // Every firmware mutation funnels through `fire` →
+            // `sync_wake` (or `kill` → `cancel_timer`), so a timer that
+            // survived tombstoning still matches the firmware's latest
+            // wake request and is due by construction.
+            debug_assert!(
+                slot.firmware
+                    .next_wake()
+                    .is_some_and(|t| SimTime::from(t) <= self.now),
+                "live timer fired before its firmware wake time"
+            );
+            self.nodes[node.0].scheduled_wake = None;
+            self.fire(node.0, |fw, ctx| fw.on_timer(ctx));
             return;
         }
         match slot.firmware.next_wake() {
@@ -414,6 +470,20 @@ impl<F: Firmware> Simulator<F> {
                 self.nodes[node.0].scheduled_wake = None;
                 self.sync_wake(node.0);
             }
+        }
+    }
+
+    /// Adds `i` to the sorted receiving-node index.
+    fn rx_insert(&mut self, i: usize) {
+        if let Err(pos) = self.rx_nodes.binary_search(&i) {
+            self.rx_nodes.insert(pos, i);
+        }
+    }
+
+    /// Removes `i` from the sorted receiving-node index.
+    fn rx_remove(&mut self, i: usize) {
+        if let Ok(pos) = self.rx_nodes.binary_search(&i) {
+            self.rx_nodes.remove(pos);
         }
     }
 
@@ -484,20 +554,21 @@ impl<F: Firmware> Simulator<F> {
                 .medium
                 .channel_busy_at(&self.nodes[i].position, NodeId(i), except);
         }
-        let active: Vec<(NodeId, Position)> = self
-            .medium
-            .active()
-            .map(|tx| (tx.sender, tx.origin))
-            .collect();
-        for (sender, origin) in active {
+        let mut active = std::mem::take(&mut self.active_scratch);
+        active.clear();
+        active.extend(self.medium.active().map(|tx| (tx.sender, tx.origin)));
+        let mut busy = false;
+        for &(sender, origin) in &active {
             if Some(sender) == except || sender.0 == i {
                 continue;
             }
             if self.active_tx_audible(sender.0, origin, i) {
-                return true;
+                busy = true;
+                break;
             }
         }
-        false
+        self.active_scratch = active;
+        busy
     }
 
     /// Fills `out` with the node indices `start_tx`'s fan-out must visit
@@ -545,7 +616,7 @@ impl<F: Firmware> Simulator<F> {
         }
     }
 
-    fn start_tx(&mut self, i: usize, bytes: Vec<u8>) {
+    fn start_tx(&mut self, i: usize, bytes: std::sync::Arc<[u8]>) {
         if bytes.len() > LoRaModulation::MAX_PHY_PAYLOAD {
             self.metrics.tx_oversized += 1;
             return;
@@ -562,7 +633,7 @@ impl<F: Firmware> Simulator<F> {
                 // this). The pending RxEnd event goes stale.
                 self.metrics.rx_aborted_by_tx += 1;
                 self.nodes[i].radio.to_idle(self.now);
-                self.rx_nodes.remove(&i);
+                self.rx_remove(i);
             }
             RadioState::Tx { .. } | RadioState::Cad { .. } | RadioState::Off => {
                 self.metrics.tx_while_busy += 1;
@@ -661,18 +732,21 @@ impl<F: Firmware> Simulator<F> {
         let sender = tx.sender;
         let payload = tx.payload.clone(); // Arc bump, not a byte copy
         let mut reception = Reception::new(frame, sender, quality, power_mw, payload);
-        let interferers: Vec<(FrameId, NodeId, Position)> = self
-            .medium
-            .active()
-            .filter(|a| a.frame != frame && a.sender != receiver)
-            .map(|a| (a.frame, a.sender, a.origin))
-            .collect();
-        for (f, s, origin) in interferers {
+        let mut interferers = std::mem::take(&mut self.interferer_scratch);
+        interferers.clear();
+        interferers.extend(
+            self.medium
+                .active()
+                .filter(|a| a.frame != frame && a.sender != receiver)
+                .map(|a| (a.frame, a.sender, a.origin)),
+        );
+        for &(f, s, origin) in &interferers {
             let p = self.active_tx_power_mw(s.0, origin, j);
             reception.add_interferer(f, p);
         }
+        self.interferer_scratch = interferers;
         self.nodes[j].radio.begin_rx(self.now, reception, end);
-        self.rx_nodes.insert(j);
+        self.rx_insert(j);
         self.queue.schedule(end, SimEvent::RxEnd(receiver, frame));
     }
 
@@ -711,7 +785,7 @@ impl<F: Firmware> Simulator<F> {
             .take()
             .expect("Rx state implies a reception");
         slot.radio.to_idle(self.now);
-        self.rx_nodes.remove(&node.0);
+        self.rx_remove(node.0);
         let slot = &mut self.nodes[node.0];
         let mut outcome = self.medium.judge(&reception, &mut slot.rng);
         if matches!(outcome, RxOutcome::Delivered(_)) {
@@ -818,7 +892,13 @@ impl<F: Firmware> Simulator<F> {
         }
         self.nodes[i].radio.power_off(self.now);
         self.nodes[i].scheduled_wake = None;
-        self.rx_nodes.remove(&i);
+        if self.config.timer_tombstones {
+            // The legacy engine leaves dead-node timers queued and
+            // filters them in `handle_timer`; tombstoning drops them
+            // inside the queue instead.
+            self.queue.cancel_timer(node);
+        }
+        self.rx_remove(i);
         self.trace.push(self.now, TraceEvent::Killed { node });
     }
 

@@ -951,9 +951,9 @@ pub fn e12_fairness(opt: &ExpOptions) -> ExpTable {
             .map(|i| {
                 runner
                     .phy_metrics()
-                    .per_node
-                    .get(&runner.id(i))
-                    .map_or(0.0, |c| c.airtime.as_secs_f64())
+                    .node_counters(runner.id(i))
+                    .airtime
+                    .as_secs_f64()
             })
             .collect();
         runner.apply(&workload::all_to_one(
@@ -969,9 +969,9 @@ pub fn e12_fairness(opt: &ExpOptions) -> ExpTable {
             .map(|i| {
                 let total = runner
                     .phy_metrics()
-                    .per_node
-                    .get(&runner.id(i))
-                    .map_or(0.0, |c| c.airtime.as_secs_f64());
+                    .node_counters(runner.id(i))
+                    .airtime
+                    .as_secs_f64();
                 (total - baseline[i]).max(0.0)
             })
             .collect();

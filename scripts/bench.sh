@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Perf trajectory for the simulator hot path: runs the static-grid
-# scaling benchmark (link cache on vs off at N ∈ {16, 64, 256}) and
-# writes BENCH_PR2.json at the repo root so future PRs can compare.
+# scaling benchmark (link cache on vs off at N ∈ {16, 64, 256, 1024})
+# and writes BENCH_PR4.json at the repo root so future PRs can compare
+# (BENCH_PR2.json is the pre-event-engine-overhaul baseline).
 # Extra arguments are passed through (e.g. --secs 60, --seed 7).
 #
 #   ./scripts/bench.sh
@@ -11,5 +12,5 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline -p bench --bin bench_scaling"
 cargo build --release --offline -p bench --bin bench_scaling
 
-echo "==> bench_scaling --out BENCH_PR2.json"
-./target/release/bench_scaling --out BENCH_PR2.json "$@"
+echo "==> bench_scaling --out BENCH_PR4.json"
+./target/release/bench_scaling --out BENCH_PR4.json "$@"

@@ -51,13 +51,10 @@ fn observe(net: &Runner) -> String {
         m.tx_while_dead,
         m.total_airtime,
     ));
-    let mut ids: Vec<_> = m.per_node.keys().copied().collect();
-    ids.sort_unstable();
-    for id in ids {
-        let c = &m.per_node[&id];
+    for (i, c) in m.per_node.iter().enumerate() {
         out.push_str(&format!(
             "n{}:{},{},{},{},{};",
-            id.0, c.transmitted, c.received, c.lost, c.cad_scans, c.cad_busy
+            i, c.transmitted, c.received, c.lost, c.cad_scans, c.cad_busy
         ));
     }
     let r = net.report();

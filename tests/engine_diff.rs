@@ -1,0 +1,241 @@
+//! Differential tests proving the PR 4 event-engine overhaul is
+//! behaviourally transparent: with `SimConfig::timer_tombstones` on
+//! (generation-stamped timers, stale wakes dropped O(1) at pop) or off
+//! (the pre-overhaul resync behaviour, every scheduled wake pops and is
+//! re-checked), a simulation produces byte-identical traces, identical
+//! metrics and identical firmware state — across multiple seeds, under
+//! CAD traffic, node churn and mobility. Both modes run on the same
+//! calendar queue, so these runs also pin the queue's ordering against
+//! the old binary-heap semantics via the recorded timelines.
+//!
+//! The only allowed differences are the bookkeeping counters
+//! `events_processed` (legacy mode pops stale wakes as real events) and
+//! `stale_timers_dropped` (zero by construction in legacy mode), which
+//! the fingerprint deliberately excludes.
+
+use std::time::Duration;
+
+use lora_phy::link::SignalQuality;
+use lora_phy::propagation::{Position, Shadowing};
+use radio_sim::firmware::{Context, Firmware};
+use radio_sim::metrics::Metrics;
+use radio_sim::mobility::Mobility;
+use radio_sim::time::SimTime;
+use radio_sim::trace::TraceEvent;
+use radio_sim::{SimConfig, Simulator};
+use scenario::workload;
+use scenario::{seed_list, NetworkBuilder, Target};
+
+/// Timer-churning firmware: every CAD-busy verdict moves the next wake
+/// by an RNG-jittered delay, so tombstone mode constantly invalidates
+/// and reschedules timers while legacy mode lets the stale wakes pop
+/// and resync — the exact divergence the engines must hide.
+struct Chatty {
+    next: Duration,
+    interval: Duration,
+    len: usize,
+    heard: u64,
+}
+
+impl Chatty {
+    fn new(phase_ms: u64, len: usize) -> Self {
+        Chatty {
+            next: Duration::from_millis(phase_ms),
+            interval: Duration::from_millis(800),
+            len,
+            heard: 0,
+        }
+    }
+}
+
+impl Firmware for Chatty {
+    fn on_timer(&mut self, ctx: &mut Context) {
+        if ctx.now() >= self.next {
+            self.next += self.interval;
+            ctx.start_cad();
+        }
+    }
+    fn on_cad_done(&mut self, busy: bool, ctx: &mut Context) {
+        if busy {
+            // RNG-jittered retry: both engines must make the very same
+            // draw here for the timelines to stay equal.
+            self.next = ctx.now() + Duration::from_millis(20 + ctx.rng().gen_range(60));
+        } else {
+            ctx.transmit(vec![0xE4; self.len]);
+        }
+    }
+    fn on_frame(&mut self, _b: &[u8], _q: SignalQuality, _ctx: &mut Context) {
+        self.heard += 1;
+    }
+    fn next_wake(&self) -> Option<Duration> {
+        Some(self.next)
+    }
+}
+
+/// Everything observable about a finished run, minus the two counters
+/// the tombstone engine is allowed to change.
+type Fingerprint = (Vec<(SimTime, TraceEvent)>, Metrics, Vec<u64>);
+
+fn fingerprint(s: &Simulator<Chatty>) -> Fingerprint {
+    let mut metrics = s.metrics().clone();
+    // Legacy mode never tombstones, so this counter is the one metric
+    // allowed to differ; everything else must match bit-for-bit.
+    metrics.stale_timers_dropped = 0;
+    (
+        s.trace().entries().cloned().collect(),
+        metrics,
+        (0..s.node_count())
+            .map(|i| s.node(radio_sim::NodeId(i)).heard)
+            .collect(),
+    )
+}
+
+fn config(timer_tombstones: bool) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.rf.grey_zone = true;
+    cfg.rf.shadowing = Shadowing::new(4.0, 7);
+    cfg.trace_capacity = 1 << 16;
+    cfg.timer_tombstones = timer_tombstones;
+    cfg
+}
+
+/// Static line + churn: kills exercise `cancel_timer`, revives restart
+/// the per-node timer generation mid-run.
+fn run_static(seed: u64, timer_tombstones: bool) -> (Fingerprint, u64) {
+    let mut s = Simulator::new(config(timer_tombstones), seed);
+    for k in 0..10u64 {
+        s.add_node(
+            Chatty::new(40 * k + 5, 10 + k as usize),
+            Position::new(k as f64 * 95.0, (k % 3) as f64 * 40.0),
+        );
+    }
+    s.schedule_kill(Duration::from_secs(3), radio_sim::NodeId(4));
+    s.schedule_revive(Duration::from_secs(7), radio_sim::NodeId(4));
+    s.run_for(Duration::from_secs(12));
+    let stale = s.metrics().stale_timers_dropped;
+    (fingerprint(&s), stale)
+}
+
+/// Mobile scenario: mobility ticks interleave with timer churn so
+/// same-instant orderings between timers and other event kinds are
+/// stressed, including across the calendar queue's overflow horizon.
+fn run_mobile(seed: u64, timer_tombstones: bool) -> (Fingerprint, u64) {
+    let mut s = Simulator::new(config(timer_tombstones), seed);
+    let waypoint = Mobility::RandomWaypoint {
+        width_m: 600.0,
+        height_m: 600.0,
+        min_speed: 10.0,
+        max_speed: 30.0,
+        pause: Duration::ZERO,
+    };
+    for k in 0..8u64 {
+        s.add_mobile_node(
+            Chatty::new(37 * k + 3, 60),
+            Position::new(k as f64 * 70.0, k as f64 * 50.0),
+            waypoint.clone(),
+        );
+    }
+    // A late-added node grows the queue's per-node generation tables.
+    s.run_for(Duration::from_secs(2));
+    s.add_node(Chatty::new(11, 24), Position::new(300.0, 300.0));
+    s.run_for(Duration::from_secs(10));
+    let stale = s.metrics().stale_timers_dropped;
+    (fingerprint(&s), stale)
+}
+
+#[test]
+fn static_runs_identical_across_seeds() {
+    for seed in [1u64, 2, 3, 999] {
+        let (tombstoned, stale) = run_static(seed, true);
+        let (legacy, legacy_stale) = run_static(seed, false);
+        assert_eq!(tombstoned, legacy, "divergence at seed {seed}");
+        assert!(
+            tombstoned.1.frames_transmitted > 0 && tombstoned.1.frames_delivered > 0,
+            "seed {seed} produced no traffic — the test proves nothing"
+        );
+        assert!(
+            stale > 0,
+            "seed {seed} dropped no stale timers — reschedule churn untested"
+        );
+        assert_eq!(legacy_stale, 0, "legacy mode must never tombstone");
+    }
+}
+
+#[test]
+fn mobile_runs_identical_across_seeds() {
+    for seed in [5u64, 6, 7] {
+        let (tombstoned, stale) = run_mobile(seed, true);
+        let (legacy, _) = run_mobile(seed, false);
+        assert_eq!(tombstoned, legacy, "divergence at seed {seed}");
+        assert!(
+            tombstoned.1.frames_transmitted > 0,
+            "seed {seed} produced no traffic"
+        );
+        assert!(stale > 0, "seed {seed} dropped no stale timers");
+    }
+}
+
+/// Full-stack check: a LoRaMesher network (hello cache, routing version
+/// counter and all) yields the same traffic report, PHY metrics and
+/// per-node routing state with either engine.
+#[test]
+fn mesh_scenario_identical() {
+    let run = |timer_tombstones: bool| {
+        let cfg = SimConfig {
+            timer_tombstones,
+            ..SimConfig::default()
+        };
+        let spacing = radio_sim::topology::radio_range_m(&cfg.rf) * 0.8;
+        let mut runner = NetworkBuilder::mesh(radio_sim::topology::line(5, spacing), 31)
+            .sim_config(cfg)
+            .build();
+        runner.apply(&workload::periodic(
+            0,
+            Target::Node(4),
+            12,
+            Duration::from_secs(60),
+            Duration::from_secs(20),
+            10,
+        ));
+        runner.run_until(Duration::from_secs(400));
+        let r = runner.report();
+        let mut metrics = runner.phy_metrics().clone();
+        metrics.stale_timers_dropped = 0;
+        let routes: Vec<String> = (0..runner.len())
+            .filter_map(|i| runner.mesh_node(i))
+            .map(|m| format!("{}", m.routing_table()))
+            .collect();
+        (
+            metrics,
+            r.sent,
+            r.delivered,
+            r.latencies,
+            r.frames_transmitted,
+            r.collisions,
+            routes,
+        )
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// PR 1's sweep engine on top: aggregate tables must be bit-identical
+/// with either engine, for any jobs count.
+#[test]
+fn sweep_aggregates_identical() {
+    let aggregate = |timer_tombstones: bool, jobs: usize| {
+        let seeds = seed_list(42, 4);
+        scenario::run_parallel(&seeds, jobs, |&seed| {
+            let (f, _) = run_static(seed, timer_tombstones);
+            (
+                f.1.frames_delivered,
+                f.1.total_losses(),
+                f.1.frames_transmitted,
+                f.2.iter().sum::<u64>(),
+            )
+        })
+    };
+    let tombstoned = aggregate(true, 1);
+    assert_eq!(tombstoned, aggregate(false, 1));
+    // Jobs-invariance (PR 1) must survive the engine swap.
+    assert_eq!(tombstoned, aggregate(true, 4));
+}
