@@ -28,6 +28,8 @@
 // this up at compile time.
 #![deny(clippy::indexing_slicing)]
 
+use alloc::vec::Vec;
+
 use crate::addr::Address;
 use crate::cast::sat_u8;
 use crate::error::CodecError;

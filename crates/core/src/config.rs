@@ -1,6 +1,6 @@
 //! Node configuration.
 
-use std::time::Duration;
+use core::time::Duration;
 
 use lora_phy::modulation::LoRaModulation;
 use lora_phy::region::Region;
@@ -93,7 +93,7 @@ impl MeshConfig {
 ///
 /// ```
 /// use loramesher::{Address, MeshConfig};
-/// use std::time::Duration;
+/// use core::time::Duration;
 ///
 /// let cfg = MeshConfig::builder(Address::new(7))
 ///     .hello_interval(Duration::from_secs(60))

@@ -55,6 +55,7 @@ impl fmt::Display for CodecError {
     }
 }
 
+#[cfg(feature = "std")]
 impl std::error::Error for CodecError {}
 
 /// Errors returned when an application submits traffic.
@@ -102,6 +103,7 @@ impl fmt::Display for SendError {
     }
 }
 
+#[cfg(feature = "std")]
 impl std::error::Error for SendError {}
 
 #[cfg(test)]

@@ -10,10 +10,13 @@
 //!
 //! This crate is **sans-IO**: [`MeshNode`] is a pure state machine driven
 //! through the [`driver::NodeProtocol`] interface — feed it received
-//! frames, timer expirations and radio completions; it returns radio
-//! requests (transmit / channel-activity-detection). The same state
-//! machine runs unchanged under the `radio-sim` discrete-event simulator
-//! and could be dropped onto real SX127x hardware behind a thin shim.
+//! frames, timer expirations and radio completions via callbacks; it
+//! pushes radio requests (transmit / channel-activity-detection) into
+//! the per-callback [`driver::RadioIo`] context. The same state machine
+//! runs unchanged under the `radio-sim` discrete-event simulator and
+//! could be dropped onto real SX127x hardware behind a thin shim — the
+//! crate builds without `std` (`--no-default-features`, requires
+//! `alloc`).
 //!
 //! # Module map
 //!
@@ -21,13 +24,15 @@
 //! * [`cast`] — checked narrowing conversions (meshlint rule C1).
 //! * [`packet`] — the packet types of the protocol.
 //! * [`codec`] — the compact wire format (7–12 byte headers).
-//! * [`routing`] — the distance-vector routing table.
+//! * [`routing`] — the distance-vector routing table, generic over the
+//!   [`routing::RouteMetric`] route-preference policy.
 //! * [`config`] — [`MeshConfig`] and its builder.
 //! * [`queue`] — the prioritised transmit queue.
 //! * [`mac`] — CAD-based listen-before-talk with exponential backoff and
 //!   duty-cycle gating.
 //! * [`reliable`] — the large-payload transfer state machines.
-//! * [`node`] — [`MeshNode`], tying everything together.
+//! * [`stack`] — [`MeshNode`]: the MAC/routing/transport/app layers tied
+//!   together over the intra-node bus.
 //! * [`driver`] — the sans-IO host interface.
 //! * [`stats`] — per-node protocol counters.
 //! * [`error`] — error types.
@@ -36,20 +41,24 @@
 //!
 //! ```
 //! use loramesher::{Address, MeshConfig, MeshNode};
-//! use loramesher::driver::NodeProtocol;
+//! use loramesher::driver::{NodeProtocol, RadioIo};
 //! use std::time::Duration;
 //!
 //! let config = MeshConfig::builder(Address::new(0x0001)).build();
 //! let mut node = MeshNode::new(config);
 //! // Starting the node schedules its first routing broadcast.
-//! let requests = node.on_start(Duration::ZERO);
-//! assert!(requests.is_empty());
+//! let mut io = RadioIo::new(Duration::ZERO);
+//! node.on_start(&mut io);
+//! assert!(io.take_requests().is_empty());
 //! assert!(node.next_wake().is_some());
 //! ```
 
+#![cfg_attr(not(feature = "std"), no_std)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+extern crate alloc;
 
 pub mod addr;
 pub mod cast;
@@ -65,14 +74,15 @@ pub mod reliable;
 pub mod rng;
 pub mod role;
 pub mod routing;
+pub mod stack;
 pub mod stats;
 
 pub use addr::Address;
 pub use config::{MeshConfig, MeshConfigBuilder};
-pub use driver::{NodeProtocol, RadioRequest};
+pub use driver::{NodeProtocol, RadioIo, RadioRequest};
 pub use error::{CodecError, SendError};
-pub use node::{MeshEvent, MeshNode};
 pub use packet::{Packet, PacketKind};
 pub use role::{Role, RoleQueries};
 pub use routing::{Route, RoutingTable};
+pub use stack::{MeshEvent, MeshNode};
 pub use stats::NodeStats;

@@ -13,7 +13,7 @@
 //! [`crate::MeshNode`]; it never touches the radio itself — it tells the
 //! node what to ask for ([`MacAction`]).
 
-use std::time::Duration;
+use core::time::Duration;
 
 use lora_phy::region::DutyCycleTracker;
 

@@ -1,1769 +1,11 @@
-//! The LoRaMesher node: protocol state machine and application API.
+//! Compatibility re-exports for the pre-split node module.
 //!
-//! [`MeshNode`] composes the routing table, the prioritised transmit
-//! queue, the CSMA/duty-cycle MAC and the reliable-transfer engines into
-//! one sans-IO state machine implementing [`NodeProtocol`].
-//!
-//! ## Lifecycle of a datagram
-//!
-//! 1. The application calls [`MeshNode::send_datagram`]; the packet gets
-//!    its `via` next hop from the routing table and joins the queue.
-//! 2. [`MeshNode::next_wake`] reports "now"; the host fires
-//!    [`NodeProtocol::on_timer`]; the MAC asks for a CAD scan.
-//! 3. On a clear channel (and available duty budget) the frame is
-//!    transmitted; otherwise the MAC backs off and retries.
-//! 4. Every node that receives the frame checks the `via` field: only the
-//!    addressed next hop forwards it (rewriting `via` and decrementing the
-//!    TTL); the final destination hands the payload to its application as
-//!    a [`MeshEvent::Datagram`].
-//!
-//! Reliable transfers follow the same path per packet, orchestrated by
-//! the state machines in [`crate::reliable`].
-
-use std::collections::{BTreeMap, VecDeque};
-use std::time::Duration;
-
-use lora_phy::link::SignalQuality;
-use lora_phy::region::DutyCycleTracker;
-
-use crate::addr::Address;
-use crate::codec::{self, MAX_FRAG_PAYLOAD};
-use crate::config::MeshConfig;
-use crate::driver::{NodeProtocol, RadioRequest};
-use crate::error::SendError;
-use crate::mac::{Mac, MacAction};
-use crate::packet::{Forwarding, Packet, PacketKind, RouteEntry, SYNC_ACK_INDEX};
-use crate::queue::TxQueue;
-use crate::reliable::{InboundTransfer, OutboundTransfer, ReceiverAction, SenderAction};
-use crate::rng::ProtocolRng;
-use crate::routing::RoutingTable;
-use crate::stats::NodeStats;
-
-/// Something the protocol reports to the application.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum MeshEvent {
-    /// A unicast datagram addressed to this node arrived.
-    Datagram {
-        /// Originating node.
-        src: Address,
-        /// Application payload.
-        payload: Vec<u8>,
-    },
-    /// A broadcast datagram arrived.
-    Broadcast {
-        /// Originating node.
-        src: Address,
-        /// Application payload.
-        payload: Vec<u8>,
-    },
-    /// A reliable transfer addressed to this node completed.
-    ReliableReceived {
-        /// Originating node.
-        src: Address,
-        /// The reassembled payload.
-        payload: Vec<u8>,
-    },
-    /// A reliable transfer this node sent was fully acknowledged.
-    ReliableDelivered {
-        /// The destination.
-        dst: Address,
-        /// The transfer's sequence id.
-        seq: u8,
-    },
-    /// A reliable transfer this node sent was aborted.
-    ReliableFailed {
-        /// The destination.
-        dst: Address,
-        /// The transfer's sequence id.
-        seq: u8,
-    },
-    /// Routes timed out and were removed.
-    RoutesExpired {
-        /// The destinations that became unreachable.
-        destinations: Vec<Address>,
-    },
-    /// An outbound frame was dropped by the MAC (CAD retries exhausted or
-    /// frame larger than the duty budget).
-    FrameDropped {
-        /// The dropped packet's kind.
-        kind: PacketKind,
-    },
-    /// A half-finished inbound transfer was abandoned.
-    InboundTransferExpired {
-        /// The transfer's originator.
-        src: Address,
-        /// The transfer's sequence id.
-        seq: u8,
-    },
-    /// A frame originated by *our own address* was received. A
-    /// half-duplex radio never hears its own transmissions, so this
-    /// means another node in range uses the same address — a
-    /// misconfiguration the application must resolve.
-    AddressConflict {
-        /// The kind of the conflicting frame.
-        kind: PacketKind,
-    },
-}
-
-/// A LoRaMesher node.
-///
-/// See the crate-level docs for the protocol and the [`driver`]
-/// module for how to host one.
-///
-/// [`driver`]: crate::driver
-#[derive(Debug)]
-pub struct MeshNode {
-    config: MeshConfig,
-    rng: ProtocolRng,
-    routing: RoutingTable,
-    txq: TxQueue,
-    mac: Mac,
-    stats: NodeStats,
-    events: VecDeque<MeshEvent>,
-    next_hello: Duration,
-    /// Hello frame cache: while the routing table's
-    /// [`RoutingTable::version`] matches `hello_version`, consecutive
-    /// hellos carry identical entries, so the wire image is reused with
-    /// only the packet-id byte patched instead of re-serialising the
-    /// whole table every beacon interval.
-    hello_entries: Vec<RouteEntry>,
-    hello_wire: Vec<u8>,
-    hello_version: Option<u64>,
-    hello_wire_id: Option<u8>,
-    next_packet_id: u8,
-    next_seq: u8,
-    outbound: BTreeMap<Address, OutboundTransfer>,
-    inbound: BTreeMap<(Address, u8), InboundTransfer>,
-    started: bool,
-}
-
-impl MeshNode {
-    /// Creates a node from its configuration.
-    #[must_use]
-    pub fn new(config: MeshConfig) -> Self {
-        let duty = config
-            .region
-            .sub_band_for(config.region.default_frequency_hz())
-            .map_or_else(DutyCycleTracker::unlimited, |b| {
-                DutyCycleTracker::new(b.duty_cycle, Duration::from_secs(3600))
-            });
-        let mut mac = Mac::new(
-            duty,
-            config.backoff_slot,
-            config.max_backoff_exponent,
-            config.max_cad_retries,
-        );
-        mac.set_max_dwell(
-            config
-                .region
-                .sub_band_for(config.region.default_frequency_hz())
-                .and_then(|b| b.max_dwell),
-        );
-        let rng = ProtocolRng::new(config.seed);
-        MeshNode {
-            txq: TxQueue::new(config.tx_queue_capacity),
-            mac,
-            rng,
-            routing: RoutingTable::with_policy(config.routing_policy),
-            stats: NodeStats::new(),
-            events: VecDeque::new(),
-            next_hello: Duration::ZERO,
-            hello_entries: Vec::new(),
-            hello_wire: Vec::new(),
-            hello_version: None,
-            hello_wire_id: None,
-            next_packet_id: 0,
-            next_seq: 0,
-            outbound: BTreeMap::new(),
-            inbound: BTreeMap::new(),
-            started: false,
-            config,
-        }
-    }
-
-    /// This node's address.
-    #[must_use]
-    pub fn address(&self) -> Address {
-        self.config.address
-    }
-
-    /// The node's configuration.
-    #[must_use]
-    pub fn config(&self) -> &MeshConfig {
-        &self.config
-    }
-
-    /// Read access to the routing table.
-    #[must_use]
-    pub fn routing_table(&self) -> &RoutingTable {
-        &self.routing
-    }
-
-    /// A snapshot of the node's protocol statistics.
-    #[must_use]
-    pub fn stats(&self) -> NodeStats {
-        let mut s = self.stats;
-        s.duty_cycle_deferrals = self.mac.duty_deferrals;
-        s.cad_exhausted = self.mac.cad_drops;
-        // Include retransmissions of transfers still in flight.
-        s.reliable_retransmits += self
-            .outbound
-            .values()
-            .map(|t| u64::from(t.retransmits))
-            .sum::<u64>();
-        s
-    }
-
-    /// Drains the pending application events.
-    pub fn take_events(&mut self) -> Vec<MeshEvent> {
-        self.events.drain(..).collect()
-    }
-
-    /// Outbound frames currently queued (diagnostics).
-    #[must_use]
-    pub fn tx_queue_len(&self) -> usize {
-        self.txq.len()
-    }
-
-    /// Progress of the active outbound transfers: destination, sequence
-    /// id and phase (diagnostics).
-    #[must_use]
-    pub fn outbound_transfers(&self) -> Vec<(Address, u8, crate::reliable::TransferPhase)> {
-        self.outbound
-            .iter()
-            .map(|(dst, t)| (*dst, t.seq, t.phase()))
-            .collect()
-    }
-
-    /// Progress of the active inbound transfers: source, sequence id and
-    /// fragments received out of the announced total (diagnostics).
-    #[must_use]
-    pub fn inbound_transfers(&self) -> Vec<(Address, u8, usize, usize)> {
-        self.inbound
-            .iter()
-            .map(|((src, seq), t)| {
-                (
-                    *src,
-                    *seq,
-                    t.received_count(),
-                    t.received_count() + t.missing().len(),
-                )
-            })
-            .collect()
-    }
-
-    /// Submits a single-frame datagram to `dst` (or broadcast).
-    ///
-    /// Returns the packet id on success.
-    ///
-    /// ```
-    /// use loramesher::{Address, MeshConfig, MeshNode, SendError};
-    /// use std::time::Duration;
-    ///
-    /// let mut node = MeshNode::new(MeshConfig::builder(Address::new(1)).build());
-    /// // Without a route the submission is refused...
-    /// assert_eq!(
-    ///     node.send_datagram(Address::new(2), b"hi".to_vec(), Duration::ZERO),
-    ///     Err(SendError::NoRoute(Address::new(2)))
-    /// );
-    /// // ...but broadcasts never need one.
-    /// assert!(node
-    ///     .send_datagram(Address::BROADCAST, b"hi".to_vec(), Duration::ZERO)
-    ///     .is_ok());
-    /// ```
-    ///
-    /// # Errors
-    ///
-    /// * [`SendError::EmptyPayload`] — nothing to send.
-    /// * [`SendError::PayloadTooLarge`] — use [`MeshNode::send_reliable`].
-    /// * [`SendError::NoRoute`] — the destination is not in the routing
-    ///   table yet.
-    /// * [`SendError::QueueFull`] — the transmit queue refused the frame.
-    pub fn send_datagram(
-        &mut self,
-        dst: Address,
-        payload: Vec<u8>,
-        _now: Duration,
-    ) -> Result<u8, SendError> {
-        if payload.is_empty() {
-            return Err(SendError::EmptyPayload);
-        }
-        if payload.len() > self.config.max_datagram_payload {
-            return Err(SendError::PayloadTooLarge {
-                len: payload.len(),
-                max: self.config.max_datagram_payload,
-            });
-        }
-        let via = self.resolve_via(dst)?;
-        let id = self.next_id();
-        let packet = Packet::Data {
-            dst,
-            src: self.config.address,
-            id,
-            fwd: Forwarding {
-                via,
-                ttl: self.config.max_ttl,
-            },
-            payload,
-        };
-        if !self.enqueue(packet) {
-            return Err(SendError::QueueFull);
-        }
-        self.stats.data_originated += 1;
-        Ok(id)
-    }
-
-    /// Starts a reliable transfer of an arbitrarily large payload.
-    ///
-    /// Returns the transfer's sequence id; completion is reported as
-    /// [`MeshEvent::ReliableDelivered`] or [`MeshEvent::ReliableFailed`].
-    ///
-    /// # Errors
-    ///
-    /// * [`SendError::EmptyPayload`] — nothing to send.
-    /// * [`SendError::BroadcastUnsupported`] — reliable transfers are
-    ///   unicast only.
-    /// * [`SendError::NoRoute`] — the destination is unknown.
-    /// * [`SendError::TransferInProgress`] — one transfer per destination
-    ///   at a time.
-    /// * [`SendError::QueueFull`] — the transmit queue refused the Sync.
-    pub fn send_reliable(
-        &mut self,
-        dst: Address,
-        payload: Vec<u8>,
-        now: Duration,
-    ) -> Result<u8, SendError> {
-        if payload.is_empty() {
-            return Err(SendError::EmptyPayload);
-        }
-        if dst.is_broadcast() {
-            return Err(SendError::BroadcastUnsupported);
-        }
-        if self.routing.next_hop(dst).is_none() {
-            return Err(SendError::NoRoute(dst));
-        }
-        if self.outbound.contains_key(&dst) {
-            return Err(SendError::TransferInProgress(dst));
-        }
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
-        let mut transfer = OutboundTransfer::new(
-            dst,
-            seq,
-            &payload,
-            MAX_FRAG_PAYLOAD,
-            self.config.reliable_timeout,
-            self.config.reliable_max_retries,
-        );
-        let action = transfer.start(now);
-        transfer.defer_deadline(self.ack_jitter());
-        self.outbound.insert(dst, transfer);
-        self.apply_sender_action(dst, action, now);
-        Ok(seq)
-    }
-
-    // ------------------------------------------------------------------
-    // internals
-    // ------------------------------------------------------------------
-
-    fn next_id(&mut self) -> u8 {
-        let id = self.next_packet_id;
-        self.next_packet_id = self.next_packet_id.wrapping_add(1);
-        id
-    }
-
-    /// Random extra delay added to every reliable-transfer deadline:
-    /// uniformly 0–50 % of the base timeout. See
-    /// [`OutboundTransfer::defer_deadline`] for why this is load-bearing.
-    fn ack_jitter(&mut self) -> Duration {
-        self.config
-            .reliable_timeout
-            .mul_f64(0.5 * self.rng.gen_f64())
-    }
-
-    fn resolve_via(&self, dst: Address) -> Result<Address, SendError> {
-        if dst.is_broadcast() {
-            Ok(Address::BROADCAST)
-        } else {
-            self.routing.next_hop(dst).ok_or(SendError::NoRoute(dst))
-        }
-    }
-
-    fn enqueue(&mut self, packet: Packet) -> bool {
-        let accepted = self.txq.push(packet);
-        if !accepted {
-            // Surface the refusal instead of dropping silently: sweeps
-            // compare this counter to spot congestion collapse.
-            self.stats.queue_refusals += 1;
-        }
-        accepted
-    }
-
-    fn schedule_next_hello(&mut self, now: Duration) {
-        // ±10 % jitter desynchronises neighbours that booted together.
-        let jitter = if self.config.hello_jitter {
-            0.9 + 0.2 * self.rng.gen_f64()
-        } else {
-            1.0
-        };
-        self.next_hello = now + self.config.hello_interval.mul_f64(jitter);
-    }
-
-    fn emit_hello(&mut self, now: Duration) {
-        let id = self.next_id();
-        let hello = if self.hello_version == Some(self.routing.version()) {
-            // The table's Hello-visible content is unchanged since the
-            // cached encoding: only the packet id differs, so patch that
-            // single byte instead of re-serialising the whole table.
-            if let Some(b) = self.hello_wire.get_mut(codec::HEADER_ID_OFFSET) {
-                *b = id;
-            }
-            self.hello_wire_id = Some(id);
-            Packet::Hello {
-                src: self.config.address,
-                id,
-                role: self.config.role,
-                entries: self.hello_entries.clone(),
-            }
-        } else {
-            let mut entries = self.routing.as_entries();
-            entries.truncate(codec::MAX_HELLO_ENTRIES);
-            let hello = Packet::Hello {
-                src: self.config.address,
-                id,
-                role: self.config.role,
-                entries,
-            };
-            match codec::encode_into(&hello, &mut self.hello_wire) {
-                Ok(()) => {
-                    self.hello_version = Some(self.routing.version());
-                    self.hello_wire_id = Some(id);
-                    if let Packet::Hello { entries, .. } = &hello {
-                        self.hello_entries.clone_from(entries);
-                    }
-                }
-                Err(_) => {
-                    // Unencodable hello (cannot happen with the entry cap,
-                    // but stay safe): poison the cache.
-                    self.hello_version = None;
-                    self.hello_wire_id = None;
-                    self.hello_wire.clear();
-                }
-            }
-            hello
-        };
-        if self.enqueue(hello) {
-            self.stats.hellos_sent += 1;
-        }
-        self.schedule_next_hello(now);
-    }
-
-    fn apply_sender_action(&mut self, dst: Address, action: SenderAction, _now: Duration) {
-        match action {
-            SenderAction::None => {}
-            SenderAction::SendSync => {
-                let Some(t) = self.outbound.get(&dst) else {
-                    return;
-                };
-                let (seq, frag_count, total_len) = (t.seq, t.frag_count(), t.total_len());
-                let Some(via) = self.routing.next_hop(dst) else {
-                    self.stats.no_route_drops += 1;
-                    return;
-                };
-                let id = self.next_id();
-                let packet = Packet::Sync {
-                    dst,
-                    src: self.config.address,
-                    id,
-                    fwd: Forwarding {
-                        via,
-                        ttl: self.config.max_ttl,
-                    },
-                    seq,
-                    frag_count,
-                    total_len,
-                };
-                let _ = self.enqueue(packet);
-            }
-            SenderAction::SendFrag(index) => {
-                let Some(t) = self.outbound.get(&dst) else {
-                    return;
-                };
-                let (seq, data) = (t.seq, t.fragment(index).to_vec());
-                let Some(via) = self.routing.next_hop(dst) else {
-                    self.stats.no_route_drops += 1;
-                    return;
-                };
-                let id = self.next_id();
-                let packet = Packet::Frag {
-                    dst,
-                    src: self.config.address,
-                    id,
-                    fwd: Forwarding {
-                        via,
-                        ttl: self.config.max_ttl,
-                    },
-                    seq,
-                    index,
-                    data,
-                };
-                let _ = self.enqueue(packet);
-            }
-            SenderAction::Completed => {
-                if let Some(t) = self.outbound.remove(&dst) {
-                    self.stats.reliable_sent += 1;
-                    self.stats.reliable_retransmits += u64::from(t.retransmits);
-                    self.events
-                        .push_back(MeshEvent::ReliableDelivered { dst, seq: t.seq });
-                }
-            }
-            SenderAction::Aborted(_) => {
-                if let Some(t) = self.outbound.remove(&dst) {
-                    self.stats.reliable_aborted += 1;
-                    self.stats.reliable_retransmits += u64::from(t.retransmits);
-                    self.events
-                        .push_back(MeshEvent::ReliableFailed { dst, seq: t.seq });
-                }
-            }
-        }
-    }
-
-    /// Sends a reliable-transfer control packet back to `peer`.
-    fn send_control(&mut self, peer: Address, seq: u8, kind: ControlKind) {
-        let Some(via) = self.routing.next_hop(peer) else {
-            self.stats.no_route_drops += 1;
-            return;
-        };
-        let id = self.next_id();
-        let fwd = Forwarding {
-            via,
-            ttl: self.config.max_ttl,
-        };
-        let src = self.config.address;
-        let packet = match kind {
-            ControlKind::Ack(index) => Packet::Ack {
-                dst: peer,
-                src,
-                id,
-                fwd,
-                seq,
-                index,
-            },
-            ControlKind::Lost(missing) => Packet::Lost {
-                dst: peer,
-                src,
-                id,
-                fwd,
-                seq,
-                missing,
-            },
-        };
-        let _ = self.enqueue(packet);
-    }
-
-    fn consume(&mut self, packet: Packet, now: Duration) {
-        match packet {
-            Packet::Hello { .. } => {
-                // Handled in on_frame; tolerate a misrouted Hello
-                // instead of crashing the node.
-                debug_assert!(false, "hello handled in on_frame");
-            }
-            Packet::Data { src, payload, .. } => {
-                self.stats.data_delivered += 1;
-                self.events.push_back(MeshEvent::Datagram { src, payload });
-            }
-            Packet::Sync {
-                src,
-                seq,
-                frag_count,
-                total_len,
-                ..
-            } => {
-                if frag_count == 0 {
-                    self.stats.decode_errors += 1;
-                    return;
-                }
-                let transfer = self
-                    .inbound
-                    .entry((src, seq))
-                    .or_insert_with(|| InboundTransfer::new(src, seq, frag_count, total_len, now));
-                let ReceiverAction::AckSync = transfer.on_sync(now) else {
-                    return;
-                };
-                self.send_control(src, seq, ControlKind::Ack(SYNC_ACK_INDEX));
-            }
-            Packet::Frag {
-                src,
-                seq,
-                index,
-                data,
-                ..
-            } => {
-                let Some(transfer) = self.inbound.get_mut(&(src, seq)) else {
-                    // Sync never arrived (or expired): nothing to attach to.
-                    return;
-                };
-                let actions = transfer.on_frag(index, &data, now);
-                for action in actions {
-                    match action {
-                        ReceiverAction::AckSync => {
-                            self.send_control(src, seq, ControlKind::Ack(SYNC_ACK_INDEX));
-                        }
-                        ReceiverAction::AckFrag(i) => {
-                            self.send_control(src, seq, ControlKind::Ack(i));
-                        }
-                        ReceiverAction::Complete(payload) => {
-                            self.stats.reliable_received += 1;
-                            self.events
-                                .push_back(MeshEvent::ReliableReceived { src, payload });
-                        }
-                    }
-                }
-            }
-            Packet::Ack {
-                src, seq, index, ..
-            } => {
-                let jitter = self.ack_jitter();
-                if let Some(t) = self.outbound.get_mut(&src) {
-                    if t.seq == seq {
-                        let action = t.on_ack(index, now);
-                        t.defer_deadline(jitter);
-                        self.apply_sender_action(src, action, now);
-                    }
-                }
-            }
-            Packet::Lost {
-                src, seq, missing, ..
-            } => {
-                let jitter = self.ack_jitter();
-                if let Some(t) = self.outbound.get_mut(&src) {
-                    if t.seq == seq {
-                        let action = t.on_lost(&missing, now);
-                        t.defer_deadline(jitter);
-                        self.apply_sender_action(src, action, now);
-                    }
-                }
-            }
-        }
-    }
-
-    fn forward(&mut self, mut packet: Packet, _now: Duration) {
-        let dst = packet.dst();
-        let Some(next) = self.routing.next_hop(dst) else {
-            self.stats.no_route_drops += 1;
-            return;
-        };
-        // Only unicast packets reach here; a Hello without forwarding
-        // would be a caller bug — drop it rather than panic.
-        let Some(fwd) = packet.forwarding_mut() else {
-            debug_assert!(false, "only unicast packets are forwarded");
-            return;
-        };
-        if fwd.ttl <= 1 {
-            self.stats.ttl_expired += 1;
-            return;
-        }
-        fwd.ttl -= 1;
-        fwd.via = next;
-        if self.enqueue(packet) {
-            self.stats.forwarded += 1;
-        }
-    }
-
-    /// Runs every deadline that has passed; called from `on_timer`.
-    fn process_due(&mut self, now: Duration, requests: &mut Vec<RadioRequest>) {
-        // 1. Route expiry.
-        if let Some(expiry) = self.routing.next_expiry(self.config.route_timeout) {
-            if expiry <= now {
-                let purged = self.routing.purge(now, self.config.route_timeout);
-                if !purged.is_empty() {
-                    self.events.push_back(MeshEvent::RoutesExpired {
-                        destinations: purged,
-                    });
-                }
-            }
-        }
-        // 2. Routing broadcast.
-        if now >= self.next_hello {
-            self.emit_hello(now);
-        }
-        // 3. Outbound reliable deadlines.
-        let due: Vec<Address> = self
-            .outbound
-            .iter()
-            .filter(|(_, t)| t.deadline().is_some_and(|d| d <= now))
-            .map(|(dst, _)| *dst)
-            .collect();
-        for dst in due {
-            let jitter = self.ack_jitter();
-            let action = self
-                .outbound
-                .get_mut(&dst)
-                .map(|t| {
-                    let action = t.on_timeout(now);
-                    t.defer_deadline(jitter);
-                    action
-                })
-                .unwrap_or(SenderAction::None);
-            self.apply_sender_action(dst, action, now);
-        }
-        // 4a. Inbound transfers that stalled mid-way: nudge the sender
-        //     with a Lost request listing the missing fragments.
-        let stalled: Vec<(Address, u8, Vec<u16>)> = self
-            .inbound
-            .iter()
-            .filter(|(_, t)| {
-                t.stalled(now, self.config.reliable_timeout)
-                    && t.lost_requests() < self.config.reliable_max_retries
-                    && !t.missing().is_empty()
-            })
-            .map(|(k, t)| (k.0, k.1, t.missing()))
-            .collect();
-        for (src, seq, missing) in stalled {
-            if let Some(t) = self.inbound.get_mut(&(src, seq)) {
-                t.note_lost_sent(now);
-            }
-            self.send_control(src, seq, ControlKind::Lost(missing));
-        }
-        // 4b. Inbound reassembly expiry.
-        let expired: Vec<(Address, u8)> = self
-            .inbound
-            .iter()
-            .filter(|(_, t)| t.expired(now, self.config.reassembly_timeout))
-            .map(|(k, _)| *k)
-            .collect();
-        for key in expired {
-            if let Some(t) = self.inbound.remove(&key) {
-                if !t.is_delivered() {
-                    self.stats.reliable_aborted += 1;
-                    self.events.push_back(MeshEvent::InboundTransferExpired {
-                        src: key.0,
-                        seq: key.1,
-                    });
-                }
-            }
-        }
-        // 5. Give the MAC a chance to move traffic.
-        if !self.txq.is_empty() {
-            if self.config.csma {
-                if let MacAction::StartCad = self.mac.kick(now) {
-                    requests.push(RadioRequest::StartCad);
-                }
-            } else {
-                // ALOHA ablation: no carrier sensing, straight to air.
-                let airtime = self
-                    .txq
-                    .peek()
-                    .map(|p| self.config.modulation.time_on_air(codec::encoded_len(p)));
-                if let Some(airtime) = airtime {
-                    match self.mac.kick_aloha(airtime, now) {
-                        MacAction::Transmit => {
-                            if let Some(request) = self.transmit_front(airtime) {
-                                requests.push(request);
-                            }
-                        }
-                        MacAction::DropFrame => {
-                            if let Some(packet) = self.txq.pop() {
-                                self.events.push_back(MeshEvent::FrameDropped {
-                                    kind: packet.kind(),
-                                });
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-            }
-        }
-    }
-
-    /// Pops and encodes the front of the queue for transmission; the MAC
-    /// has already committed to `Transmitting`.
-    fn transmit_front(&mut self, airtime: Duration) -> Option<RadioRequest> {
-        let packet = self.txq.pop()?;
-        if let Packet::Hello { id, .. } = &packet {
-            if self.hello_wire_id == Some(*id) && !self.hello_wire.is_empty() {
-                debug_assert_eq!(
-                    codec::encode(&packet).ok().as_deref(),
-                    Some(self.hello_wire.as_slice()),
-                    "hello wire cache out of sync with the queued packet"
-                );
-                self.stats.frames_sent += 1;
-                self.stats.airtime += airtime;
-                return Some(RadioRequest::Transmit(self.hello_wire.clone()));
-            }
-        }
-        match codec::encode(&packet) {
-            Ok(frame) => {
-                self.stats.frames_sent += 1;
-                self.stats.airtime += airtime;
-                Some(RadioRequest::Transmit(frame))
-            }
-            Err(_) => {
-                // Should be impossible: frames are validated at enqueue
-                // time. Recover the MAC and drop.
-                self.mac.on_tx_done();
-                self.stats.decode_errors += 1;
-                None
-            }
-        }
-    }
-}
-
-/// Control-packet kinds the receiver side sends back.
-enum ControlKind {
-    Ack(u16),
-    Lost(Vec<u16>),
-}
-
-impl NodeProtocol for MeshNode {
-    fn on_start(&mut self, now: Duration) -> Vec<RadioRequest> {
-        self.started = true;
-        // First hello soon after boot (1–5 s) so the mesh forms quickly,
-        // jittered so co-booted nodes do not collide (unless the jitter
-        // ablation is active).
-        let jitter = if self.config.hello_jitter {
-            Duration::from_millis(self.rng.gen_range(4000))
-        } else {
-            Duration::ZERO
-        };
-        self.next_hello = now + Duration::from_secs(1) + jitter;
-        Vec::new()
-    }
-
-    fn on_timer(&mut self, now: Duration) -> Vec<RadioRequest> {
-        let mut requests = Vec::new();
-        self.process_due(now, &mut requests);
-        requests
-    }
-
-    fn on_frame(
-        &mut self,
-        frame: &[u8],
-        quality: SignalQuality,
-        now: Duration,
-    ) -> Vec<RadioRequest> {
-        let packet = match codec::decode(frame) {
-            Ok(p) => p,
-            Err(_) => {
-                self.stats.decode_errors += 1;
-                return Vec::new();
-            }
-        };
-        if packet.src() == self.config.address {
-            // We cannot hear ourselves (half-duplex): someone else is
-            // using our address.
-            self.stats.address_conflicts += 1;
-            self.events.push_back(MeshEvent::AddressConflict {
-                kind: packet.kind(),
-            });
-            return Vec::new();
-        }
-        match &packet {
-            Packet::Hello {
-                src, role, entries, ..
-            } => {
-                self.routing.apply_hello(
-                    self.config.address,
-                    *src,
-                    *role,
-                    entries,
-                    quality.snr,
-                    now,
-                );
-                self.stats.hellos_received += 1;
-            }
-            _ => {
-                let dst = packet.dst();
-                // Every non-Hello kind decodes with a forwarding
-                // extension; treat its absence as a decode error rather
-                // than a panic on over-the-air input.
-                let Some(fwd) = packet.forwarding() else {
-                    self.stats.decode_errors += 1;
-                    return Vec::new();
-                };
-                if dst == self.config.address {
-                    self.consume(packet, now);
-                } else if dst.is_broadcast() {
-                    if let Packet::Data { src, payload, .. } = packet {
-                        self.stats.data_delivered += 1;
-                        self.events.push_back(MeshEvent::Broadcast { src, payload });
-                    }
-                } else if fwd.via == self.config.address {
-                    self.forward(packet, now);
-                }
-                // Otherwise: overheard traffic for someone else; ignore.
-            }
-        }
-        Vec::new()
-    }
-
-    fn on_tx_done(&mut self, _now: Duration) -> Vec<RadioRequest> {
-        self.mac.on_tx_done();
-        Vec::new()
-    }
-
-    fn on_cad_done(&mut self, busy: bool, now: Duration) -> Vec<RadioRequest> {
-        let Some(front) = self.txq.peek() else {
-            return Vec::new(); // nothing left to send (should not happen)
-        };
-        let airtime = self
-            .config
-            .modulation
-            .time_on_air(codec::encoded_len(front));
-        match self.mac.on_cad_done(busy, airtime, now, &mut self.rng) {
-            MacAction::Transmit => self.transmit_front(airtime).into_iter().collect(),
-            MacAction::DropFrame => {
-                if let Some(packet) = self.txq.pop() {
-                    self.events.push_back(MeshEvent::FrameDropped {
-                        kind: packet.kind(),
-                    });
-                }
-                Vec::new()
-            }
-            MacAction::StartCad => vec![RadioRequest::StartCad],
-            MacAction::None => Vec::new(),
-        }
-    }
-
-    fn next_wake(&self) -> Option<Duration> {
-        if !self.started {
-            return None;
-        }
-        let mut wake: Option<Duration> = Some(self.next_hello);
-        let mut consider = |t: Option<Duration>| {
-            if let Some(t) = t {
-                wake = Some(wake.map_or(t, |w| w.min(t)));
-            }
-        };
-        if self.mac.is_ready() && !self.txq.is_empty() {
-            consider(Some(Duration::ZERO)); // immediate
-        }
-        consider(self.mac.next_wake());
-        consider(self.routing.next_expiry(self.config.route_timeout));
-        consider(
-            self.outbound
-                .values()
-                .filter_map(OutboundTransfer::deadline)
-                .min(),
-        );
-        consider(
-            self.inbound
-                .values()
-                .map(|t| t.last_activity + self.config.reassembly_timeout)
-                .min(),
-        );
-        consider(
-            self.inbound
-                .values()
-                .filter(|t| t.lost_requests() < self.config.reliable_max_retries)
-                .filter_map(|t| t.stall_deadline(self.config.reliable_timeout))
-                .min(),
-        );
-        wake
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::MeshConfig;
-    use lora_phy::region::Region;
-
-    const A1: Address = Address::new(1);
-    const A2: Address = Address::new(2);
-    const A3: Address = Address::new(3);
-
-    /// Multi-seed sweeps host protocol nodes on worker threads, so the
-    /// node must stay Send. Compile-time check.
-    #[test]
-    fn mesh_node_is_send() {
-        fn assert_send<T: Send>() {}
-        assert_send::<MeshNode>();
-    }
-
-    fn node(addr: Address) -> MeshNode {
-        MeshNode::new(
-            MeshConfig::builder(addr)
-                .region(Region::Unlimited)
-                .hello_interval(Duration::from_secs(30))
-                .build(),
-        )
-    }
-
-    fn quality() -> SignalQuality {
-        SignalQuality::ideal()
-    }
-
-    /// Drives a set of nodes until quiescent: fires due timers, answers
-    /// CAD requests with "clear", and delivers transmissions to every
-    /// other node. Advances time only when nothing is immediately due.
-    fn pump(nodes: &mut [MeshNode], until: Duration) {
-        let mut now = Duration::ZERO;
-        for n in nodes.iter_mut() {
-            let _ = n.on_start(now);
-        }
-        while now <= until {
-            // Fire all due work at `now`.
-            let mut progressed = false;
-            for i in 0..nodes.len() {
-                let due = nodes[i].next_wake().is_some_and(|w| w <= now);
-                if !due {
-                    continue;
-                }
-                progressed = true;
-                let mut requests = nodes[i].on_timer(now);
-                // Resolve CAD immediately (clear channel in this harness).
-                while let Some(req) = requests.pop() {
-                    match req {
-                        RadioRequest::StartCad => {
-                            requests.extend(nodes[i].on_cad_done(false, now));
-                        }
-                        RadioRequest::Transmit(frame) => {
-                            for (j, node) in nodes.iter_mut().enumerate() {
-                                if j != i {
-                                    let _ = node.on_frame(&frame, quality(), now);
-                                }
-                            }
-                            requests.extend(nodes[i].on_tx_done(now));
-                        }
-                    }
-                }
-            }
-            if !progressed {
-                // Jump to the next deadline.
-                let next = nodes
-                    .iter()
-                    .filter_map(NodeProtocol::next_wake)
-                    .min()
-                    .unwrap_or(until + Duration::from_secs(1));
-                now = next.max(now + Duration::from_millis(1));
-            }
-        }
-    }
-
-    #[test]
-    fn hello_exchange_builds_routes() {
-        let mut nodes = vec![node(A1), node(A2)];
-        pump(&mut nodes, Duration::from_secs(10));
-        assert_eq!(nodes[0].routing_table().next_hop(A2), Some(A2));
-        assert_eq!(nodes[1].routing_table().next_hop(A1), Some(A1));
-        assert!(nodes[0].stats().hellos_sent >= 1);
-        assert!(nodes[0].stats().hellos_received >= 1);
-    }
-
-    #[test]
-    fn datagram_delivered_between_neighbours() {
-        let mut nodes = vec![node(A1), node(A2)];
-        pump(&mut nodes, Duration::from_secs(10));
-        let now = Duration::from_secs(10);
-        nodes[0]
-            .send_datagram(A2, b"ping".to_vec(), now)
-            .expect("route exists");
-        pump(&mut nodes, Duration::from_secs(12));
-        let events = nodes[1].take_events();
-        assert!(
-            events.contains(&MeshEvent::Datagram {
-                src: A1,
-                payload: b"ping".to_vec()
-            }),
-            "events: {events:?}"
-        );
-        assert_eq!(nodes[1].stats().data_delivered, 1);
-    }
-
-    #[test]
-    fn broadcast_delivered_to_all() {
-        let mut nodes = vec![node(A1), node(A2), node(A3)];
-        pump(&mut nodes, Duration::from_secs(10));
-        nodes[0]
-            .send_datagram(Address::BROADCAST, b"hi".to_vec(), Duration::from_secs(10))
-            .unwrap();
-        pump(&mut nodes, Duration::from_secs(12));
-        for n in &mut nodes[1..] {
-            let events = n.take_events();
-            assert!(events
-                .iter()
-                .any(|e| matches!(e, MeshEvent::Broadcast { src, .. } if *src == A1)));
-        }
-    }
-
-    #[test]
-    fn send_without_route_fails() {
-        let mut n = node(A1);
-        let _ = n.on_start(Duration::ZERO);
-        assert_eq!(
-            n.send_datagram(A2, vec![1], Duration::ZERO),
-            Err(SendError::NoRoute(A2))
-        );
-        assert_eq!(
-            n.send_reliable(A2, vec![1; 500], Duration::ZERO),
-            Err(SendError::NoRoute(A2))
-        );
-    }
-
-    #[test]
-    fn send_validation_errors() {
-        let mut n = node(A1);
-        let _ = n.on_start(Duration::ZERO);
-        assert_eq!(
-            n.send_datagram(A2, vec![], Duration::ZERO),
-            Err(SendError::EmptyPayload)
-        );
-        assert!(matches!(
-            n.send_datagram(A2, vec![0; 4000], Duration::ZERO),
-            Err(SendError::PayloadTooLarge { .. })
-        ));
-        assert_eq!(
-            n.send_reliable(Address::BROADCAST, vec![1], Duration::ZERO),
-            Err(SendError::BroadcastUnsupported)
-        );
-        assert_eq!(
-            n.send_reliable(A2, vec![], Duration::ZERO),
-            Err(SendError::EmptyPayload)
-        );
-    }
-
-    #[test]
-    fn reliable_transfer_between_neighbours() {
-        let mut nodes = vec![node(A1), node(A2)];
-        pump(&mut nodes, Duration::from_secs(10));
-        let payload: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
-        let seq = nodes[0]
-            .send_reliable(A2, payload.clone(), Duration::from_secs(10))
-            .expect("route exists");
-        pump(&mut nodes, Duration::from_secs(60));
-        let rx_events = nodes[1].take_events();
-        assert!(
-            rx_events.iter().any(
-                |e| matches!(e, MeshEvent::ReliableReceived { src, payload: p } if *src == A1 && *p == payload)
-            ),
-            "receiver events: {rx_events:?}"
-        );
-        let tx_events = nodes[0].take_events();
-        assert!(tx_events.contains(&MeshEvent::ReliableDelivered { dst: A2, seq }));
-        assert_eq!(nodes[0].stats().reliable_sent, 1);
-        assert_eq!(nodes[1].stats().reliable_received, 1);
-    }
-
-    #[test]
-    fn second_transfer_to_same_dst_refused_while_active() {
-        let mut nodes = vec![node(A1), node(A2)];
-        pump(&mut nodes, Duration::from_secs(10));
-        let now = Duration::from_secs(10);
-        nodes[0].send_reliable(A2, vec![1; 500], now).unwrap();
-        assert_eq!(
-            nodes[0].send_reliable(A2, vec![2; 500], now),
-            Err(SendError::TransferInProgress(A2))
-        );
-    }
-
-    #[test]
-    fn reliable_transfer_aborts_when_peer_silent() {
-        let mut a = node(A1);
-        let b = node(A2);
-        // Form routes.
-        let mut pair = vec![a, b];
-        pump(&mut pair, Duration::from_secs(10));
-        a = pair.remove(0);
-        // b is now gone: a sends into the void.
-        let seq = a
-            .send_reliable(A2, vec![0; 300], Duration::from_secs(10))
-            .unwrap();
-        // Drive only `a` long enough for all retries to burn out.
-        let mut solo = vec![a];
-        pump(&mut solo, Duration::from_secs(200));
-        let events = solo[0].take_events();
-        assert!(
-            events.contains(&MeshEvent::ReliableFailed { dst: A2, seq }),
-            "events: {events:?}"
-        );
-        assert_eq!(solo[0].stats().reliable_aborted, 1);
-        assert!(solo[0].stats().reliable_retransmits > 0);
-        drop(pair);
-    }
-
-    #[test]
-    fn multi_hop_route_learned_and_used() {
-        // Chain A1 - A2 - A3 with A1 and A3 out of range: emulate by only
-        // delivering frames between adjacent nodes.
-        let mut nodes = [node(A1), node(A2), node(A3)];
-        let mut now = Duration::ZERO;
-        for n in nodes.iter_mut() {
-            let _ = n.on_start(now);
-        }
-        let until = Duration::from_secs(70);
-        let adjacent = |i: usize, j: usize| i.abs_diff(j) == 1;
-        while now <= until {
-            let mut progressed = false;
-            for i in 0..nodes.len() {
-                if nodes[i].next_wake().is_none_or(|w| w > now) {
-                    continue;
-                }
-                progressed = true;
-                let mut requests = nodes[i].on_timer(now);
-                while let Some(req) = requests.pop() {
-                    match req {
-                        RadioRequest::StartCad => {
-                            requests.extend(nodes[i].on_cad_done(false, now));
-                        }
-                        RadioRequest::Transmit(frame) => {
-                            for (j, node) in nodes.iter_mut().enumerate() {
-                                if j != i && adjacent(i, j) {
-                                    let _ = node.on_frame(&frame, quality(), now);
-                                }
-                            }
-                            requests.extend(nodes[i].on_tx_done(now));
-                        }
-                    }
-                }
-            }
-            if !progressed {
-                let next = nodes
-                    .iter()
-                    .filter_map(NodeProtocol::next_wake)
-                    .min()
-                    .unwrap_or(until + Duration::from_secs(1));
-                now = next.max(now + Duration::from_millis(1));
-            }
-            // Once A1 knows a route to A3, send through the mesh.
-            if nodes[0].routing_table().next_hop(A3) == Some(A2)
-                && nodes[0].stats().data_originated == 0
-            {
-                nodes[0].send_datagram(A3, b"relay".to_vec(), now).unwrap();
-            }
-        }
-        assert_eq!(nodes[0].routing_table().next_hop(A3), Some(A2));
-        assert_eq!(nodes[0].routing_table().route(A3).unwrap().metric, 2);
-        let events = nodes[2].take_events();
-        assert!(
-            events.contains(&MeshEvent::Datagram {
-                src: A1,
-                payload: b"relay".to_vec()
-            }),
-            "A3 events: {events:?}"
-        );
-        assert_eq!(nodes[1].stats().forwarded, 1);
-    }
-
-    #[test]
-    fn ttl_expiry_drops_packet() {
-        let mut n = node(A2);
-        let _ = n.on_start(Duration::ZERO);
-        // Teach A2 routes so forwarding is possible.
-        let hello = codec::encode(&Packet::Hello {
-            src: A3,
-            id: 0,
-            role: 0,
-            entries: vec![],
-        })
-        .unwrap();
-        let _ = n.on_frame(&hello, quality(), Duration::ZERO);
-        // A data packet for A3 via us with TTL 1: must die here.
-        let data = codec::encode(&Packet::Data {
-            dst: A3,
-            src: A1,
-            id: 0,
-            fwd: Forwarding { via: A2, ttl: 1 },
-            payload: vec![1],
-        })
-        .unwrap();
-        let _ = n.on_frame(&data, quality(), Duration::ZERO);
-        assert_eq!(n.stats().ttl_expired, 1);
-        assert_eq!(n.stats().forwarded, 0);
-    }
-
-    #[test]
-    fn forward_without_route_is_counted() {
-        let mut n = node(A2);
-        let _ = n.on_start(Duration::ZERO);
-        let data = codec::encode(&Packet::Data {
-            dst: A3,
-            src: A1,
-            id: 0,
-            fwd: Forwarding { via: A2, ttl: 5 },
-            payload: vec![1],
-        })
-        .unwrap();
-        let _ = n.on_frame(&data, quality(), Duration::ZERO);
-        assert_eq!(n.stats().no_route_drops, 1);
-    }
-
-    #[test]
-    fn packet_not_via_us_is_ignored() {
-        let mut n = node(A2);
-        let _ = n.on_start(Duration::ZERO);
-        let data = codec::encode(&Packet::Data {
-            dst: A3,
-            src: A1,
-            id: 0,
-            fwd: Forwarding { via: A3, ttl: 5 },
-            payload: vec![1],
-        })
-        .unwrap();
-        let _ = n.on_frame(&data, quality(), Duration::ZERO);
-        assert_eq!(n.stats().forwarded, 0);
-        assert_eq!(n.stats().no_route_drops, 0);
-        assert!(n.take_events().is_empty());
-    }
-
-    #[test]
-    fn garbage_frame_counted_as_decode_error() {
-        let mut n = node(A1);
-        let _ = n.on_start(Duration::ZERO);
-        let _ = n.on_frame(&[0xFF, 0x01], quality(), Duration::ZERO);
-        assert_eq!(n.stats().decode_errors, 1);
-    }
-
-    #[test]
-    fn frame_with_own_source_address_flags_a_conflict() {
-        let mut n = node(A1);
-        let _ = n.on_start(Duration::ZERO);
-        let hello = codec::encode(&Packet::Hello {
-            src: A1,
-            id: 0,
-            role: 0,
-            entries: vec![],
-        })
-        .unwrap();
-        let _ = n.on_frame(&hello, quality(), Duration::ZERO);
-        // Not processed as routing input...
-        assert_eq!(n.stats().hellos_received, 0);
-        assert!(n.routing_table().is_empty());
-        // ...but surfaced as a duplicate-address indicator.
-        assert_eq!(n.stats().address_conflicts, 1);
-        assert!(n.take_events().contains(&MeshEvent::AddressConflict {
-            kind: PacketKind::Hello
-        }));
-    }
-
-    #[test]
-    fn queue_refusals_are_counted_as_backpressure() {
-        let mut n = MeshNode::new(
-            MeshConfig::builder(A1)
-                .region(Region::Unlimited)
-                .tx_queue_capacity(1)
-                .hello_interval(Duration::from_secs(1000))
-                .build(),
-        );
-        let _ = n.on_start(Duration::ZERO);
-        // First broadcast datagram fills the single-slot queue.
-        assert!(n
-            .send_datagram(Address::BROADCAST, b"one".to_vec(), Duration::ZERO)
-            .is_ok());
-        assert_eq!(n.stats().queue_refusals, 0);
-        // Equal-priority traffic cannot evict: refused and counted.
-        assert_eq!(
-            n.send_datagram(Address::BROADCAST, b"two".to_vec(), Duration::ZERO),
-            Err(SendError::QueueFull)
-        );
-        assert_eq!(
-            n.send_datagram(Address::BROADCAST, b"three".to_vec(), Duration::ZERO),
-            Err(SendError::QueueFull)
-        );
-        assert_eq!(n.stats().queue_refusals, 2);
-        assert_eq!(n.stats().data_originated, 1);
-    }
-
-    #[test]
-    fn routes_expire_and_generate_event() {
-        let mut n = MeshNode::new(
-            MeshConfig::builder(A1)
-                .region(Region::Unlimited)
-                .route_timeout(Duration::from_secs(60))
-                .hello_interval(Duration::from_secs(1000))
-                .build(),
-        );
-        let _ = n.on_start(Duration::ZERO);
-        let hello = codec::encode(&Packet::Hello {
-            src: A2,
-            id: 0,
-            role: 0,
-            entries: vec![],
-        })
-        .unwrap();
-        let _ = n.on_frame(&hello, quality(), Duration::from_secs(1));
-        assert!(n.routing_table().next_hop(A2).is_some());
-        // The wake should include the route expiry at t=61.
-        let wake = n.next_wake().unwrap();
-        assert!(wake <= Duration::from_secs(61));
-        let _ = n.on_timer(Duration::from_secs(61));
-        assert!(n.routing_table().next_hop(A2).is_none());
-        assert!(n.take_events().contains(&MeshEvent::RoutesExpired {
-            destinations: vec![A2]
-        }));
-    }
-
-    #[test]
-    fn next_wake_immediate_when_traffic_pending() {
-        let mut nodes = vec![node(A1), node(A2)];
-        pump(&mut nodes, Duration::from_secs(10));
-        let now = Duration::from_secs(10);
-        nodes[0].send_datagram(A2, vec![1], now).unwrap();
-        assert_eq!(nodes[0].next_wake(), Some(Duration::ZERO));
-    }
-
-    #[test]
-    fn stalled_inbound_transfer_requests_lost_fragments() {
-        let mut b = node(A2);
-        let _ = b.on_start(Duration::ZERO);
-        // B learns a route back to A1.
-        let hello = codec::encode(&Packet::Hello {
-            src: A1,
-            id: 0,
-            role: 0,
-            entries: vec![],
-        })
-        .unwrap();
-        let _ = b.on_frame(&hello, quality(), Duration::ZERO);
-        // A 3-fragment transfer opens and fragment 0 arrives...
-        let fwd = Forwarding { via: A2, ttl: 5 };
-        let sync = codec::encode(&Packet::Sync {
-            dst: A2,
-            src: A1,
-            id: 1,
-            fwd,
-            seq: 0,
-            frag_count: 3,
-            total_len: 30,
-        })
-        .unwrap();
-        let _ = b.on_frame(&sync, quality(), Duration::from_secs(1));
-        let frag = codec::encode(&Packet::Frag {
-            dst: A2,
-            src: A1,
-            id: 2,
-            fwd,
-            seq: 0,
-            index: 0,
-            data: vec![7; 10],
-        })
-        .unwrap();
-        let _ = b.on_frame(&frag, quality(), Duration::from_secs(2));
-        // ...then the sender goes quiet. After the reliable timeout the
-        // node must queue a Lost request listing fragments 1 and 2.
-        let stall_at = Duration::from_secs(2) + b.config().reliable_timeout;
-        assert!(b.next_wake().unwrap() <= stall_at);
-        let mut reqs = b.on_timer(stall_at);
-        // Drain the queue through the MAC to observe the frame.
-        let mut lost_seen = false;
-        for _ in 0..10 {
-            match reqs.pop() {
-                Some(RadioRequest::StartCad) => {
-                    reqs.extend(b.on_cad_done(false, stall_at));
-                }
-                Some(RadioRequest::Transmit(frame)) => {
-                    if let Ok(Packet::Lost { missing, .. }) = codec::decode(&frame) {
-                        assert_eq!(missing, vec![1, 2]);
-                        lost_seen = true;
-                    }
-                    reqs.extend(b.on_tx_done(stall_at));
-                }
-                None => {
-                    reqs.extend(b.on_timer(stall_at + Duration::from_millis(1)));
-                    if reqs.is_empty() {
-                        break;
-                    }
-                }
-            }
-        }
-        assert!(lost_seen, "no Lost packet was transmitted");
-    }
-
-    #[test]
-    fn aloha_mode_sends_without_cad() {
-        let mut nodes = vec![
-            MeshNode::new(
-                MeshConfig::builder(A1)
-                    .region(Region::Unlimited)
-                    .hello_interval(Duration::from_secs(30))
-                    .csma(false)
-                    .build(),
-            ),
-            MeshNode::new(
-                MeshConfig::builder(A2)
-                    .region(Region::Unlimited)
-                    .hello_interval(Duration::from_secs(30))
-                    .csma(false)
-                    .build(),
-            ),
-        ];
-        pump(&mut nodes, Duration::from_secs(10));
-        // Routes still form: hellos went straight to the air.
-        assert_eq!(nodes[0].routing_table().next_hop(A2), Some(A2));
-        let now = Duration::from_secs(10);
-        nodes[0].send_datagram(A2, b"aloha".to_vec(), now).unwrap();
-        pump(&mut nodes, Duration::from_secs(12));
-        assert!(nodes[1].take_events().contains(&MeshEvent::Datagram {
-            src: A1,
-            payload: b"aloha".to_vec()
-        }));
-    }
-
-    #[test]
-    fn jitterless_hellos_fire_on_exact_schedule() {
-        let mut n = MeshNode::new(
-            MeshConfig::builder(A1)
-                .region(Region::Unlimited)
-                .hello_interval(Duration::from_secs(30))
-                .hello_jitter(false)
-                .build(),
-        );
-        let _ = n.on_start(Duration::ZERO);
-        // First hello exactly 1 s after boot, then every 30 s sharp.
-        assert_eq!(n.next_wake(), Some(Duration::from_secs(1)));
-        let reqs = n.on_timer(Duration::from_secs(1));
-        assert_eq!(reqs, vec![RadioRequest::StartCad]);
-        let tx = n.on_cad_done(false, Duration::from_secs(1));
-        assert!(matches!(tx.as_slice(), [RadioRequest::Transmit(_)]));
-        let _ = n.on_tx_done(Duration::from_millis(1100));
-        assert_eq!(n.next_wake(), Some(Duration::from_secs(31)));
-    }
-
-    #[test]
-    fn stats_snapshot_includes_mac_counters() {
-        let n = node(A1);
-        let s = n.stats();
-        assert_eq!(s.duty_cycle_deferrals, 0);
-        assert_eq!(s.cad_exhausted, 0);
-    }
-
-    #[test]
-    fn hello_wire_cache_patches_id_until_table_changes() {
-        let mut n = node(A1);
-        n.routing.heard_from(A2, 0.0, Duration::ZERO);
-        n.emit_hello(Duration::ZERO);
-        let first_wire = n.hello_wire.clone();
-        let v = n.hello_version;
-        assert!(v.is_some());
-        // Unchanged table: the cached wire image is reused with only the
-        // packet-id byte rewritten.
-        n.emit_hello(Duration::from_secs(30));
-        assert_eq!(n.hello_version, v, "unchanged table must not re-encode");
-        assert_eq!(first_wire.len(), n.hello_wire.len());
-        let diff: Vec<usize> = first_wire
-            .iter()
-            .zip(n.hello_wire.iter())
-            .enumerate()
-            .filter(|(_, (a, b))| a != b)
-            .map(|(i, _)| i)
-            .collect();
-        assert_eq!(diff, vec![codec::HEADER_ID_OFFSET]);
-        // A routing change invalidates the cache and re-encodes.
-        n.routing.heard_from(A3, 0.0, Duration::from_secs(31));
-        n.emit_hello(Duration::from_secs(60));
-        assert_ne!(n.hello_version, v);
-        match codec::decode(&n.hello_wire).unwrap() {
-            Packet::Hello { entries, .. } => assert_eq!(entries.len(), 2),
-            p => panic!("unexpected {p:?}"),
-        }
-    }
-
-    #[test]
-    fn transmit_front_reuses_cached_hello_wire() {
-        let mut n = node(A1);
-        n.routing.heard_from(A2, 0.0, Duration::ZERO);
-        n.emit_hello(Duration::ZERO);
-        let wire = n.hello_wire.clone();
-        match n.transmit_front(Duration::from_millis(50)) {
-            Some(RadioRequest::Transmit(frame)) => {
-                assert_eq!(frame, wire);
-                match codec::decode(&frame).unwrap() {
-                    Packet::Hello { src, .. } => assert_eq!(src, A1),
-                    p => panic!("unexpected {p:?}"),
-                }
-            }
-            r => panic!("unexpected {r:?}"),
-        }
-    }
-
-    #[test]
-    fn oversized_routing_table_is_truncated_in_hello() {
-        let mut n = MeshNode::new(
-            MeshConfig::builder(A1)
-                .region(Region::Unlimited)
-                .hello_jitter(false)
-                .build(),
-        );
-        let _ = n.on_start(Duration::ZERO);
-        // Teach the node more routes than a single hello frame can carry
-        // (the 255-byte PHY limit fits 61 entries).
-        for neighbour in 0..5u16 {
-            let entries: Vec<crate::packet::RouteEntry> = (0..20)
-                .map(|k| crate::packet::RouteEntry {
-                    address: Address::new(1000 + neighbour * 100 + k),
-                    metric: 1,
-                    role: 0,
-                })
-                .collect();
-            let hello = codec::encode(&Packet::Hello {
-                src: Address::new(100 + neighbour),
-                id: 0,
-                role: 0,
-                entries,
-            })
-            .unwrap();
-            let _ = n.on_frame(&hello, quality(), Duration::ZERO);
-        }
-        assert!(n.routing_table().len() > codec::MAX_HELLO_ENTRIES);
-        // Fire the hello and capture the frame.
-        let mut reqs = n.on_timer(Duration::from_secs(1));
-        assert_eq!(reqs, vec![RadioRequest::StartCad]);
-        reqs = n.on_cad_done(false, Duration::from_secs(1));
-        let RadioRequest::Transmit(frame) = &reqs[0] else {
-            panic!("expected a transmission");
-        };
-        assert!(frame.len() <= codec::MAX_FRAME_LEN);
-        match codec::decode(frame).unwrap() {
-            Packet::Hello { entries, .. } => {
-                assert_eq!(entries.len(), codec::MAX_HELLO_ENTRIES);
-            }
-            other => panic!("expected hello, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn cad_exhaustion_drops_frame_with_event() {
-        let mut n = MeshNode::new(
-            MeshConfig::builder(A1)
-                .region(Region::Unlimited)
-                .max_cad_retries(2)
-                .backoff_slot(Duration::from_millis(10))
-                .hello_jitter(false)
-                .build(),
-        );
-        let _ = n.on_start(Duration::ZERO);
-        // Fire the first hello into a permanently busy channel.
-        let mut now = Duration::from_secs(1);
-        let mut reqs = n.on_timer(now);
-        assert_eq!(reqs, vec![RadioRequest::StartCad]);
-        for _ in 0..4 {
-            reqs = n.on_cad_done(true, now);
-            assert!(reqs.is_empty());
-            if n.tx_queue_len() == 0 {
-                break; // frame dropped after exhausting CAD retries
-            }
-            // Wait out the backoff and CAD again.
-            if let Some(wake) = n.next_wake() {
-                now = now.max(wake);
-            }
-            reqs = n.on_timer(now);
-            assert_eq!(reqs, vec![RadioRequest::StartCad]);
-        }
-        let events = n.take_events();
-        assert!(
-            events.iter().any(|e| matches!(
-                e,
-                MeshEvent::FrameDropped {
-                    kind: PacketKind::Hello
-                }
-            )),
-            "events: {events:?}"
-        );
-        assert_eq!(n.stats().cad_exhausted, 1);
-        assert_eq!(n.tx_queue_len(), 0);
-    }
-
-    #[test]
-    fn zero_fragment_sync_is_rejected() {
-        let mut n = node(A2);
-        let _ = n.on_start(Duration::ZERO);
-        let hello = codec::encode(&Packet::Hello {
-            src: A1,
-            id: 0,
-            role: 0,
-            entries: vec![],
-        })
-        .unwrap();
-        let _ = n.on_frame(&hello, quality(), Duration::ZERO);
-        let sync = codec::encode(&Packet::Sync {
-            dst: A2,
-            src: A1,
-            id: 1,
-            fwd: Forwarding { via: A2, ttl: 5 },
-            seq: 0,
-            frag_count: 0,
-            total_len: 0,
-        })
-        .unwrap();
-        let _ = n.on_frame(&sync, quality(), Duration::ZERO);
-        assert_eq!(n.stats().decode_errors, 1);
-        assert!(n.inbound_transfers().is_empty());
-    }
-
-    #[test]
-    fn us915_dwell_limit_drops_slow_frames() {
-        use lora_phy::modulation::{Bandwidth, CodingRate, LoRaModulation, SpreadingFactor};
-        // SF12: a 200-byte frame lasts ~7 s, far over the 400 ms dwell.
-        let mut n = MeshNode::new(
-            MeshConfig::builder(A1)
-                .region(Region::Us915)
-                .modulation(LoRaModulation::new(
-                    SpreadingFactor::Sf12,
-                    Bandwidth::Khz125,
-                    CodingRate::Cr4_5,
-                ))
-                .hello_jitter(false)
-                .build(),
-        );
-        let _ = n.on_start(Duration::ZERO);
-        let hello = codec::encode(&Packet::Hello {
-            src: A2,
-            id: 0,
-            role: 0,
-            entries: vec![],
-        })
-        .unwrap();
-        let _ = n.on_frame(&hello, quality(), Duration::ZERO);
-        n.send_datagram(A2, vec![0; 200], Duration::ZERO).unwrap();
-        // Drain: hello (small, allowed) then the oversized datagram.
-        let mut now = Duration::from_secs(1);
-        let mut dropped = false;
-        for _ in 0..10 {
-            let reqs = n.on_timer(now);
-            for req in reqs {
-                match req {
-                    RadioRequest::StartCad => {
-                        let _ = n.on_cad_done(false, now);
-                    }
-                    RadioRequest::Transmit(_) => {
-                        let _ = n.on_tx_done(now + Duration::from_millis(300));
-                    }
-                }
-            }
-            if n.take_events().iter().any(|e| {
-                matches!(
-                    e,
-                    MeshEvent::FrameDropped {
-                        kind: PacketKind::Data
-                    }
-                )
-            }) {
-                dropped = true;
-                break;
-            }
-            now += Duration::from_secs(1);
-        }
-        assert!(
-            dropped,
-            "oversized SF12 frame must be dropped by the dwell limit"
-        );
-    }
-
-    #[test]
-    fn ack_for_unknown_transfer_is_ignored() {
-        let mut n = node(A1);
-        let _ = n.on_start(Duration::ZERO);
-        let ack = codec::encode(&Packet::Ack {
-            dst: A1,
-            src: A2,
-            id: 0,
-            fwd: Forwarding { via: A1, ttl: 5 },
-            seq: 9,
-            index: 0,
-        })
-        .unwrap();
-        let _ = n.on_frame(&ack, quality(), Duration::ZERO);
-        assert!(n.take_events().is_empty());
-        assert!(n.outbound_transfers().is_empty());
-    }
-}
+//! The `MeshNode` state machine used to live here as a single 1 800-line
+//! monolith. It is now the [`crate::stack`] module — a layered
+//! MAC/routing/transport/app stack over an intra-node bus — with the
+//! same public API and, bit for bit, the same behaviour (pinned by the
+//! golden fingerprints in `tests/stack_refactor_diff.rs`). Existing
+//! `loramesher::node::{MeshNode, MeshEvent}` paths keep working through
+//! these re-exports.
+
+pub use crate::stack::{MeshEvent, MeshNode};

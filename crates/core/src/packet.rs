@@ -15,6 +15,7 @@
 //! unicast packets add a 3-byte forwarding extension (`via` next hop and a
 //! TTL). See [`crate::codec`] for the exact wire layout.
 
+use alloc::vec::Vec;
 use core::fmt;
 
 use crate::addr::Address;

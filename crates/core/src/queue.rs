@@ -9,7 +9,7 @@
 //! application as [`crate::SendError::QueueFull`] — except that a
 //! higher-priority frame may evict the newest lowest-priority one.
 
-use std::collections::VecDeque;
+use alloc::collections::VecDeque;
 
 use crate::packet::{Packet, PacketKind};
 

@@ -13,7 +13,9 @@
 //! should happen ([`SenderAction`], [`ReceiverAction`]) and
 //! [`crate::MeshNode`] turns that into packets, routing and queueing.
 
-use std::time::Duration;
+use alloc::vec;
+use alloc::vec::Vec;
+use core::time::Duration;
 
 use crate::addr::Address;
 use crate::packet::SYNC_ACK_INDEX;

@@ -5,6 +5,8 @@
 //! (nodes bridging the mesh to the Internet), which the routing table
 //! then lets any node address without knowing the topology.
 
+use alloc::vec::Vec;
+
 use crate::addr::Address;
 use crate::routing::{Route, RoutingTable};
 

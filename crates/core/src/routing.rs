@@ -18,8 +18,9 @@
 //! beyond the cap is treated as unreachable, which bounds count-to-infinity
 //! in the classic Bellman–Ford way.
 
-use std::collections::BTreeMap;
-use std::time::Duration;
+use alloc::collections::BTreeMap;
+use alloc::vec::Vec;
+use core::time::Duration;
 
 use crate::addr::Address;
 use crate::codec::ROUTE_ENTRY_LEN;
@@ -79,6 +80,38 @@ impl Default for RoutingPolicy {
     }
 }
 
+/// A pluggable route-adoption policy: decides whether a candidate route
+/// advertised by a neighbour should replace the route currently held.
+///
+/// The routing layer is generic over this trait with
+/// [`RoutingPolicy`] — plain hop count, optionally SNR-tie-broken, as in
+/// the demo paper — as the default. Implementing it is the extension
+/// point for alternative metrics (ETX, battery-aware, role-weighted …)
+/// without touching the table or the hello daemon.
+pub trait RouteMetric {
+    /// Whether the candidate route — reaching `current.destination`
+    /// through `neighbour` with `candidate_metric` hops, heard at `snr`
+    /// dB — is strictly preferable to the `current` route.
+    ///
+    /// Refresh semantics are *not* up for grabs here: a candidate from
+    /// the current next hop is always followed (so worsening paths are
+    /// noticed), and this method is only consulted for competing routes.
+    fn prefer(&self, current: &Route, candidate_metric: u8, neighbour: Address, snr: f64) -> bool;
+}
+
+impl RouteMetric for RoutingPolicy {
+    fn prefer(&self, current: &Route, candidate_metric: u8, neighbour: Address, snr: f64) -> bool {
+        let better_metric = candidate_metric < current.metric;
+        // Optional SNR tie-break: same hop count, audibly stronger
+        // neighbour (beyond the hysteresis margin).
+        let better_snr = self.snr_tiebreak
+            && candidate_metric == current.metric
+            && neighbour != current.via
+            && snr > current.snr + self.snr_hysteresis_db;
+        better_metric || better_snr
+    }
+}
+
 /// The LoRaMesher routing table.
 ///
 /// ```
@@ -104,9 +137,9 @@ impl Default for RoutingPolicy {
 /// assert_eq!(table.route(Address::new(3)).unwrap().metric, 2);
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct RoutingTable {
+pub struct RoutingTable<M: RouteMetric = RoutingPolicy> {
     routes: BTreeMap<Address, Route>,
-    policy: RoutingPolicy,
+    policy: M,
     /// Bumped whenever the Hello-visible content of the table — the set
     /// of `(destination, metric, role)` tuples — changes. Refreshes that
     /// only touch timestamps or link statistics do not count, so an
@@ -127,10 +160,12 @@ impl RoutingTable {
     pub fn new() -> Self {
         Self::default()
     }
+}
 
+impl<M: RouteMetric> RoutingTable<M> {
     /// An empty table with the given selection policy.
     #[must_use]
-    pub fn with_policy(policy: RoutingPolicy) -> Self {
+    pub fn with_policy(policy: M) -> Self {
         RoutingTable {
             routes: BTreeMap::new(),
             policy,
@@ -153,8 +188,8 @@ impl RoutingTable {
 
     /// The active selection policy.
     #[must_use]
-    pub fn policy(&self) -> RoutingPolicy {
-        self.policy
+    pub fn policy(&self) -> &M {
+        &self.policy
     }
 
     /// Number of known destinations.
@@ -180,7 +215,7 @@ impl RoutingTable {
     pub fn next_hop(&self, dst: Address) -> Option<Address> {
         self.routes
             .get(&dst)
-            .filter(|r| r.metric < Self::INFINITY_METRIC)
+            .filter(|r| r.metric < RoutingTable::INFINITY_METRIC)
             .map(|r| r.via)
     }
 
@@ -257,10 +292,13 @@ impl RoutingTable {
             if e.address == me || e.address == neighbour || e.address.is_broadcast() {
                 continue;
             }
-            let candidate_metric = e.metric.saturating_add(1).min(Self::INFINITY_METRIC);
+            let candidate_metric = e
+                .metric
+                .saturating_add(1)
+                .min(RoutingTable::INFINITY_METRIC);
             match self.routes.get_mut(&e.address) {
                 None => {
-                    if candidate_metric < Self::INFINITY_METRIC {
+                    if candidate_metric < RoutingTable::INFINITY_METRIC {
                         self.routes.insert(
                             e.address,
                             Route {
@@ -279,14 +317,7 @@ impl RoutingTable {
                     }
                 }
                 Some(r) => {
-                    let better_metric = candidate_metric < r.metric;
-                    // Optional SNR tie-break: same hop count, audibly
-                    // stronger neighbour (beyond the hysteresis margin).
-                    let better_snr = self.policy.snr_tiebreak
-                        && candidate_metric == r.metric
-                        && neighbour != r.via
-                        && snr > r.snr + self.policy.snr_hysteresis_db;
-                    if better_metric || better_snr {
+                    if self.policy.prefer(r, candidate_metric, neighbour, snr) {
                         // Strictly better: adopt.
                         if r.via != neighbour || r.metric != candidate_metric {
                             changed += 1;
@@ -312,7 +343,7 @@ impl RoutingTable {
                         // unreachable, the route is gone — remove it
                         // rather than keeping infinity clutter that would
                         // be re-advertised across the mesh.
-                        if candidate_metric >= Self::INFINITY_METRIC {
+                        if candidate_metric >= RoutingTable::INFINITY_METRIC {
                             self.routes.remove(&e.address);
                             changed += 1;
                             self.version = self.version.wrapping_add(1);
@@ -344,7 +375,8 @@ impl RoutingTable {
             .routes
             .values()
             .filter(|r| {
-                now.saturating_sub(r.last_seen) >= timeout || r.metric >= Self::INFINITY_METRIC
+                now.saturating_sub(r.last_seen) >= timeout
+                    || r.metric >= RoutingTable::INFINITY_METRIC
             })
             .map(|r| r.destination)
             .collect();
@@ -402,7 +434,7 @@ impl RoutingTable {
     }
 }
 
-impl core::fmt::Display for RoutingTable {
+impl<M: RouteMetric> core::fmt::Display for RoutingTable<M> {
     /// A human-readable dump, one route per line:
     /// `dst via next_hop metric=N role=R snr=S age@T`.
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -441,6 +473,43 @@ mod tests {
             metric,
             role: 0,
         }
+    }
+
+    /// The table is generic over [`RouteMetric`]: a custom policy slots
+    /// in via [`RoutingTable::with_policy`] and changes route selection
+    /// without touching refresh semantics.
+    #[test]
+    fn custom_route_metric_plugs_into_the_table() {
+        /// Prefers the audibly loudest neighbour, hop count be damned.
+        struct LoudestNeighbour;
+        impl RouteMetric for LoudestNeighbour {
+            fn prefer(
+                &self,
+                current: &Route,
+                _candidate_metric: u8,
+                neighbour: Address,
+                snr: f64,
+            ) -> bool {
+                neighbour != current.via && snr > current.snr
+            }
+        }
+
+        let dst = Address::new(0x0009);
+        // Default policy: the 2-hop route through the quiet neighbour
+        // beats the 6-hop route through the loud one.
+        let mut hops = RoutingTable::new();
+        hops.apply_hello(ME, N2, 0, &[entry(dst, 1)], 0.0, NOW);
+        hops.apply_hello(ME, N3, 0, &[entry(dst, 5)], 20.0, NOW);
+        assert_eq!(hops.next_hop(dst), Some(N2));
+        assert_eq!(hops.route(dst).unwrap().metric, 2);
+
+        // Same hellos under the custom policy: the louder neighbour
+        // wins even though the path is longer.
+        let mut loud = RoutingTable::with_policy(LoudestNeighbour);
+        loud.apply_hello(ME, N2, 0, &[entry(dst, 1)], 0.0, NOW);
+        loud.apply_hello(ME, N3, 0, &[entry(dst, 5)], 20.0, NOW);
+        assert_eq!(loud.next_hop(dst), Some(N3));
+        assert_eq!(loud.route(dst).unwrap().metric, 6);
     }
 
     #[test]

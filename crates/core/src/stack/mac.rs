@@ -1,0 +1,309 @@
+//! The MAC layer: channel access and frame emission.
+//!
+//! Wraps the CAD/backoff/duty-cycle state machine from [`crate::mac`]
+//! and owns the only path from the bus's transmit queue to the radio:
+//! step 5 of the dispatch order kicks it whenever traffic is pending,
+//! it answers the host's CAD verdicts, and on a committed transmission
+//! it pops, encodes and hands the frame to the host — via the routing
+//! layer's cached hello image (a shared, allocation-free `Arc`) when
+//! the frame is the periodic beacon.
+
+use core::time::Duration;
+
+use lora_phy::region::DutyCycleTracker;
+
+use crate::codec;
+use crate::config::MeshConfig;
+use crate::driver::RadioIo;
+use crate::mac::{Mac, MacAction};
+use crate::packet::Packet;
+use crate::stack::app::MeshEvent;
+use crate::stack::bus::Bus;
+use crate::stack::routing::RoutingLayer;
+
+/// MAC state; see the module docs.
+#[derive(Debug)]
+pub(crate) struct MacLayer {
+    pub(crate) mac: Mac,
+}
+
+impl MacLayer {
+    pub(crate) fn new(config: &MeshConfig) -> Self {
+        let duty = config
+            .region
+            .sub_band_for(config.region.default_frequency_hz())
+            .map_or_else(DutyCycleTracker::unlimited, |b| {
+                DutyCycleTracker::new(b.duty_cycle, Duration::from_secs(3600))
+            });
+        let mut mac = Mac::new(
+            duty,
+            config.backoff_slot,
+            config.max_backoff_exponent,
+            config.max_cad_retries,
+        );
+        mac.set_max_dwell(
+            config
+                .region
+                .sub_band_for(config.region.default_frequency_hz())
+                .and_then(|b| b.max_dwell),
+        );
+        MacLayer { mac }
+    }
+
+    /// Step 5 of the dispatch order: give the MAC a chance to move
+    /// queued traffic — a CAD request under CSMA, straight to the air
+    /// under the ALOHA ablation.
+    pub(crate) fn pump(
+        &mut self,
+        now: Duration,
+        config: &MeshConfig,
+        bus: &mut Bus,
+        routing: &mut RoutingLayer,
+        io: &mut RadioIo,
+    ) {
+        if bus.txq.is_empty() {
+            return;
+        }
+        if config.csma {
+            if let MacAction::StartCad = self.mac.kick(now) {
+                io.start_cad();
+            }
+        } else {
+            // ALOHA ablation: no carrier sensing, straight to air.
+            let airtime = bus
+                .txq
+                .peek()
+                .map(|p| config.modulation.time_on_air(codec::encoded_len(p)));
+            if let Some(airtime) = airtime {
+                match self.mac.kick_aloha(airtime, now) {
+                    MacAction::Transmit => {
+                        self.transmit_front(airtime, bus, routing, io);
+                    }
+                    MacAction::DropFrame => {
+                        if let Some(packet) = bus.txq.pop() {
+                            bus.emit(MeshEvent::FrameDropped {
+                                kind: packet.kind(),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// The host's CAD verdict: transmit on clear, back off (or drop) on
+    /// busy.
+    pub(crate) fn on_cad_done(
+        &mut self,
+        busy: bool,
+        now: Duration,
+        config: &MeshConfig,
+        bus: &mut Bus,
+        routing: &mut RoutingLayer,
+        io: &mut RadioIo,
+    ) {
+        let Some(front) = bus.txq.peek() else {
+            return; // nothing left to send (should not happen)
+        };
+        let airtime = config.modulation.time_on_air(codec::encoded_len(front));
+        match self.mac.on_cad_done(busy, airtime, now, &mut bus.rng) {
+            MacAction::Transmit => self.transmit_front(airtime, bus, routing, io),
+            MacAction::DropFrame => {
+                if let Some(packet) = bus.txq.pop() {
+                    bus.emit(MeshEvent::FrameDropped {
+                        kind: packet.kind(),
+                    });
+                }
+            }
+            MacAction::StartCad => io.start_cad(),
+            MacAction::None => {}
+        }
+    }
+
+    /// Pops and encodes the front of the queue for transmission; the MAC
+    /// has already committed to `Transmitting`. Periodic hellos reuse
+    /// the routing layer's cached wire image instead of re-encoding.
+    fn transmit_front(
+        &mut self,
+        airtime: Duration,
+        bus: &mut Bus,
+        routing: &mut RoutingLayer,
+        io: &mut RadioIo,
+    ) {
+        let Some(packet) = bus.txq.pop() else {
+            return;
+        };
+        if let Packet::Hello { id, .. } = &packet {
+            if let Some(wire) = routing.cached_wire(*id) {
+                debug_assert_eq!(
+                    codec::encode(&packet).ok().as_deref(),
+                    Some(&*wire),
+                    "hello wire cache out of sync with the queued packet"
+                );
+                bus.stats.frames_sent += 1;
+                bus.stats.airtime += airtime;
+                io.transmit(wire);
+                return;
+            }
+        }
+        match codec::encode(&packet) {
+            Ok(frame) => {
+                bus.stats.frames_sent += 1;
+                bus.stats.airtime += airtime;
+                io.transmit(frame);
+            }
+            Err(_) => {
+                // Should be impossible: frames are validated at enqueue
+                // time. Recover the MAC and drop.
+                self.mac.on_tx_done();
+                bus.stats.decode_errors += 1;
+            }
+        }
+    }
+
+    pub(crate) fn on_tx_done(&mut self) {
+        self.mac.on_tx_done();
+    }
+
+    pub(crate) fn is_ready(&self) -> bool {
+        self.mac.is_ready()
+    }
+
+    pub(crate) fn next_wake(&self) -> Option<Duration> {
+        self.mac.next_wake()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Address;
+    use crate::driver::RadioRequest;
+    use alloc::sync::Arc;
+    use alloc::vec;
+    use lora_phy::region::Region;
+
+    const A1: Address = Address::new(1);
+    const A2: Address = Address::new(2);
+
+    fn parts() -> (MeshConfig, MacLayer, RoutingLayer, Bus) {
+        let config = MeshConfig::builder(A1)
+            .region(Region::Unlimited)
+            .hello_interval(Duration::from_secs(30))
+            .build();
+        let mac = MacLayer::new(&config);
+        let routing = RoutingLayer::new(&config);
+        let bus = Bus::new(config.seed, config.tx_queue_capacity);
+        (config, mac, routing, bus)
+    }
+
+    /// A committed transmission of the periodic beacon reuses the
+    /// routing layer's cached wire image byte for byte.
+    #[test]
+    fn transmit_front_reuses_cached_hello_wire() {
+        let (config, mut mac, mut routing, mut bus) = parts();
+        routing.table.heard_from(A2, 0.0, Duration::ZERO);
+        routing.emit_hello(Duration::ZERO, &config, &mut bus);
+        let wire = routing.hello_wire.clone();
+        let mut io = RadioIo::new(Duration::ZERO);
+        mac.transmit_front(Duration::from_millis(50), &mut bus, &mut routing, &mut io);
+        match io.take_requests().as_slice() {
+            [RadioRequest::Transmit(frame)] => {
+                assert_eq!(&frame[..], &wire[..]);
+                match codec::decode(frame).unwrap() {
+                    Packet::Hello { src, .. } => assert_eq!(src, A1),
+                    p => panic!("unexpected {p:?}"),
+                }
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+        assert_eq!(bus.stats.frames_sent, 1);
+        assert_eq!(bus.stats.airtime, Duration::from_millis(50));
+    }
+
+    /// Two consecutive beacons transmit the same shared allocation once
+    /// the host releases the first frame — the zero-copy steady state.
+    #[test]
+    fn steady_state_beacons_share_one_allocation() {
+        let (config, mut mac, mut routing, mut bus) = parts();
+        routing.table.heard_from(A2, 0.0, Duration::ZERO);
+        let mut beacon = |at: Duration| -> Arc<[u8]> {
+            routing.emit_hello(at, &config, &mut bus);
+            let mut io = RadioIo::new(at);
+            mac.transmit_front(Duration::from_millis(50), &mut bus, &mut routing, &mut io);
+            match io.take_requests().pop() {
+                Some(RadioRequest::Transmit(frame)) => frame,
+                r => panic!("unexpected {r:?}"),
+            }
+        };
+        let first = beacon(Duration::ZERO);
+        let first_ptr = first.as_ptr();
+        drop(first); // host done with the frame
+        let second = beacon(Duration::from_secs(30));
+        assert_eq!(second.as_ptr(), first_ptr);
+    }
+
+    /// A permanently busy channel exhausts the CAD retries; the frame
+    /// is dropped with an app event and the exhaustion counter set.
+    #[test]
+    fn cad_exhaustion_drops_the_frame_with_an_event() {
+        let config = MeshConfig::builder(A1)
+            .region(Region::Unlimited)
+            .max_cad_retries(2)
+            .backoff_slot(Duration::from_millis(10))
+            .hello_jitter(false)
+            .build();
+        let mut mac = MacLayer::new(&config);
+        let mut routing = RoutingLayer::new(&config);
+        let mut bus = Bus::new(config.seed, config.tx_queue_capacity);
+        routing.emit_hello(Duration::from_secs(1), &config, &mut bus);
+        let mut now = Duration::from_secs(1);
+        let mut io = RadioIo::new(now);
+        mac.pump(now, &config, &mut bus, &mut routing, &mut io);
+        assert_eq!(io.take_requests(), vec![RadioRequest::StartCad]);
+        for _ in 0..4 {
+            let mut io = RadioIo::new(now);
+            mac.on_cad_done(true, now, &config, &mut bus, &mut routing, &mut io);
+            assert!(io.take_requests().is_empty());
+            if bus.txq.is_empty() {
+                break; // dropped after exhausting CAD retries
+            }
+            if let Some(wake) = mac.next_wake() {
+                now = now.max(wake);
+            }
+            let mut io = RadioIo::new(now);
+            mac.pump(now, &config, &mut bus, &mut routing, &mut io);
+            assert_eq!(io.take_requests(), vec![RadioRequest::StartCad]);
+        }
+        assert!(bus.txq.is_empty());
+        assert_eq!(mac.mac.cad_drops, 1);
+        assert!(bus.events.iter().any(|e| matches!(
+            e,
+            MeshEvent::FrameDropped {
+                kind: crate::packet::PacketKind::Hello
+            }
+        )));
+    }
+
+    /// Under the ALOHA ablation a pump goes straight to the air — no
+    /// CAD request ever appears.
+    #[test]
+    fn aloha_pump_transmits_without_cad() {
+        let config = MeshConfig::builder(A1)
+            .region(Region::Unlimited)
+            .csma(false)
+            .hello_jitter(false)
+            .build();
+        let mut mac = MacLayer::new(&config);
+        let mut routing = RoutingLayer::new(&config);
+        let mut bus = Bus::new(config.seed, config.tx_queue_capacity);
+        routing.emit_hello(Duration::ZERO, &config, &mut bus);
+        let mut io = RadioIo::new(Duration::ZERO);
+        mac.pump(Duration::ZERO, &config, &mut bus, &mut routing, &mut io);
+        assert!(matches!(
+            io.take_requests().as_slice(),
+            [RadioRequest::Transmit(_)]
+        ));
+    }
+}

@@ -1,0 +1,379 @@
+//! The layered protocol stack: [`MeshNode`] as a composition of four
+//! layers over a shared bus.
+//!
+//! The pre-split `node.rs` monolith interleaved channel access, the
+//! routing daemon, reliable transfers and the application API in one
+//! 1 800-line state machine. The stack keeps the exact same observable
+//! behaviour (pinned by `tests/stack_refactor_diff.rs`) but factors it
+//! into:
+//!
+//! * [`mod@app`] — the application surface: send validation and the
+//!   [`MeshEvent`] receive queue.
+//! * `transport` — reliable SYNC/fragment/ACK/LOST transfers.
+//! * `routing` — the hello daemon, the distance-vector table (generic
+//!   over [`crate::routing::RouteMetric`]) and unicast forwarding.
+//! * `mac` — CAD/backoff/duty-cycle channel access and frame emission.
+//!
+//! Layers never call each other directly; they exchange packets and
+//! events over the `bus` (the transmit queue feeding the MAC, the event
+//! queue feeding the app, and the node's single deterministic RNG).
+//!
+//! # Dispatch order
+//!
+//! Determinism requires one fixed order in which the layers act on a
+//! timer tick. `MeshNode::process_due` runs, in this order and nothing
+//! else:
+//!
+//! 1. **routing** — route expiry (purge + `RoutesExpired`);
+//! 2. **routing** — the periodic hello broadcast, if due;
+//! 3. **transport** — outbound retransmission deadlines;
+//! 4. **transport** — stalled-inbound LOST nudges, then inbound
+//!    reassembly expiry;
+//! 5. **mac** — one chance to move queued traffic to the radio.
+//!
+//! Host callbacks dispatch the same way every time: `on_frame` goes to
+//! routing (hellos), the app (data addressed here or broadcast), the
+//! transport (Sync/Frag/Ack/Lost addressed here) or routing again
+//! (forwarding); `on_cad_done`/`on_tx_done` go to the MAC.
+
+pub mod app;
+mod bus;
+mod mac;
+mod routing;
+mod transport;
+
+use alloc::vec::Vec;
+use core::time::Duration;
+
+use lora_phy::link::SignalQuality;
+
+use crate::addr::Address;
+use crate::codec;
+use crate::config::MeshConfig;
+use crate::driver::{NodeProtocol, RadioIo};
+use crate::error::SendError;
+use crate::packet::Packet;
+use crate::reliable::TransferPhase;
+use crate::routing::RoutingTable;
+use crate::stats::NodeStats;
+
+pub use app::MeshEvent;
+use bus::Bus;
+use mac::MacLayer;
+use routing::RoutingLayer;
+use transport::TransportLayer;
+
+/// A LoRaMesher node.
+///
+/// See the crate-level docs for the protocol, the [module docs](self)
+/// for the layer architecture, and the [`crate::driver`] module for how
+/// to host one.
+#[derive(Debug)]
+pub struct MeshNode {
+    config: MeshConfig,
+    bus: Bus,
+    mac: MacLayer,
+    routing: RoutingLayer,
+    transport: TransportLayer,
+    started: bool,
+}
+
+impl MeshNode {
+    /// Creates a node from its configuration.
+    #[must_use]
+    pub fn new(config: MeshConfig) -> Self {
+        MeshNode {
+            bus: Bus::new(config.seed, config.tx_queue_capacity),
+            mac: MacLayer::new(&config),
+            routing: RoutingLayer::new(&config),
+            transport: TransportLayer::new(),
+            started: false,
+            config,
+        }
+    }
+
+    /// This node's address.
+    #[must_use]
+    pub fn address(&self) -> Address {
+        self.config.address
+    }
+
+    /// The node's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    /// Read access to the routing table.
+    #[must_use]
+    pub fn routing_table(&self) -> &RoutingTable {
+        &self.routing.table
+    }
+
+    /// A snapshot of the node's protocol statistics.
+    #[must_use]
+    pub fn stats(&self) -> NodeStats {
+        let mut s = self.bus.stats;
+        s.duty_cycle_deferrals = self.mac.mac.duty_deferrals;
+        s.cad_exhausted = self.mac.mac.cad_drops;
+        // Include retransmissions of transfers still in flight.
+        s.reliable_retransmits += self.transport.in_flight_retransmits();
+        s
+    }
+
+    /// Drains the pending application events.
+    pub fn take_events(&mut self) -> Vec<MeshEvent> {
+        self.bus.events.drain(..).collect()
+    }
+
+    /// Outbound frames currently queued (diagnostics).
+    #[must_use]
+    pub fn tx_queue_len(&self) -> usize {
+        self.bus.txq.len()
+    }
+
+    /// Progress of the active outbound transfers: destination, sequence
+    /// id and phase (diagnostics).
+    #[must_use]
+    pub fn outbound_transfers(&self) -> Vec<(Address, u8, TransferPhase)> {
+        self.transport.outbound_transfers()
+    }
+
+    /// Progress of the active inbound transfers: source, sequence id and
+    /// fragments received out of the announced total (diagnostics).
+    #[must_use]
+    pub fn inbound_transfers(&self) -> Vec<(Address, u8, usize, usize)> {
+        self.transport.inbound_transfers()
+    }
+
+    /// Submits a single-frame datagram to `dst` (or broadcast).
+    ///
+    /// Returns the packet id on success.
+    ///
+    /// ```
+    /// use loramesher::{Address, MeshConfig, MeshNode, SendError};
+    /// use std::time::Duration;
+    ///
+    /// let mut node = MeshNode::new(MeshConfig::builder(Address::new(1)).build());
+    /// // Without a route the submission is refused...
+    /// assert_eq!(
+    ///     node.send_datagram(Address::new(2), b"hi".to_vec(), Duration::ZERO),
+    ///     Err(SendError::NoRoute(Address::new(2)))
+    /// );
+    /// // ...but broadcasts never need one.
+    /// assert!(node
+    ///     .send_datagram(Address::BROADCAST, b"hi".to_vec(), Duration::ZERO)
+    ///     .is_ok());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// * [`SendError::EmptyPayload`] — nothing to send.
+    /// * [`SendError::PayloadTooLarge`] — use [`MeshNode::send_reliable`].
+    /// * [`SendError::NoRoute`] — the destination is not in the routing
+    ///   table yet.
+    /// * [`SendError::QueueFull`] — the transmit queue refused the frame.
+    pub fn send_datagram(
+        &mut self,
+        dst: Address,
+        payload: Vec<u8>,
+        _now: Duration,
+    ) -> Result<u8, SendError> {
+        app::send_datagram(&self.config, &self.routing, &mut self.bus, dst, payload)
+    }
+
+    /// Starts a reliable transfer of an arbitrarily large payload.
+    ///
+    /// Returns the transfer's sequence id; completion is reported as
+    /// [`MeshEvent::ReliableDelivered`] or [`MeshEvent::ReliableFailed`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SendError::EmptyPayload`] — nothing to send.
+    /// * [`SendError::BroadcastUnsupported`] — reliable transfers are
+    ///   unicast only.
+    /// * [`SendError::NoRoute`] — the destination is unknown.
+    /// * [`SendError::TransferInProgress`] — one transfer per destination
+    ///   at a time.
+    /// * [`SendError::QueueFull`] — the transmit queue refused the Sync.
+    pub fn send_reliable(
+        &mut self,
+        dst: Address,
+        payload: Vec<u8>,
+        now: Duration,
+    ) -> Result<u8, SendError> {
+        self.transport.send_reliable(
+            dst,
+            payload,
+            now,
+            &self.config,
+            &mut self.bus,
+            &self.routing,
+        )
+    }
+
+    /// Runs every deadline that has passed, in the fixed dispatch order
+    /// of the [module docs](self); called from `on_timer`.
+    fn process_due(&mut self, now: Duration, io: &mut RadioIo) {
+        // 1. Route expiry.
+        self.routing.expire(now, &self.config, &mut self.bus);
+        // 2. Routing broadcast.
+        if now >= self.routing.next_hello {
+            self.routing.emit_hello(now, &self.config, &mut self.bus);
+        }
+        // 3 + 4. Transport deadlines.
+        self.transport
+            .process_due(now, &self.config, &mut self.bus, &self.routing);
+        // 5. Give the MAC a chance to move traffic.
+        self.mac
+            .pump(now, &self.config, &mut self.bus, &mut self.routing, io);
+    }
+}
+
+impl NodeProtocol for MeshNode {
+    fn on_start(&mut self, io: &mut RadioIo) {
+        self.started = true;
+        self.routing
+            .schedule_first_hello(io.now(), &self.config, &mut self.bus);
+    }
+
+    fn on_timer(&mut self, io: &mut RadioIo) {
+        self.process_due(io.now(), io);
+    }
+
+    fn on_frame(&mut self, frame: &[u8], quality: SignalQuality, io: &mut RadioIo) {
+        let now = io.now();
+        let packet = match codec::decode(frame) {
+            Ok(p) => p,
+            Err(_) => {
+                self.bus.stats.decode_errors += 1;
+                return;
+            }
+        };
+        if packet.src() == self.config.address {
+            // We cannot hear ourselves (half-duplex): someone else is
+            // using our address.
+            self.bus.stats.address_conflicts += 1;
+            self.bus.emit(MeshEvent::AddressConflict {
+                kind: packet.kind(),
+            });
+            return;
+        }
+        match &packet {
+            Packet::Hello {
+                src, role, entries, ..
+            } => {
+                self.routing
+                    .on_hello(self.config.address, *src, *role, entries, quality.snr, now);
+                self.bus.stats.hellos_received += 1;
+            }
+            _ => {
+                let dst = packet.dst();
+                // Every non-Hello kind decodes with a forwarding
+                // extension; treat its absence as a decode error rather
+                // than a panic on over-the-air input.
+                let Some(fwd) = packet.forwarding() else {
+                    self.bus.stats.decode_errors += 1;
+                    return;
+                };
+                if dst == self.config.address {
+                    match packet {
+                        Packet::Data { src, payload, .. } => {
+                            app::deliver_datagram(&mut self.bus, src, payload);
+                        }
+                        p => self.transport.consume(
+                            p,
+                            now,
+                            &self.config,
+                            &mut self.bus,
+                            &self.routing,
+                        ),
+                    }
+                } else if dst.is_broadcast() {
+                    if let Packet::Data { src, payload, .. } = packet {
+                        app::deliver_broadcast(&mut self.bus, src, payload);
+                    }
+                } else if fwd.via == self.config.address {
+                    self.routing.forward(packet, &mut self.bus);
+                }
+                // Otherwise: overheard traffic for someone else; ignore.
+            }
+        }
+    }
+
+    fn on_tx_done(&mut self, _io: &mut RadioIo) {
+        self.mac.on_tx_done();
+    }
+
+    fn on_cad_done(&mut self, busy: bool, io: &mut RadioIo) {
+        self.mac.on_cad_done(
+            busy,
+            io.now(),
+            &self.config,
+            &mut self.bus,
+            &mut self.routing,
+            io,
+        );
+    }
+
+    fn next_wake(&self) -> Option<Duration> {
+        if !self.started {
+            return None;
+        }
+        let mut wake: Option<Duration> = Some(self.routing.next_hello);
+        let mut consider = |t: Option<Duration>| {
+            if let Some(t) = t {
+                wake = Some(wake.map_or(t, |w| w.min(t)));
+            }
+        };
+        if self.mac.is_ready() && !self.bus.txq.is_empty() {
+            consider(Some(Duration::ZERO)); // immediate
+        }
+        consider(self.mac.next_wake());
+        consider(self.routing.table.next_expiry(self.config.route_timeout));
+        consider(self.transport.next_wake(&self.config));
+        wake
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::region::Region;
+
+    /// Multi-seed sweeps host protocol nodes on worker threads, so the
+    /// node must stay Send. Compile-time check.
+    #[test]
+    fn mesh_node_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<MeshNode>();
+    }
+
+    #[test]
+    fn stats_snapshot_includes_mac_counters() {
+        let n = MeshNode::new(
+            MeshConfig::builder(Address::new(1))
+                .region(Region::Unlimited)
+                .build(),
+        );
+        let s = n.stats();
+        assert_eq!(s.duty_cycle_deferrals, 0);
+        assert_eq!(s.cad_exhausted, 0);
+    }
+
+    /// An unstarted node never asks to be woken: hosts key their timer
+    /// programming off this.
+    #[test]
+    fn unstarted_node_reports_no_wake() {
+        let mut n = MeshNode::new(
+            MeshConfig::builder(Address::new(1))
+                .region(Region::Unlimited)
+                .build(),
+        );
+        assert_eq!(n.next_wake(), None);
+        let mut io = RadioIo::new(Duration::ZERO);
+        n.on_start(&mut io);
+        assert!(io.take_requests().is_empty());
+        assert!(n.next_wake().is_some());
+    }
+}

@@ -1,6 +1,6 @@
 //! Per-node protocol statistics.
 
-use std::time::Duration;
+use core::time::Duration;
 
 /// Counters a [`crate::MeshNode`] maintains about its own behaviour.
 ///

@@ -16,7 +16,7 @@
 //! the CRC is on, `DE=1` with low-data-rate optimization and `CR` is the
 //! coding-rate offset (1–4).
 
-use std::time::Duration;
+use core::time::Duration;
 
 use crate::modulation::LoRaModulation;
 

@@ -6,7 +6,7 @@
 //! quantifies the cost the LoRaMesher paper flags for future work — a
 //! mesh router keeps its receiver on, which dominates consumption.
 
-use std::time::Duration;
+use core::time::Duration;
 
 use crate::power::{EnergyModel, StateDurations};
 

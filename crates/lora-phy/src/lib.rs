@@ -32,15 +32,19 @@
 //! assert!(toa.as_millis() > 50 && toa.as_millis() < 62);
 //! ```
 
+#![cfg_attr(not(feature = "std"), no_std)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // PHY math is all floating point; `==` on two computed dB/Hz values is
 // almost always a latent bug — compare against a tolerance instead.
 #![deny(clippy::float_cmp)]
 
+extern crate alloc;
+
 pub mod airtime;
 pub mod battery;
 pub mod link;
+pub mod math;
 pub mod modulation;
 pub mod power;
 pub mod propagation;

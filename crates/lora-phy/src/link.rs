@@ -14,7 +14,7 @@ use crate::power::Dbm;
 #[must_use]
 pub fn noise_floor(bandwidth: Bandwidth) -> Dbm {
     let nf = 6.0;
-    Dbm::new(-174.0 + 10.0 * f64::from(bandwidth.hz()).log10() + nf)
+    Dbm::new(-174.0 + 10.0 * crate::math::log10(f64::from(bandwidth.hz())) + nf)
 }
 
 /// Minimum SNR (dB) at which each spreading factor still demodulates
@@ -145,7 +145,7 @@ impl LinkBudget {
 #[must_use]
 pub fn packet_success_probability(snr_margin_db: f64) -> f64 {
     let k = 1.5; // steepness: ~3 dB from 10% to 90%
-    1.0 / (1.0 + (-k * snr_margin_db).exp())
+    1.0 / (1.0 + crate::math::exp(-k * snr_margin_db))
 }
 
 #[cfg(test)]

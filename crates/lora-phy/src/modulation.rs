@@ -6,7 +6,7 @@
 //! determine the on-air duration and robustness of a frame.
 
 use core::fmt;
-use std::time::Duration;
+use core::time::Duration;
 
 /// LoRa spreading factor (chips per symbol = `2^sf`).
 ///

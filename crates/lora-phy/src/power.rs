@@ -2,7 +2,7 @@
 
 use core::fmt;
 use core::ops::{Add, Sub};
-use std::time::Duration;
+use core::time::Duration;
 
 /// A power level in dBm (decibel-milliwatts).
 ///
@@ -33,7 +33,7 @@ impl Dbm {
     #[inline]
     #[must_use]
     pub fn to_milliwatts(self) -> Milliwatts {
-        Milliwatts(10f64.powf(self.0 / 10.0))
+        Milliwatts(crate::math::powf(10.0, self.0 / 10.0))
     }
 }
 
@@ -97,7 +97,7 @@ impl Milliwatts {
     #[inline]
     #[must_use]
     pub fn to_dbm(self) -> Dbm {
-        Dbm(10.0 * self.0.log10())
+        Dbm(10.0 * crate::math::log10(self.0))
     }
 }
 

@@ -36,7 +36,7 @@ impl Position {
     /// Euclidean distance to another position in metres.
     #[must_use]
     pub fn distance(&self, other: &Position) -> f64 {
-        (self.x - other.x).hypot(self.y - other.y)
+        crate::math::hypot(self.x - other.x, self.y - other.y)
     }
 }
 
@@ -106,7 +106,7 @@ impl PathLossModel {
             PathLossModel::FreeSpace { frequency_hz } => {
                 let d = distance_m.max(1.0);
                 // FSPL(dB) = 20 log10(d) + 20 log10(f) - 147.55
-                20.0 * d.log10() + 20.0 * frequency_hz.log10() - 147.55
+                20.0 * crate::math::log10(d) + 20.0 * crate::math::log10(frequency_hz) - 147.55
             }
             PathLossModel::LogDistance {
                 reference_loss_db,
@@ -114,7 +114,7 @@ impl PathLossModel {
                 exponent,
             } => {
                 let d = distance_m.max(reference_distance_m);
-                reference_loss_db + 10.0 * exponent * (d / reference_distance_m).log10()
+                reference_loss_db + 10.0 * exponent * crate::math::log10(d / reference_distance_m)
             }
         }
     }
@@ -167,7 +167,8 @@ impl Shadowing {
         let u1 = ((h >> 11) as f64 + 1.0) / (((1u64 << 53) as f64) + 2.0);
         let h2 = h.wrapping_mul(0x2545_f491_4f6c_dd1d).rotate_left(17);
         let u2 = ((h2 >> 11) as f64) / ((1u64 << 53) as f64);
-        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        let z = crate::math::sqrt(-2.0 * crate::math::ln(u1))
+            * crate::math::cos(core::f64::consts::TAU * u2);
         z * self.sigma_db
     }
 }

@@ -6,8 +6,8 @@
 //! enforces this with a sliding-window [`DutyCycleTracker`], which is the
 //! same mechanism a compliant firmware implements.
 
-use std::collections::VecDeque;
-use std::time::Duration;
+use alloc::collections::VecDeque;
+use core::time::Duration;
 
 use crate::power::Dbm;
 

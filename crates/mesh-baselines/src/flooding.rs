@@ -23,7 +23,7 @@ use lora_phy::region::{DutyCycleTracker, Region};
 
 use loramesher::addr::Address;
 use loramesher::codec;
-use loramesher::driver::{NodeProtocol, RadioRequest};
+use loramesher::driver::{NodeProtocol, RadioIo};
 use loramesher::error::SendError;
 use loramesher::mac::{Mac, MacAction};
 use loramesher::packet::{Forwarding, Packet};
@@ -219,22 +219,22 @@ impl FloodingNode {
         true
     }
 
-    fn kick_mac(&mut self, now: Duration, requests: &mut Vec<RadioRequest>) {
+    fn kick_mac(&mut self, now: Duration, io: &mut RadioIo) {
         if !self.txq.is_empty() {
             if let MacAction::StartCad = self.mac.kick(now) {
-                requests.push(RadioRequest::StartCad);
+                io.start_cad();
             }
         }
     }
 }
 
 impl NodeProtocol for FloodingNode {
-    fn on_start(&mut self, _now: Duration) -> Vec<RadioRequest> {
+    fn on_start(&mut self, _io: &mut RadioIo) {
         self.started = true;
-        Vec::new()
     }
 
-    fn on_timer(&mut self, now: Duration) -> Vec<RadioRequest> {
+    fn on_timer(&mut self, io: &mut RadioIo) {
+        let now = io.now();
         // Move due rebroadcasts into the transmit queue.
         let mut i = 0;
         while i < self.pending.len() {
@@ -247,19 +247,13 @@ impl NodeProtocol for FloodingNode {
                 i += 1;
             }
         }
-        let mut requests = Vec::new();
-        self.kick_mac(now, &mut requests);
-        requests
+        self.kick_mac(now, io);
     }
 
-    fn on_frame(
-        &mut self,
-        frame: &[u8],
-        _quality: SignalQuality,
-        now: Duration,
-    ) -> Vec<RadioRequest> {
+    fn on_frame(&mut self, frame: &[u8], _quality: SignalQuality, io: &mut RadioIo) {
+        let now = io.now();
         let Ok(packet) = codec::decode(frame) else {
-            return Vec::new();
+            return;
         };
         let Packet::Data {
             dst,
@@ -269,14 +263,14 @@ impl NodeProtocol for FloodingNode {
             payload,
         } = packet
         else {
-            return Vec::new(); // flooding only speaks Data
+            return; // flooding only speaks Data
         };
         if src == self.config.address {
-            return Vec::new();
+            return;
         }
         if !self.remember(src, id) {
             self.duplicates_suppressed += 1;
-            return Vec::new();
+            return;
         }
         let for_me = dst == self.config.address;
         if for_me || dst.is_broadcast() {
@@ -305,17 +299,16 @@ impl NodeProtocol for FloodingNode {
                 },
             });
         }
-        Vec::new()
     }
 
-    fn on_tx_done(&mut self, _now: Duration) -> Vec<RadioRequest> {
+    fn on_tx_done(&mut self, _io: &mut RadioIo) {
         self.mac.on_tx_done();
-        Vec::new()
     }
 
-    fn on_cad_done(&mut self, busy: bool, now: Duration) -> Vec<RadioRequest> {
+    fn on_cad_done(&mut self, busy: bool, io: &mut RadioIo) {
+        let now = io.now();
         let Some(front) = self.txq.peek() else {
-            return Vec::new();
+            return;
         };
         let airtime = self
             .config
@@ -325,26 +318,24 @@ impl NodeProtocol for FloodingNode {
             MacAction::Transmit => {
                 // Peeked non-empty above, but stay panic-free anyway.
                 let Some(packet) = self.txq.pop() else {
-                    return Vec::new();
+                    return;
                 };
                 match codec::encode(&packet) {
                     Ok(frame) => {
                         self.frames_sent += 1;
                         self.airtime += airtime;
-                        vec![RadioRequest::Transmit(frame)]
+                        io.transmit(frame);
                     }
                     Err(_) => {
                         self.mac.on_tx_done();
-                        Vec::new()
                     }
                 }
             }
             MacAction::DropFrame => {
                 let _ = self.txq.pop();
-                Vec::new()
             }
-            MacAction::StartCad => vec![RadioRequest::StartCad],
-            MacAction::None => Vec::new(),
+            MacAction::StartCad => io.start_cad(),
+            MacAction::None => {}
         }
     }
 
@@ -370,6 +361,8 @@ impl NodeProtocol for FloodingNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use loramesher::driver::RadioRequest;
+    use std::sync::Arc;
 
     const A1: Address = Address::new(1);
     const A2: Address = Address::new(2);
@@ -381,21 +374,36 @@ mod tests {
         FloodingNode::new(cfg)
     }
 
+    fn start(n: &mut FloodingNode) {
+        let mut io = RadioIo::new(Duration::ZERO);
+        n.on_start(&mut io);
+        assert!(io.take_requests().is_empty());
+    }
+
+    fn frame_in(n: &mut FloodingNode, frame: &[u8], now: Duration) {
+        let mut io = RadioIo::new(now);
+        n.on_frame(frame, SignalQuality::ideal(), &mut io);
+    }
+
     /// Drains one node's radio work, returning transmitted frames.
-    fn drain(n: &mut FloodingNode, now: Duration) -> Vec<Vec<u8>> {
+    fn drain(n: &mut FloodingNode, now: Duration) -> Vec<Arc<[u8]>> {
         let mut frames = Vec::new();
-        let mut requests = n.on_timer(now);
+        let mut io = RadioIo::new(now);
+        n.on_timer(&mut io);
+        let mut requests = io.take_requests();
         let mut guard = 0;
         while let Some(req) = requests.pop() {
             guard += 1;
             assert!(guard < 100, "runaway radio loop");
+            let mut io = RadioIo::new(now);
             match req {
-                RadioRequest::StartCad => requests.extend(n.on_cad_done(false, now)),
+                RadioRequest::StartCad => n.on_cad_done(false, &mut io),
                 RadioRequest::Transmit(f) => {
                     frames.push(f);
-                    requests.extend(n.on_tx_done(now));
+                    n.on_tx_done(&mut io);
                 }
             }
+            requests.extend(io.take_requests());
         }
         frames
     }
@@ -403,7 +411,7 @@ mod tests {
     #[test]
     fn send_validations() {
         let mut n = node(A1);
-        let _ = n.on_start(Duration::ZERO);
+        start(&mut n);
         assert_eq!(n.send(A2, vec![]), Err(SendError::EmptyPayload));
         assert!(matches!(
             n.send(A2, vec![0; 4000]),
@@ -415,7 +423,7 @@ mod tests {
     #[test]
     fn originated_packet_is_transmitted() {
         let mut n = node(A1);
-        let _ = n.on_start(Duration::ZERO);
+        start(&mut n);
         n.send(A2, b"x".to_vec()).unwrap();
         assert_eq!(n.next_wake(), Some(Duration::ZERO));
         let frames = drain(&mut n, Duration::ZERO);
@@ -427,11 +435,11 @@ mod tests {
     fn destination_delivers_and_does_not_relay() {
         let mut a = node(A1);
         let mut b = node(A2);
-        let _ = a.on_start(Duration::ZERO);
-        let _ = b.on_start(Duration::ZERO);
+        start(&mut a);
+        start(&mut b);
         a.send(A2, b"hi".to_vec()).unwrap();
         let frames = drain(&mut a, Duration::ZERO);
-        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        frame_in(&mut b, &frames[0], Duration::ZERO);
         assert_eq!(
             b.take_events(),
             vec![FloodingEvent::Received {
@@ -449,11 +457,11 @@ mod tests {
     fn intermediate_node_relays_with_decremented_ttl() {
         let mut a = node(A1);
         let mut b = node(A2);
-        let _ = a.on_start(Duration::ZERO);
-        let _ = b.on_start(Duration::ZERO);
+        start(&mut a);
+        start(&mut b);
         a.send(A3, b"fwd".to_vec()).unwrap();
         let frames = drain(&mut a, Duration::ZERO);
-        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        frame_in(&mut b, &frames[0], Duration::ZERO);
         // The relay is jittered: due within the configured bound.
         let relayed = drain(&mut b, Duration::from_secs(1));
         assert_eq!(relayed.len(), 1);
@@ -474,12 +482,12 @@ mod tests {
     fn duplicates_are_suppressed() {
         let mut a = node(A1);
         let mut b = node(A2);
-        let _ = a.on_start(Duration::ZERO);
-        let _ = b.on_start(Duration::ZERO);
+        start(&mut a);
+        start(&mut b);
         a.send(A3, b"dup".to_vec()).unwrap();
         let frames = drain(&mut a, Duration::ZERO);
-        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
-        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        frame_in(&mut b, &frames[0], Duration::ZERO);
+        frame_in(&mut b, &frames[0], Duration::ZERO);
         assert_eq!(b.duplicates_suppressed, 1);
         // Only one relay scheduled.
         assert_eq!(drain(&mut b, Duration::from_secs(1)).len(), 1);
@@ -489,11 +497,11 @@ mod tests {
     fn broadcast_is_delivered_and_relayed() {
         let mut a = node(A1);
         let mut b = node(A2);
-        let _ = a.on_start(Duration::ZERO);
-        let _ = b.on_start(Duration::ZERO);
+        start(&mut a);
+        start(&mut b);
         a.send(Address::BROADCAST, b"all".to_vec()).unwrap();
         let frames = drain(&mut a, Duration::ZERO);
-        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        frame_in(&mut b, &frames[0], Duration::ZERO);
         assert_eq!(b.take_events().len(), 1);
         assert_eq!(drain(&mut b, Duration::from_secs(1)).len(), 1);
     }
@@ -507,11 +515,11 @@ mod tests {
             c
         });
         let mut b = node(A2);
-        let _ = a.on_start(Duration::ZERO);
-        let _ = b.on_start(Duration::ZERO);
+        start(&mut a);
+        start(&mut b);
         a.send(A3, b"one hop".to_vec()).unwrap();
         let frames = drain(&mut a, Duration::ZERO);
-        let _ = b.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        frame_in(&mut b, &frames[0], Duration::ZERO);
         assert!(drain(&mut b, Duration::from_secs(2)).is_empty());
         assert_eq!(b.relayed, 0);
     }
@@ -524,7 +532,7 @@ mod tests {
             c.seen_cache = 4;
             c
         });
-        let _ = n.on_start(Duration::ZERO);
+        start(&mut n);
         for id in 0..10u8 {
             let frame = codec::encode(&Packet::Data {
                 dst: A2,
@@ -537,7 +545,7 @@ mod tests {
                 payload: vec![id],
             })
             .unwrap();
-            let _ = n.on_frame(&frame, SignalQuality::ideal(), Duration::ZERO);
+            frame_in(&mut n, &frame, Duration::ZERO);
         }
         assert_eq!(n.seen.len(), 4);
         assert_eq!(n.take_events().len(), 10);
@@ -546,7 +554,7 @@ mod tests {
     #[test]
     fn non_data_packets_ignored() {
         let mut n = node(A2);
-        let _ = n.on_start(Duration::ZERO);
+        start(&mut n);
         let hello = codec::encode(&Packet::Hello {
             src: A1,
             id: 0,
@@ -554,7 +562,7 @@ mod tests {
             entries: vec![],
         })
         .unwrap();
-        let _ = n.on_frame(&hello, SignalQuality::ideal(), Duration::ZERO);
+        frame_in(&mut n, &hello, Duration::ZERO);
         assert!(n.take_events().is_empty());
         assert!(n.next_wake().is_none());
     }

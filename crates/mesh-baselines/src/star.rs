@@ -18,7 +18,7 @@ use lora_phy::region::{DutyCycleTracker, Region};
 
 use loramesher::addr::Address;
 use loramesher::codec;
-use loramesher::driver::{NodeProtocol, RadioRequest};
+use loramesher::driver::{NodeProtocol, RadioIo};
 use loramesher::error::SendError;
 use loramesher::mac::{Mac, MacAction};
 use loramesher::packet::{Forwarding, Packet};
@@ -181,47 +181,38 @@ impl StarNode {
 }
 
 impl NodeProtocol for StarNode {
-    fn on_start(&mut self, _now: Duration) -> Vec<RadioRequest> {
+    fn on_start(&mut self, _io: &mut RadioIo) {
         self.started = true;
-        Vec::new()
     }
 
-    fn on_timer(&mut self, now: Duration) -> Vec<RadioRequest> {
-        let mut requests = Vec::new();
+    fn on_timer(&mut self, io: &mut RadioIo) {
         if !self.txq.is_empty() {
-            if let MacAction::StartCad = self.mac.kick(now) {
-                requests.push(RadioRequest::StartCad);
+            if let MacAction::StartCad = self.mac.kick(io.now()) {
+                io.start_cad();
             }
         }
-        requests
     }
 
-    fn on_frame(
-        &mut self,
-        frame: &[u8],
-        _quality: SignalQuality,
-        _now: Duration,
-    ) -> Vec<RadioRequest> {
+    fn on_frame(&mut self, frame: &[u8], _quality: SignalQuality, _io: &mut RadioIo) {
         let Ok(Packet::Data {
             dst, src, payload, ..
         }) = codec::decode(frame)
         else {
-            return Vec::new();
+            return;
         };
         if dst == self.config.address && src != self.config.address {
             self.events.push_back(StarEvent::Received { src, payload });
         }
-        Vec::new()
     }
 
-    fn on_tx_done(&mut self, _now: Duration) -> Vec<RadioRequest> {
+    fn on_tx_done(&mut self, _io: &mut RadioIo) {
         self.mac.on_tx_done();
-        Vec::new()
     }
 
-    fn on_cad_done(&mut self, busy: bool, now: Duration) -> Vec<RadioRequest> {
+    fn on_cad_done(&mut self, busy: bool, io: &mut RadioIo) {
+        let now = io.now();
         let Some(front) = self.txq.peek() else {
-            return Vec::new();
+            return;
         };
         let airtime = self
             .config
@@ -231,26 +222,24 @@ impl NodeProtocol for StarNode {
             MacAction::Transmit => {
                 // Peeked non-empty above, but stay panic-free anyway.
                 let Some(packet) = self.txq.pop() else {
-                    return Vec::new();
+                    return;
                 };
                 match codec::encode(&packet) {
                     Ok(frame) => {
                         self.frames_sent += 1;
                         self.airtime += airtime;
-                        vec![RadioRequest::Transmit(frame)]
+                        io.transmit(frame);
                     }
                     Err(_) => {
                         self.mac.on_tx_done();
-                        Vec::new()
                     }
                 }
             }
             MacAction::DropFrame => {
                 let _ = self.txq.pop();
-                Vec::new()
             }
-            MacAction::StartCad => vec![RadioRequest::StartCad],
-            MacAction::None => Vec::new(),
+            MacAction::StartCad => io.start_cad(),
+            MacAction::None => {}
         }
     }
 
@@ -268,6 +257,8 @@ impl NodeProtocol for StarNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use loramesher::driver::RadioRequest;
+    use std::sync::Arc;
 
     const GW: Address = Address::new(100);
     const N1: Address = Address::new(1);
@@ -279,17 +270,32 @@ mod tests {
         StarNode::new(cfg)
     }
 
-    fn drain(n: &mut StarNode, now: Duration) -> Vec<Vec<u8>> {
+    fn start(n: &mut StarNode) {
+        let mut io = RadioIo::new(Duration::ZERO);
+        n.on_start(&mut io);
+        assert!(io.take_requests().is_empty());
+    }
+
+    fn frame_in(n: &mut StarNode, frame: &[u8], now: Duration) {
+        let mut io = RadioIo::new(now);
+        n.on_frame(frame, SignalQuality::ideal(), &mut io);
+    }
+
+    fn drain(n: &mut StarNode, now: Duration) -> Vec<Arc<[u8]>> {
         let mut frames = Vec::new();
-        let mut requests = n.on_timer(now);
+        let mut io = RadioIo::new(now);
+        n.on_timer(&mut io);
+        let mut requests = io.take_requests();
         while let Some(req) = requests.pop() {
+            let mut io = RadioIo::new(now);
             match req {
-                RadioRequest::StartCad => requests.extend(n.on_cad_done(false, now)),
+                RadioRequest::StartCad => n.on_cad_done(false, &mut io),
                 RadioRequest::Transmit(f) => {
                     frames.push(f);
-                    requests.extend(n.on_tx_done(now));
+                    n.on_tx_done(&mut io);
                 }
             }
+            requests.extend(io.take_requests());
         }
         frames
     }
@@ -298,12 +304,12 @@ mod tests {
     fn uplink_reaches_gateway() {
         let mut n = node(N1);
         let mut gw = node(GW);
-        let _ = n.on_start(Duration::ZERO);
-        let _ = gw.on_start(Duration::ZERO);
+        start(&mut n);
+        start(&mut gw);
         n.send(GW, b"up".to_vec()).unwrap();
         let frames = drain(&mut n, Duration::ZERO);
         assert_eq!(frames.len(), 1);
-        let _ = gw.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        frame_in(&mut gw, &frames[0], Duration::ZERO);
         assert_eq!(
             gw.take_events(),
             vec![StarEvent::Received {
@@ -317,19 +323,19 @@ mod tests {
     fn downlink_reaches_end_node() {
         let mut gw = node(GW);
         let mut n = node(N2);
-        let _ = gw.on_start(Duration::ZERO);
-        let _ = n.on_start(Duration::ZERO);
+        start(&mut gw);
+        start(&mut n);
         assert!(gw.is_gateway());
         gw.send(N2, b"down".to_vec()).unwrap();
         let frames = drain(&mut gw, Duration::ZERO);
-        let _ = n.on_frame(&frames[0], SignalQuality::ideal(), Duration::ZERO);
+        frame_in(&mut n, &frames[0], Duration::ZERO);
         assert_eq!(n.take_events().len(), 1);
     }
 
     #[test]
     fn end_node_cannot_address_peer() {
         let mut n = node(N1);
-        let _ = n.on_start(Duration::ZERO);
+        start(&mut n);
         assert_eq!(n.send(N2, b"p2p".to_vec()), Err(SendError::NoRoute(N2)));
     }
 
@@ -337,7 +343,7 @@ mod tests {
     fn frames_are_never_relayed() {
         // A frame for someone else passes through a node untouched.
         let mut n = node(N1);
-        let _ = n.on_start(Duration::ZERO);
+        start(&mut n);
         let frame = codec::encode(&Packet::Data {
             dst: N2,
             src: GW,
@@ -346,7 +352,7 @@ mod tests {
             payload: vec![9],
         })
         .unwrap();
-        let _ = n.on_frame(&frame, SignalQuality::ideal(), Duration::ZERO);
+        frame_in(&mut n, &frame, Duration::ZERO);
         assert!(n.take_events().is_empty());
         assert!(drain(&mut n, Duration::from_secs(1)).is_empty());
     }
@@ -354,7 +360,7 @@ mod tests {
     #[test]
     fn send_validations() {
         let mut n = node(N1);
-        let _ = n.on_start(Duration::ZERO);
+        start(&mut n);
         assert_eq!(n.send(GW, vec![]), Err(SendError::EmptyPayload));
         assert!(matches!(
             n.send(GW, vec![0; 4000]),

@@ -7,14 +7,15 @@
 //! enforces either property, so this crate does: a small, dependency-
 //! free analyzer that walks the workspace's `.rs` sources with a
 //! hand-rolled comment/string-aware lexer and reports violations of
-//! four project rules:
+//! five project rules:
 //!
 //! | rule | invariant |
 //! |------|-----------|
 //! | `d1` | no `HashMap`/`HashSet` in determinism-critical crates — iteration order feeds traces and RNG draws |
 //! | `d2` | no `Instant::now`/`SystemTime`/`thread_rng` outside `bench`/`testkit` — simulated time only |
-//! | `r1` | no `unwrap`/`expect`/`panic!`/`[]`-indexing in `core`'s packet/codec/routing hot paths — frame decode returns `Err`, never panics |
+//! | `r1` | no `unwrap`/`expect`/`panic!`/`[]`-indexing in `core`'s packet/codec/routing/stack hot paths — frame decode returns `Err`, never panics |
 //! | `c1` | no bare `as` narrowing casts to `u8`/`u16`/`i8`/`i16` in determinism-critical crates — addresses, lengths and sequence numbers use `try_from` or checked helpers |
+//! | `n1` | no `std::` paths in the `no_std`-capable crates (`core`, `lora-phy`) outside `#[cfg(feature = "std")]` items and test code — `--no-default-features` must keep building |
 //!
 //! Individual sites can be exempted with a written justification:
 //!
@@ -41,7 +42,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The four project rules.
+/// The five project rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// No `HashMap`/`HashSet` in determinism-critical crates.
@@ -52,11 +53,13 @@ pub enum Rule {
     R1,
     /// No bare narrowing `as` casts in determinism-critical crates.
     C1,
+    /// No ungated `std::` paths in `no_std`-capable crates.
+    N1,
 }
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 4] = [Rule::D1, Rule::D2, Rule::R1, Rule::C1];
+    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::R1, Rule::C1, Rule::N1];
 
     /// The identifier used in `meshlint::allow(<id>)` directives and
     /// baseline entries.
@@ -67,6 +70,7 @@ impl Rule {
             Rule::D2 => "d2",
             Rule::R1 => "r1",
             Rule::C1 => "c1",
+            Rule::N1 => "n1",
         }
     }
 
@@ -78,6 +82,7 @@ impl Rule {
             "d2" => Some(Rule::D2),
             "r1" => Some(Rule::R1),
             "c1" => Some(Rule::C1),
+            "n1" => Some(Rule::N1),
             _ => None,
         }
     }
@@ -90,6 +95,7 @@ impl Rule {
             Rule::D2 => "wall clock or OS entropy outside bench/testkit",
             Rule::R1 => "panic path in a protocol hot file",
             Rule::C1 => "bare narrowing `as` cast in a determinism-critical crate",
+            Rule::N1 => "ungated `std::` path in a no_std-capable crate",
         }
     }
 
@@ -112,6 +118,10 @@ impl Rule {
             Rule::C1 => {
                 "use u16::try_from(..) / u8::try_from(..) or the checked helpers in \
                  loramesher::cast; a silent wrap corrupts addresses, lengths and seqs"
+            }
+            Rule::N1 => {
+                "use core::/alloc:: equivalents, or gate the item behind \
+                 #[cfg(feature = \"std\")] so --no-default-features keeps building"
             }
         }
     }
@@ -204,6 +214,9 @@ pub struct Config {
     pub wallclock_crates: Vec<String>,
     /// Files (relative paths) forming the protocol hot path: rule `r1`.
     pub hot_path_files: Vec<String>,
+    /// Crate names that must keep building with `--no-default-features`
+    /// (`no_std` + `alloc`): rule `n1`.
+    pub no_std_crates: Vec<String>,
 }
 
 impl Config {
@@ -228,9 +241,18 @@ impl Config {
                 "crates/core/src/codec.rs".into(),
                 "crates/core/src/packet.rs".into(),
                 "crates/core/src/routing.rs".into(),
+                // The layered stack sits on the frame receive/dispatch
+                // path: over-the-air input flows through all of it.
+                "crates/core/src/stack/mod.rs".into(),
+                "crates/core/src/stack/app.rs".into(),
+                "crates/core/src/stack/bus.rs".into(),
+                "crates/core/src/stack/mac.rs".into(),
+                "crates/core/src/stack/routing.rs".into(),
+                "crates/core/src/stack/transport.rs".into(),
                 "crates/radio-sim/src/event.rs".into(),
                 "crates/radio-sim/src/metrics.rs".into(),
             ],
+            no_std_crates: vec!["core".into(), "lora-phy".into()],
         }
     }
 
@@ -254,6 +276,9 @@ impl Config {
         }
         if self.hot_path_files.iter().any(|f| f == rel) {
             rules.push(Rule::R1);
+        }
+        if krate.is_some_and(|c| self.no_std_crates.iter().any(|n| n == c)) {
+            rules.push(Rule::N1);
         }
         rules.sort_unstable();
         rules
@@ -320,6 +345,13 @@ pub fn analyze_source(cfg: &Config, rel: &str, source: &str, out: &mut Analysis)
         return;
     }
     let test_lines = test_region_lines(&masked.text);
+    // Gated regions are found on the raw source: masking blanks the
+    // `"std"` literal inside the attribute.
+    let std_gated_lines = if rules.contains(&Rule::N1) {
+        cfg_std_region_lines(source)
+    } else {
+        std::collections::BTreeSet::new()
+    };
     let source_lines: Vec<&str> = source.lines().collect();
     for (idx, masked_line) in masked.text.lines().enumerate() {
         let line_no = idx + 1;
@@ -327,6 +359,9 @@ pub fn analyze_source(cfg: &Config, rel: &str, source: &str, out: &mut Analysis)
             continue;
         }
         for &rule in &rules {
+            if rule == Rule::N1 && std_gated_lines.contains(&line_no) {
+                continue;
+            }
             for col in match_rule(rule, masked_line) {
                 if masked.is_allowed(rule, line_no) {
                     out.allowed += 1;
@@ -681,6 +716,65 @@ fn test_region_lines(masked: &str) -> std::collections::BTreeSet<usize> {
     lines
 }
 
+/// Lines (1-based) covered by items gated behind `#[cfg(feature =
+/// "std")]` in the *raw* source (masking would blank the `"std"`
+/// literal). Covers the attribute through the end of the item: the
+/// matching `}` of its first brace block, or the terminating `;` for
+/// brace-less items (`use`, type aliases, gated re-exports).
+fn cfg_std_region_lines(source: &str) -> std::collections::BTreeSet<usize> {
+    const ATTR: &str = "#[cfg(feature = \"std\")]";
+    let bytes = source.as_bytes();
+    let mut lines = std::collections::BTreeSet::new();
+    let mut search_from = 0usize;
+    while let Some(found) = find_from(source, ATTR, search_from) {
+        search_from = found + ATTR.len();
+        // Skip whitespace and further attributes to the item itself.
+        let mut j = search_from;
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'#') {
+                while j < bytes.len() && bytes[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        // Find the end of the item: a `;` before any `{`, or the
+        // matching close of the first brace block.
+        let mut k = j;
+        let mut depth = 0i64;
+        let mut entered = false;
+        while k < bytes.len() {
+            match bytes[k] {
+                b';' if !entered => break,
+                b'{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if entered && depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let first_line = line_of(bytes, found);
+        let last_line = line_of(bytes, k.min(bytes.len().saturating_sub(1)));
+        for l in first_line..=last_line {
+            lines.insert(l);
+        }
+        search_from = k.max(search_from);
+    }
+    lines
+}
+
 fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
     haystack.get(from..)?.find(needle).map(|p| from + p)
 }
@@ -768,6 +862,17 @@ fn match_rule(rule: Rule, line: &str) -> Vec<usize> {
                         cols.push(col);
                     }
                 }
+            }
+        }
+        Rule::N1 => {
+            // `std::` as a path segment: `use std::…`, `std::vec::Vec`,
+            // `::std::…` — but not `my_std::`.
+            let mut from = 0usize;
+            while let Some(pos) = find_from(line, "std::", from) {
+                if pos == 0 || !is_ident_byte(line.as_bytes()[pos - 1]) {
+                    cols.push(pos + 1);
+                }
+                from = pos + "std::".len();
             }
         }
     }
@@ -1056,6 +1161,61 @@ mod tests {
         assert_eq!(match_rule(Rule::C1, "let x = n as u16;").len(), 1);
         assert!(match_rule(Rule::C1, "let x = n as u64;").is_empty());
         assert!(match_rule(Rule::C1, "let x = alias u8;").is_empty());
+    }
+
+    #[test]
+    fn n1_matches_std_path_segments_only() {
+        assert_eq!(match_rule(Rule::N1, "use std::time::Duration;"), vec![5]);
+        assert_eq!(match_rule(Rule::N1, "let e: ::std::fmt::Error;"), vec![10]);
+        assert!(match_rule(Rule::N1, "use my_std::helpers;").is_empty());
+        assert!(match_rule(Rule::N1, "use alloc::vec::Vec;").is_empty());
+        assert!(match_rule(Rule::N1, "use core::time::Duration;").is_empty());
+    }
+
+    #[test]
+    fn n1_respects_std_feature_gates_and_test_code() {
+        let cfg = Config::workspace("/nonexistent");
+        let src = "\
+use alloc::vec::Vec;\n\
+#[cfg(feature = \"std\")]\n\
+impl std::error::Error for E {}\n\
+#[cfg(feature = \"std\")]\n\
+pub use std::time::Duration;\n\
+fn ungated() { let _ = std::mem::take(&mut 0); }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    use std::time::Duration;\n\
+}\n";
+        let mut out = Analysis::default();
+        analyze_source(&cfg, "crates/core/src/error.rs", src, &mut out);
+        let n1: Vec<&Finding> = out.findings.iter().filter(|f| f.rule == Rule::N1).collect();
+        assert_eq!(n1.len(), 1, "findings: {n1:?}");
+        assert_eq!(n1[0].line, 6);
+        // The same source in a std-only crate raises no n1 findings.
+        let mut std_ok = Analysis::default();
+        analyze_source(&cfg, "crates/radio-sim/src/lib.rs", src, &mut std_ok);
+        assert!(std_ok.findings.iter().all(|f| f.rule != Rule::N1));
+    }
+
+    #[test]
+    fn cfg_std_region_covers_braced_and_braceless_items() {
+        let src = "\
+#[cfg(feature = \"std\")]\n\
+#[derive(Debug)]\n\
+impl Thing {\n\
+    fn f(&self) {}\n\
+}\n\
+fn open() {}\n\
+#[cfg(feature = \"std\")]\n\
+use std::io;\n\
+fn also_open() {}\n";
+        let lines = cfg_std_region_lines(src);
+        for l in 1..=5 {
+            assert!(lines.contains(&l), "line {l} should be gated");
+        }
+        assert!(!lines.contains(&6));
+        assert!(lines.contains(&7) && lines.contains(&8));
+        assert!(!lines.contains(&9));
     }
 
     #[test]

@@ -46,7 +46,8 @@ fn parse_args() -> Result<Args, String> {
                     "meshlint [--root DIR] [--json] [--baseline FILE] [--write-baseline FILE]\n\
                      \n\
                      Rules: d1 hashed collections, d2 wall clock/OS entropy,\n\
-                     r1 panic paths in protocol hot files, c1 bare narrowing casts.\n\
+                     r1 panic paths in protocol hot files, c1 bare narrowing casts,\n\
+                     n1 ungated std:: paths in no_std-capable crates.\n\
                      Suppress a site with `// meshlint::allow(<rule>): <reason>`."
                 );
                 std::process::exit(0);

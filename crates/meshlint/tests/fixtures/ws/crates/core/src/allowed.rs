@@ -1,6 +1,6 @@
 //! Fixture: violations suppressed by well-formed allow directives.
 
-// meshlint::allow(d1): keyed lookups only; never iterated.
+// meshlint::allow(d1, n1): keyed lookups only; never iterated; std-only fixture.
 use std::collections::HashMap;
 
 pub fn cast(n: usize) -> u16 {

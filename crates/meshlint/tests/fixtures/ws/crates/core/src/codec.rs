@@ -1,7 +1,7 @@
 //! Fixture: a hot-path file seeded with one violation of every class
 //! meshlint must catch (this file is never compiled).
 
-use std::collections::HashMap; // d1: hashed collection in core
+use std::collections::HashMap; // d1: hashed collection + n1: ungated std:: in core
 
 pub fn decode(frame: &[u8]) -> u8 {
     let first = frame[0]; // r1: unchecked indexing
@@ -26,3 +26,14 @@ mod tests {
         let _ = frame.len() as u8;
     }
 }
+
+#[cfg(feature = "std")]
+impl std::fmt::Display for Wrapper {
+    // n1 decoy: std:: behind the std feature gate is fine.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wrapped")
+    }
+}
+
+#[cfg(feature = "std")]
+pub use std::time::Duration; // n1 decoy: gated brace-less item

@@ -1,23 +1,34 @@
 //! The interface between the simulator and protocol implementations.
 //!
-//! A [`Firmware`] is an event-driven protocol stack: the simulator calls
-//! into it when something happens at its radio (a frame arrives, a
-//! transmission completes, a CAD scan finishes, a timer fires) and the
-//! firmware responds by issuing commands through the [`Context`] —
-//! transmit a frame, start a CAD scan — and by exposing the time at which
-//! it next wants to be woken.
+//! The simulator hosts any [`loramesher::driver::NodeProtocol`]: an
+//! event-driven sans-IO protocol stack that the simulator calls into
+//! when something happens at its radio (a frame arrives, a transmission
+//! completes, a CAD scan finishes, a timer fires) and that responds by
+//! pushing commands — transmit a frame, start a CAD scan — into the
+//! per-callback [`Context`] and by exposing the time at which it next
+//! wants to be woken.
 //!
-//! This is deliberately the same sans-IO shape as the `loramesher` core's
-//! native interface, so the adapter between them is a few lines and the
-//! protocol logic itself never touches simulator types.
+//! Historically this crate defined its own `Firmware` trait of the same
+//! shape and `scenario` bridged the two with a copying adapter; the
+//! traits are now unified in `loramesher::driver` and this module is
+//! simulator-flavoured aliases ([`Firmware`], [`Context`],
+//! [`RadioCommand`]) plus the simulator's own [`NodeId`].
 
-use std::sync::Arc;
-use std::time::Duration;
-
-use lora_phy::link::SignalQuality;
-
-use crate::rng::SimRng;
-use crate::time::SimTime;
+/// A protocol stack hosted by the simulator: the unified sans-IO host
+/// trait from the core crate.
+pub use loramesher::driver::NodeProtocol as Firmware;
+/// Execution context passed to every firmware callback: the virtual
+/// clock plus the command sink.
+pub use loramesher::driver::RadioIo as Context;
+/// A command issued by firmware to its radio.
+///
+/// `Transmit` carries a reference-counted payload so firmware that
+/// retransmits a cached frame (periodic beacons, cached hellos) shares
+/// one buffer with the medium instead of allocating per transmission.
+/// The radio must be idle when one arrives; the simulator counts
+/// violations instead of panicking so buggy protocols surface as
+/// metrics, not crashes.
+pub use loramesher::driver::RadioRequest as RadioCommand;
 
 /// Index of a node within a simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -29,156 +40,19 @@ impl core::fmt::Display for NodeId {
     }
 }
 
-/// A command issued by firmware to its radio.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum RadioCommand {
-    /// Start transmitting the given frame immediately.
-    ///
-    /// The radio must be idle; the simulator counts violations instead of
-    /// panicking so buggy protocols surface as metrics, not crashes.
-    ///
-    /// The payload is reference-counted so firmware that retransmits a
-    /// cached frame (periodic beacons, cached hellos) shares one buffer
-    /// with the medium instead of allocating per transmission.
-    Transmit(Arc<[u8]>),
-    /// Start a channel-activity-detection scan; completion is reported via
-    /// [`Firmware::on_cad_done`].
-    StartCad,
-}
-
-/// Execution context passed to every firmware callback.
-///
-/// Collects the commands the firmware issues and gives it access to the
-/// virtual clock and its private random stream.
-#[derive(Debug)]
-pub struct Context<'a> {
-    now: SimTime,
-    node: NodeId,
-    rng: &'a mut SimRng,
-    commands: Vec<RadioCommand>,
-}
-
-impl<'a> Context<'a> {
-    /// Creates a context for one callback invocation. Used by the
-    /// simulator and by tests that drive a firmware by hand.
-    #[must_use]
-    pub fn new(now: SimTime, node: NodeId, rng: &'a mut SimRng) -> Self {
-        Self::with_buffer(now, node, rng, Vec::new())
-    }
-
-    /// Creates a context that records commands into a caller-supplied
-    /// buffer (cleared first), so the simulator can reuse one allocation
-    /// across callbacks. Recover the buffer with
-    /// [`Context::take_commands`].
-    #[must_use]
-    pub fn with_buffer(
-        now: SimTime,
-        node: NodeId,
-        rng: &'a mut SimRng,
-        mut buffer: Vec<RadioCommand>,
-    ) -> Self {
-        buffer.clear();
-        Context {
-            now,
-            node,
-            rng,
-            commands: buffer,
-        }
-    }
-
-    /// The current simulated time as an offset from the start of the run.
-    #[must_use]
-    pub fn now(&self) -> Duration {
-        self.now.as_duration()
-    }
-
-    /// This node's identifier.
-    #[must_use]
-    pub fn node(&self) -> NodeId {
-        self.node
-    }
-
-    /// The node's private deterministic random stream.
-    pub fn rng(&mut self) -> &mut SimRng {
-        self.rng
-    }
-
-    /// Requests transmission of `frame`.
-    ///
-    /// Accepts anything convertible into a shared payload: a `Vec<u8>`
-    /// (one conversion allocation, as before) or an `Arc<[u8]>` clone
-    /// (allocation-free — the path cached-frame firmware should use).
-    pub fn transmit(&mut self, frame: impl Into<Arc<[u8]>>) {
-        self.commands.push(RadioCommand::Transmit(frame.into()));
-    }
-
-    /// Requests a channel-activity-detection scan.
-    pub fn start_cad(&mut self) {
-        self.commands.push(RadioCommand::StartCad);
-    }
-
-    /// Drains the commands issued during this callback.
-    #[must_use]
-    pub fn take_commands(self) -> Vec<RadioCommand> {
-        self.commands
-    }
-}
-
-/// An event-driven protocol stack hosted by the simulator.
-///
-/// All callbacks have empty defaults except [`Firmware::on_frame`] and
-/// [`Firmware::next_wake`], which every useful protocol needs.
-pub trait Firmware {
-    /// Called once when the node starts (or restarts after a revive).
-    fn on_start(&mut self, ctx: &mut Context) {
-        let _ = ctx;
-    }
-
-    /// Called when the wake-up time reported by [`Firmware::next_wake`]
-    /// is reached.
-    fn on_timer(&mut self, ctx: &mut Context) {
-        let _ = ctx;
-    }
-
-    /// Called when a frame is successfully received.
-    fn on_frame(&mut self, bytes: &[u8], quality: SignalQuality, ctx: &mut Context);
-
-    /// Called when a requested transmission completes on air.
-    fn on_tx_done(&mut self, ctx: &mut Context) {
-        let _ = ctx;
-    }
-
-    /// Called when a CAD scan completes; `busy` reports channel activity.
-    fn on_cad_done(&mut self, busy: bool, ctx: &mut Context) {
-        let _ = (busy, ctx);
-    }
-
-    /// Called for an application-level (workload) event tagged `tag`.
-    fn on_app(&mut self, tag: u64, ctx: &mut Context) {
-        let _ = (tag, ctx);
-    }
-
-    /// The next instant (offset from simulation start) at which the
-    /// firmware wants [`Firmware::on_timer`] to run, or `None` when idle.
-    ///
-    /// Queried after every callback; returning an earlier time than a
-    /// previously reported one reschedules the wake-up.
-    fn next_wake(&self) -> Option<Duration>;
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lora_phy::link::SignalQuality;
+    use std::time::Duration;
 
     #[test]
     fn context_collects_commands_in_order() {
-        let mut rng = SimRng::new(1);
-        let mut ctx = Context::new(SimTime::from_millis(7), NodeId(3), &mut rng);
+        let mut ctx = Context::new(Duration::from_millis(7));
         assert_eq!(ctx.now(), Duration::from_millis(7));
-        assert_eq!(ctx.node(), NodeId(3));
         ctx.start_cad();
         ctx.transmit(vec![1, 2, 3]);
-        let cmds = ctx.take_commands();
+        let cmds = ctx.take_requests();
         assert_eq!(
             cmds,
             vec![
@@ -190,22 +64,12 @@ mod tests {
 
     #[test]
     fn with_buffer_reuses_and_clears_the_buffer() {
-        let mut rng = SimRng::new(1);
         let stale = vec![RadioCommand::StartCad; 3];
-        let mut ctx = Context::with_buffer(SimTime::ZERO, NodeId(0), &mut rng, stale);
+        let mut ctx = Context::with_buffer(Duration::ZERO, stale);
         let payload: std::sync::Arc<[u8]> = vec![9u8; 4].into();
         ctx.transmit(payload.clone());
-        let cmds = ctx.take_commands();
+        let cmds = ctx.take_requests();
         assert_eq!(cmds, vec![RadioCommand::Transmit(payload)]);
-    }
-
-    #[test]
-    fn context_rng_is_usable() {
-        let mut rng = SimRng::new(1);
-        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), &mut rng);
-        let a = ctx.rng().next_u64();
-        let b = ctx.rng().next_u64();
-        assert_ne!(a, b);
     }
 
     #[test]
@@ -218,13 +82,12 @@ mod tests {
             }
         }
         let mut f = Quiet;
-        let mut rng = SimRng::new(1);
-        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), &mut rng);
+        let mut ctx = Context::new(Duration::ZERO);
         f.on_start(&mut ctx);
         f.on_timer(&mut ctx);
         f.on_tx_done(&mut ctx);
         f.on_cad_done(true, &mut ctx);
         f.on_app(9, &mut ctx);
-        assert!(ctx.take_commands().is_empty());
+        assert!(ctx.take_requests().is_empty());
     }
 }

@@ -390,9 +390,9 @@ impl<F: Firmware> Simulator<F> {
         let now = self.now;
         let scratch = std::mem::take(&mut self.command_scratch);
         let slot = &mut self.nodes[i];
-        let mut ctx = Context::with_buffer(now, NodeId(i), &mut slot.rng, scratch);
+        let mut ctx = Context::with_buffer(now.as_duration(), scratch);
         let result = f(&mut slot.firmware, &mut ctx);
-        let mut commands = ctx.take_commands();
+        let mut commands = ctx.take_requests();
         for cmd in commands.drain(..) {
             match cmd {
                 RadioCommand::Transmit(bytes) => self.start_tx(i, bytes),

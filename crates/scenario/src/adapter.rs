@@ -1,13 +1,14 @@
 //! Hosting protocol stacks inside the simulator.
 //!
-//! [`ProtocolFirmware`] wraps anything implementing
-//! [`NodeProtocol`] and adapts it to the simulator's
-//! [`radio_sim::firmware::Firmware`] interface. It also:
+//! The simulator hosts [`NodeProtocol`] implementations natively (its
+//! `Firmware` trait is the same trait), so no adaptation layer exists
+//! any more. [`ProtocolFirmware`] wraps a protocol purely to add the
+//! experiment bookkeeping:
 //!
-//! * drains the protocol's application events after every callback and
-//!   timestamps them into an event log the experiment runner reads;
-//! * executes workload actions (scheduled via `Simulator::schedule_app`)
-//!   by calling the protocol's send methods.
+//! * it drains the protocol's application events after every callback
+//!   and timestamps them into an event log the experiment runner reads;
+//! * it executes workload actions (scheduled via
+//!   `Simulator::schedule_app`) by calling the protocol's send methods.
 //!
 //! [`ProtocolNode`] is the concrete protocol enum the experiments use, so
 //! one simulation type hosts LoRaMesher and both baselines.
@@ -17,7 +18,7 @@ use std::time::Duration;
 use lora_phy::link::SignalQuality;
 
 use loramesher::addr::Address;
-use loramesher::driver::{NodeProtocol, RadioRequest};
+use loramesher::driver::NodeProtocol;
 use loramesher::error::SendError;
 use loramesher::node::{MeshEvent, MeshNode};
 use mesh_baselines::flooding::{FloodingEvent, FloodingNode};
@@ -219,39 +220,39 @@ impl ProtocolNode {
 }
 
 impl NodeProtocol for ProtocolNode {
-    fn on_start(&mut self, now: Duration) -> Vec<RadioRequest> {
+    fn on_start(&mut self, io: &mut Context) {
         match self {
-            ProtocolNode::Mesh(n) => n.on_start(now),
-            ProtocolNode::Flooding(n) => n.on_start(now),
-            ProtocolNode::Star(n) => n.on_start(now),
+            ProtocolNode::Mesh(n) => n.on_start(io),
+            ProtocolNode::Flooding(n) => n.on_start(io),
+            ProtocolNode::Star(n) => n.on_start(io),
         }
     }
-    fn on_timer(&mut self, now: Duration) -> Vec<RadioRequest> {
+    fn on_timer(&mut self, io: &mut Context) {
         match self {
-            ProtocolNode::Mesh(n) => n.on_timer(now),
-            ProtocolNode::Flooding(n) => n.on_timer(now),
-            ProtocolNode::Star(n) => n.on_timer(now),
+            ProtocolNode::Mesh(n) => n.on_timer(io),
+            ProtocolNode::Flooding(n) => n.on_timer(io),
+            ProtocolNode::Star(n) => n.on_timer(io),
         }
     }
-    fn on_frame(&mut self, frame: &[u8], q: SignalQuality, now: Duration) -> Vec<RadioRequest> {
+    fn on_frame(&mut self, frame: &[u8], q: SignalQuality, io: &mut Context) {
         match self {
-            ProtocolNode::Mesh(n) => n.on_frame(frame, q, now),
-            ProtocolNode::Flooding(n) => n.on_frame(frame, q, now),
-            ProtocolNode::Star(n) => n.on_frame(frame, q, now),
+            ProtocolNode::Mesh(n) => n.on_frame(frame, q, io),
+            ProtocolNode::Flooding(n) => n.on_frame(frame, q, io),
+            ProtocolNode::Star(n) => n.on_frame(frame, q, io),
         }
     }
-    fn on_tx_done(&mut self, now: Duration) -> Vec<RadioRequest> {
+    fn on_tx_done(&mut self, io: &mut Context) {
         match self {
-            ProtocolNode::Mesh(n) => n.on_tx_done(now),
-            ProtocolNode::Flooding(n) => n.on_tx_done(now),
-            ProtocolNode::Star(n) => n.on_tx_done(now),
+            ProtocolNode::Mesh(n) => n.on_tx_done(io),
+            ProtocolNode::Flooding(n) => n.on_tx_done(io),
+            ProtocolNode::Star(n) => n.on_tx_done(io),
         }
     }
-    fn on_cad_done(&mut self, busy: bool, now: Duration) -> Vec<RadioRequest> {
+    fn on_cad_done(&mut self, busy: bool, io: &mut Context) {
         match self {
-            ProtocolNode::Mesh(n) => n.on_cad_done(busy, now),
-            ProtocolNode::Flooding(n) => n.on_cad_done(busy, now),
-            ProtocolNode::Star(n) => n.on_cad_done(busy, now),
+            ProtocolNode::Mesh(n) => n.on_cad_done(busy, io),
+            ProtocolNode::Flooding(n) => n.on_cad_done(busy, io),
+            ProtocolNode::Star(n) => n.on_cad_done(busy, io),
         }
     }
     fn next_wake(&self) -> Option<Duration> {
@@ -359,14 +360,9 @@ impl<P: NodeProtocol> ProtocolFirmware<P> {
 }
 
 impl<P: HostedProtocol> ProtocolFirmware<P> {
-    fn pump(&mut self, requests: Vec<RadioRequest>, ctx: &mut Context) {
-        for r in requests {
-            match r {
-                RadioRequest::Transmit(frame) => ctx.transmit(frame),
-                RadioRequest::StartCad => ctx.start_cad(),
-            }
-        }
-        let now = ctx.now();
+    /// Drains the protocol's application events into the timestamped log
+    /// after a callback ran.
+    fn log_events(&mut self, now: Duration) {
         for e in self.node.drain() {
             self.event_log.push((now, e));
         }
@@ -375,13 +371,13 @@ impl<P: HostedProtocol> ProtocolFirmware<P> {
 
 impl<P: HostedProtocol> Firmware for ProtocolFirmware<P> {
     fn on_start(&mut self, ctx: &mut Context) {
-        let reqs = self.node.on_start(ctx.now());
-        self.pump(reqs, ctx);
+        self.node.on_start(ctx);
+        self.log_events(ctx.now());
     }
 
     fn on_timer(&mut self, ctx: &mut Context) {
-        let reqs = self.node.on_timer(ctx.now());
-        self.pump(reqs, ctx);
+        self.node.on_timer(ctx);
+        self.log_events(ctx.now());
     }
 
     fn on_frame(&mut self, bytes: &[u8], quality: SignalQuality, ctx: &mut Context) {
@@ -406,18 +402,18 @@ impl<P: HostedProtocol> Firmware for ProtocolFirmware<P> {
                 ));
             }
         }
-        let reqs = self.node.on_frame(bytes, quality, ctx.now());
-        self.pump(reqs, ctx);
+        self.node.on_frame(bytes, quality, ctx);
+        self.log_events(ctx.now());
     }
 
     fn on_tx_done(&mut self, ctx: &mut Context) {
-        let reqs = self.node.on_tx_done(ctx.now());
-        self.pump(reqs, ctx);
+        self.node.on_tx_done(ctx);
+        self.log_events(ctx.now());
     }
 
     fn on_cad_done(&mut self, busy: bool, ctx: &mut Context) {
-        let reqs = self.node.on_cad_done(busy, ctx.now());
-        self.pump(reqs, ctx);
+        self.node.on_cad_done(busy, ctx);
+        self.log_events(ctx.now());
     }
 
     fn on_app(&mut self, tag: u64, ctx: &mut Context) {
@@ -436,7 +432,7 @@ impl<P: HostedProtocol> Firmware for ProtocolFirmware<P> {
         if result.is_err() {
             self.send_errors += 1;
         }
-        self.pump(Vec::new(), ctx);
+        self.log_events(now);
     }
 
     fn next_wake(&self) -> Option<Duration> {

@@ -15,17 +15,18 @@
 //! ```
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use loramesher_repro::lora_phy::link::SignalQuality;
 use loramesher_repro::loramesher::{
-    Address, MeshConfig, MeshEvent, MeshNode, NodeProtocol, RadioRequest,
+    Address, MeshConfig, MeshEvent, MeshNode, NodeProtocol, RadioIo, RadioRequest,
 };
 
 /// A pending event on the cable: a frame arriving, or a CAD finishing.
 #[derive(PartialEq, Eq)]
 enum HostEvent {
-    FrameArrives { at_node: usize, bytes: Vec<u8> },
+    FrameArrives { at_node: usize, bytes: Arc<[u8]> },
     CadDone { at_node: usize },
     TxDone { at_node: usize },
 }
@@ -62,8 +63,9 @@ fn main() {
 
     // Boot both nodes.
     for node in &mut nodes {
-        let requests = node.on_start(now);
-        assert!(requests.is_empty(), "nothing to transmit at boot");
+        let mut io = RadioIo::new(now);
+        node.on_start(&mut io);
+        assert!(io.take_requests().is_empty(), "nothing to transmit at boot");
     }
 
     println!("Two sans-IO nodes on an ideal cable; running the host loop...\n");
@@ -86,27 +88,29 @@ fn main() {
         let mut requests_by_node: Vec<(usize, Vec<RadioRequest>)> = Vec::new();
         while queue.peek().is_some_and(|s| s.0 <= now) {
             let Scheduled(_, _, event) = queue.pop().unwrap();
+            let mut io = RadioIo::new(now);
             match event {
                 HostEvent::FrameArrives { at_node, bytes } => {
-                    let reqs = nodes[at_node].on_frame(&bytes, SignalQuality::ideal(), now);
-                    requests_by_node.push((at_node, reqs));
+                    nodes[at_node].on_frame(&bytes, SignalQuality::ideal(), &mut io);
+                    requests_by_node.push((at_node, io.take_requests()));
                 }
                 HostEvent::CadDone { at_node } => {
                     // The cable is a clear channel by construction.
-                    let reqs = nodes[at_node].on_cad_done(false, now);
-                    requests_by_node.push((at_node, reqs));
+                    nodes[at_node].on_cad_done(false, &mut io);
+                    requests_by_node.push((at_node, io.take_requests()));
                 }
                 HostEvent::TxDone { at_node } => {
-                    let reqs = nodes[at_node].on_tx_done(now);
-                    requests_by_node.push((at_node, reqs));
+                    nodes[at_node].on_tx_done(&mut io);
+                    requests_by_node.push((at_node, io.take_requests()));
                 }
             }
         }
         // Then fire due protocol timers.
         for (i, node) in nodes.iter_mut().enumerate() {
             if node.next_wake().is_some_and(|w| w <= now) {
-                let reqs = node.on_timer(now);
-                requests_by_node.push((i, reqs));
+                let mut io = RadioIo::new(now);
+                node.on_timer(&mut io);
+                requests_by_node.push((i, io.take_requests()));
             }
         }
         // Execute the requests: schedule CAD completions and deliveries.

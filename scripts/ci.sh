@@ -14,6 +14,12 @@ cargo fmt --check
 echo "==> cargo build --release --offline --workspace"
 cargo build --release --offline --workspace
 
+echo "==> cargo build --offline --examples (host-integration examples)"
+cargo build --offline --examples
+
+echo "==> cargo build -p loramesher -p lora-phy --no-default-features --offline (no_std feature leg)"
+cargo build -p loramesher -p lora-phy --no-default-features --offline
+
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -35,6 +35,7 @@ struct Chatty {
     interval: Duration,
     len: usize,
     heard: u64,
+    rng: radio_sim::SimRng,
 }
 
 impl Chatty {
@@ -44,6 +45,7 @@ impl Chatty {
             interval: Duration::from_millis(800),
             len,
             heard: 0,
+            rng: radio_sim::SimRng::new(phase_ms ^ 0xC4A7),
         }
     }
 }
@@ -59,7 +61,7 @@ impl Firmware for Chatty {
         if busy {
             // RNG-jittered retry: both engines must make the very same
             // draw here for the timelines to stay equal.
-            self.next = ctx.now() + Duration::from_millis(20 + ctx.rng().gen_range(60));
+            self.next = ctx.now() + Duration::from_millis(20 + self.rng.gen_range(60));
         } else {
             ctx.transmit(vec![0xE4; self.len]);
         }
