@@ -231,10 +231,13 @@ fn bench_link_cache(filter: &str) {
     // the gap is what the cache + audible-neighbor culling buys on the
     // start_tx / lock_receiver hot path.
     bench(filter, "simulator/beacon_grid64_10s_cached", || {
-        bench::scaling::run(64, true, 10, 42).1
+        bench::scaling::run(64, true, 1, 10, 42).1
     });
     bench(filter, "simulator/beacon_grid64_10s_uncached", || {
-        bench::scaling::run(64, false, 10, 42).1
+        bench::scaling::run(64, false, 1, 10, 42).1
+    });
+    bench(filter, "simulator/beacon_grid64_10s_sharded4", || {
+        bench::scaling::run(64, true, 4, 10, 42).1
     });
 }
 

@@ -1,16 +1,22 @@
-//! Scaling benchmark for the simulator hot path: the static-grid beacon
-//! scenario at N ∈ {16, 64, 256, 1024} nodes, run with the link cache
-//! on and off, asserting identical metrics and reporting events/sec,
-//! ns/event and the cached-vs-uncached speedup.
+//! Scaling benchmark for the simulator hot path, two sections:
+//!
+//! 1. **Link cache** — the static-grid beacon scenario at
+//!    N ∈ {16, 64, 256, 1024}, link cache on vs off (the PR 2/PR 4
+//!    trajectory), asserting identical metrics.
+//! 2. **Sharded engine** — the same scenario at large N
+//!    (4096 and 16384 nodes) with the event engine running sequentially
+//!    (`shards = 1`) vs spatially sharded (4 and 8 bands), asserting
+//!    identical metrics *and identical event counts* — the engines must
+//!    process the exact same timeline, only faster.
 //!
 //! ```text
 //! bench_scaling [--smoke] [--out PATH] [--secs N] [--seed N]
 //! ```
 //!
 //! `--out PATH` writes a JSON report (`scripts/bench.sh` points it at
-//! `BENCH_PR4.json` so the repo keeps a perf trajectory across PRs;
-//! `BENCH_PR2.json` is the pre-overhaul baseline to compare against);
-//! `--smoke` shrinks the run to a CI-friendly correctness check.
+//! `BENCH_PR6.json`; `BENCH_PR2.json`/`BENCH_PR4.json` are earlier
+//! baselines of the link-cache section); `--smoke` shrinks the run to a
+//! CI-friendly correctness check.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -18,7 +24,8 @@ use std::time::{Duration, Instant};
 use bench::scaling;
 use radio_sim::metrics::Metrics;
 
-/// Wall-clock timings and outcome of one (n, link_cache) measurement.
+/// Wall-clock timings and outcome of one (n, link_cache, shards)
+/// measurement.
 struct Measurement {
     metrics: Metrics,
     events: u64,
@@ -28,11 +35,18 @@ struct Measurement {
 /// Runs one configuration `repeats` times and keeps the fastest wall
 /// time (the usual bench practice: minimum is the least noisy estimator
 /// of the true cost).
-fn measure(n: usize, link_cache: bool, sim_secs: u64, seed: u64, repeats: usize) -> Measurement {
+fn measure(
+    n: usize,
+    link_cache: bool,
+    shards: usize,
+    sim_secs: u64,
+    seed: u64,
+    repeats: usize,
+) -> Measurement {
     let mut best: Option<Measurement> = None;
     for _ in 0..repeats {
         let start = Instant::now();
-        let (metrics, events) = scaling::run(n, link_cache, sim_secs, seed);
+        let (metrics, events) = scaling::run(n, link_cache, shards, sim_secs, seed);
         let wall = start.elapsed();
         if best.as_ref().is_none_or(|b| wall < b.wall) {
             best = Some(Measurement {
@@ -45,6 +59,14 @@ fn measure(n: usize, link_cache: bool, sim_secs: u64, seed: u64, repeats: usize)
     best.expect("at least one repeat")
 }
 
+fn per_sec(m: &Measurement) -> f64 {
+    m.events as f64 / m.wall.as_secs_f64()
+}
+
+fn per_event_ns(m: &Measurement) -> f64 {
+    m.wall.as_nanos() as f64 / m.events as f64
+}
+
 struct Row {
     nodes: usize,
     events: u64,
@@ -55,7 +77,23 @@ struct Row {
     speedup: f64,
 }
 
-fn json_report(sim_secs: u64, seed: u64, rows: &[Row]) -> String {
+/// One shard count's timing at a fixed node count.
+struct ShardCell {
+    shards: usize,
+    events_per_sec: f64,
+    ns_per_event: f64,
+    /// Sequential wall time / this wall time.
+    speedup: f64,
+}
+
+struct ShardRow {
+    nodes: usize,
+    sim_secs: u64,
+    events: u64,
+    cells: Vec<ShardCell>,
+}
+
+fn json_report(sim_secs: u64, seed: u64, rows: &[Row], shard_rows: &[ShardRow]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"scaling_static_grid_beacon\",");
@@ -78,6 +116,31 @@ fn json_report(sim_secs: u64, seed: u64, rows: &[Row]) -> String {
             r.speedup
         );
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"shard_rows\": [\n");
+    for (i, r) in shard_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"nodes\": {}, \"sim_seconds\": {}, \"events\": {}, \"engines\": [",
+            r.nodes, r.sim_secs, r.events
+        );
+        for (j, c) in r.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{{\"shards\": {}, \"events_per_sec\": {:.0}, \
+                 \"ns_per_event\": {:.1}, \"speedup\": {:.2}}}",
+                c.shards, c.events_per_sec, c.ns_per_event, c.speedup
+            );
+            if j + 1 < r.cells.len() {
+                s.push_str(", ");
+            }
+        }
+        s.push_str("]}");
+        s.push_str(if i + 1 < shard_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     s.push_str("  ]\n}\n");
     s
@@ -124,8 +187,8 @@ fn main() {
     );
     let mut rows = Vec::new();
     for &n in sizes {
-        let uncached = measure(n, false, sim_secs, seed, repeats);
-        let cached = measure(n, true, sim_secs, seed, repeats);
+        let uncached = measure(n, false, 1, sim_secs, seed, repeats);
+        let cached = measure(n, true, 1, sim_secs, seed, repeats);
         // The cache must be behaviourally transparent — a differing run
         // would make every speedup number meaningless.
         assert_eq!(
@@ -133,8 +196,6 @@ fn main() {
             "link cache changed behaviour at n={n}"
         );
         assert_eq!(cached.events, uncached.events);
-        let per_sec = |m: &Measurement| m.events as f64 / m.wall.as_secs_f64();
-        let per_event_ns = |m: &Measurement| m.wall.as_nanos() as f64 / m.events as f64;
         let row = Row {
             nodes: n,
             events: cached.events,
@@ -157,8 +218,72 @@ fn main() {
         rows.push(row);
     }
 
+    // Sharded engine at scale: big grids, link cache on, one repeat
+    // (the runs are long enough to be self-averaging). The 16384-node
+    // grid keeps a shorter horizon so the sequential reference leg
+    // stays affordable.
+    let shard_sizes: &[(usize, u64)] = if smoke {
+        &[(64, 20)]
+    } else {
+        &[(4096, 120), (16384, 30)]
+    };
+    let shard_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 8] };
+    println!();
+    println!(
+        "{:>6} {:>8} {:>10} {:>6} {:>12} {:>10} {:>8}",
+        "nodes", "sim s", "events", "shards", "events/s", "ns/event", "speedup"
+    );
+    let mut shard_rows = Vec::new();
+    for &(n, secs) in shard_sizes {
+        let mut cells = Vec::new();
+        let mut reference: Option<Measurement> = None;
+        for &shards in shard_counts {
+            let m = measure(n, true, shards, secs, seed, 1);
+            if let Some(seq) = &reference {
+                // The sharded engine must replay the sequential
+                // timeline event for event.
+                assert_eq!(
+                    seq.metrics, m.metrics,
+                    "{shards} shards changed behaviour at n={n}"
+                );
+                assert_eq!(
+                    seq.events, m.events,
+                    "{shards} shards changed the event count at n={n}"
+                );
+            }
+            let speedup = reference
+                .as_ref()
+                .map_or(1.0, |seq| seq.wall.as_secs_f64() / m.wall.as_secs_f64());
+            println!(
+                "{:>6} {:>8} {:>10} {:>6} {:>12.0} {:>10.1} {:>7.2}x",
+                n,
+                secs,
+                m.events,
+                shards,
+                per_sec(&m),
+                per_event_ns(&m),
+                speedup
+            );
+            cells.push(ShardCell {
+                shards,
+                events_per_sec: per_sec(&m),
+                ns_per_event: per_event_ns(&m),
+                speedup,
+            });
+            if reference.is_none() {
+                reference = Some(m);
+            }
+        }
+        shard_rows.push(ShardRow {
+            nodes: n,
+            sim_secs: secs,
+            events: reference.expect("at least one shard count").events,
+            cells,
+        });
+    }
+
     if let Some(path) = out_path {
-        let report = json_report(sim_secs, seed, &rows);
+        let report = json_report(sim_secs, seed, &rows, &shard_rows);
         std::fs::write(&path, &report).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);

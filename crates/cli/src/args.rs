@@ -86,6 +86,9 @@ pub struct Cli {
     pub seeds: usize,
     /// Worker threads for multi-seed runs.
     pub jobs: usize,
+    /// Spatial shards for the event engine (1 = sequential reference;
+    /// behaviourally transparent either way).
+    pub shards: usize,
     /// Spreading factor.
     pub sf: SpreadingFactor,
     /// Probabilistic reception near the SNR floor.
@@ -119,6 +122,7 @@ impl Default for Cli {
             seed: 42,
             seeds: 1,
             jobs: 1,
+            shards: 1,
             sf: SpreadingFactor::Sf7,
             grey_zone: false,
             link_cache: true,
@@ -160,6 +164,7 @@ OPTIONS:
   --seed N                                master seed          [42]
   --seeds N                               replication seeds    [1]
   --jobs N                                worker threads for --seeds [1]
+  --shards N                              spatial event-engine shards [1]
   --sf 7..12                              spreading factor     [7]
   --grey-zone                             probabilistic reception
   --no-link-cache                         disable link-budget caching
@@ -276,6 +281,15 @@ impl Cli {
                         .map_err(|_| ParseError(format!("bad job count '{v}'")))?;
                     if cli.jobs == 0 {
                         return Err(ParseError("--jobs must be at least 1".into()));
+                    }
+                }
+                "--shards" => {
+                    let v = value_of("--shards", &mut it)?;
+                    cli.shards = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad shard count '{v}'")))?;
+                    if cli.shards == 0 {
+                        return Err(ParseError("--shards must be at least 1".into()));
                     }
                 }
                 "--sf" => {
@@ -503,6 +517,14 @@ mod tests {
         assert!(parse(&["--seeds", "0"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--seeds", "many"]).is_err());
+    }
+
+    #[test]
+    fn shards_parse() {
+        assert_eq!(parse(&[]).unwrap().shards, 1, "sequential by default");
+        assert_eq!(parse(&["--shards", "4"]).unwrap().shards, 4);
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--shards", "lots"]).is_err());
     }
 
     #[test]

@@ -128,6 +128,7 @@ fn run_scenario(cli: &Cli, seed: u64) -> (String, TrafficReport) {
     sim.rf.modulation = LoRaModulation::new(cli.sf, Bandwidth::Khz125, CodingRate::Cr4_7);
     sim.rf.grey_zone = cli.grey_zone;
     sim.link_cache = cli.link_cache;
+    sim.shards = cli.shards;
     let range = topology::radio_range_m(&sim.rf);
     let spacing = range * cli.spacing_frac;
 

@@ -135,6 +135,16 @@ pub struct Shadowing {
 }
 
 impl Shadowing {
+    /// The truncation point of the shadowing distribution, in standard
+    /// deviations: [`offset_db`](Self::offset_db) never exceeds
+    /// `MAX_OFFSET_SIGMA * sigma_db` in magnitude.
+    ///
+    /// Truncating at ±8σ keeps the distribution indistinguishable from a
+    /// true Gaussian (P(|z| > 8) ≈ 1.2·10⁻¹⁵ per link) while making the
+    /// maximum audible distance of any link *finite*, which the spatial
+    /// shard partitioner relies on to bound a transmission's reach.
+    pub const MAX_OFFSET_SIGMA: f64 = 8.0;
+
     /// No shadowing.
     #[must_use]
     pub fn none() -> Self {
@@ -169,7 +179,7 @@ impl Shadowing {
         let u2 = ((h2 >> 11) as f64) / ((1u64 << 53) as f64);
         let z = crate::math::sqrt(-2.0 * crate::math::ln(u1))
             * crate::math::cos(core::f64::consts::TAU * u2);
-        z * self.sigma_db
+        z.clamp(-Self::MAX_OFFSET_SIGMA, Self::MAX_OFFSET_SIGMA) * self.sigma_db
     }
 }
 
@@ -263,6 +273,16 @@ mod tests {
         let std = (sum_sq / f64::from(n) - mean * mean).sqrt();
         assert!(mean.abs() < 0.5, "mean {mean}");
         assert!((std - 6.0).abs() < 0.5, "std {std}");
+    }
+
+    #[test]
+    fn shadowing_offsets_are_bounded() {
+        let s = Shadowing::new(6.0, 99);
+        let bound = Shadowing::MAX_OFFSET_SIGMA * 6.0;
+        for i in 0..5000 {
+            let v = s.offset_db(i, i.wrapping_add(1));
+            assert!(v.abs() <= bound, "offset {v} exceeds ±{bound}");
+        }
     }
 
     #[test]

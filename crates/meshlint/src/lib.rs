@@ -251,6 +251,9 @@ impl Config {
                 "crates/core/src/stack/transport.rs".into(),
                 "crates/radio-sim/src/event.rs".into(),
                 "crates/radio-sim/src/metrics.rs".into(),
+                // Shard partitioning runs on every event-engine batch
+                // decision and every transmission's roster registration.
+                "crates/radio-sim/src/shard.rs".into(),
             ],
             no_std_crates: vec!["core".into(), "lora-phy".into()],
         }

@@ -329,6 +329,29 @@ impl EventQueue {
     /// a tombstone otherwise. Use [`EventQueue::schedule_timer`] for the
     /// invalidate-and-restamp flow.
     pub fn schedule(&mut self, at: SimTime, event: SimEvent) {
+        let seq = self.alloc_seq();
+        self.schedule_at_seq(at, seq, event);
+    }
+
+    /// Reserves the next sequence number without enqueueing anything.
+    ///
+    /// The sharded engine keeps the `(time, seq)` total order *global*
+    /// across its per-shard queues by allocating every sequence number
+    /// from one designated coordinator queue and inserting into shard
+    /// queues via [`EventQueue::schedule_at_seq`].
+    #[must_use]
+    pub fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Schedules `event` at `at` under an externally allocated sequence
+    /// number (see [`EventQueue::alloc_seq`]). Timer stamps are booked
+    /// exactly as in [`EventQueue::schedule`]. The caller must keep the
+    /// supplied numbers unique and creation-ordered; this queue's own
+    /// counter is not consulted or advanced.
+    pub fn schedule_at_seq(&mut self, at: SimTime, seq: u64, event: SimEvent) {
         if let SimEvent::Timer(node, gen) = event {
             self.ensure_node(node);
             if self.timer_is_live(node, gen) {
@@ -339,9 +362,16 @@ impl EventQueue {
                 self.stale_pending += 1;
             }
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
         self.insert(Scheduled { at, seq, event });
+    }
+
+    /// [`EventQueue::schedule_timer`] with an externally allocated
+    /// sequence number: invalidates the node's queued timers, restamps,
+    /// and enqueues under `seq`.
+    pub fn schedule_timer_seq(&mut self, at: SimTime, node: NodeId, seq: u64) {
+        self.invalidate(node);
+        let gen = self.timer_gen.get(node.0).copied().unwrap_or(0);
+        self.schedule_at_seq(at, seq, SimEvent::Timer(node, gen));
     }
 
     /// Removes and returns the earliest live event, if any. Stale timer
@@ -365,6 +395,15 @@ impl EventQueue {
     /// because stale tombstones ahead of it are discarded.
     #[must_use]
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek_key().map(|(at, _)| at)
+    }
+
+    /// The full `(time, seq)` key of the earliest live pending event —
+    /// what the sharded engine's k-way merge compares across queues.
+    /// Takes `&mut self` because stale tombstones ahead of it are
+    /// discarded.
+    #[must_use]
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
         if !self.settle() {
             return None;
         }
@@ -372,7 +411,7 @@ impl EventQueue {
         self.buckets
             .get(slot)
             .and_then(|heap| heap.peek())
-            .map(|s| s.at)
+            .map(|s| (s.at, s.seq))
     }
 
     /// Number of pending events, including stale timer tombstones that
@@ -577,6 +616,67 @@ mod tests {
         q.cancel_timer(node(0));
         // peek must skip the tombstone at 5 ms and report the live event.
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(10)));
+        assert_eq!(q.stale_timers_dropped(), 1);
+    }
+
+    #[test]
+    fn peek_key_exposes_the_insertion_sequence() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), SimEvent::App(node(0), 0));
+        q.schedule(SimTime::from_millis(5), SimEvent::App(node(1), 1));
+        let (at, seq) = q.peek_key().unwrap();
+        assert_eq!(at, SimTime::from_millis(5));
+        q.pop();
+        let (_, seq2) = q.peek_key().unwrap();
+        assert!(seq2 > seq, "ties must expose ascending seq");
+    }
+
+    #[test]
+    fn external_seqs_merge_across_queues_in_global_order() {
+        // Two shard queues fed from one coordinator counter: merging by
+        // peek_key must reproduce the exact interleaved creation order.
+        let mut coord = EventQueue::new();
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        let t = SimTime::from_millis(9);
+        for i in 0..12u32 {
+            let seq = coord.alloc_seq();
+            let q = if i % 3 == 0 { &mut a } else { &mut b };
+            q.schedule_at_seq(t, seq, SimEvent::App(node(i), u64::from(i)));
+        }
+        let mut merged = Vec::new();
+        loop {
+            let ka = a.peek_key();
+            let kb = b.peek_key();
+            let from_a = match (ka, kb) {
+                (Some(x), Some(y)) => x < y,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let q = if from_a { &mut a } else { &mut b };
+            merged.push(q.pop().unwrap().1);
+        }
+        let expected: Vec<_> = (0..12u32)
+            .map(|i| SimEvent::App(node(i), u64::from(i)))
+            .collect();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn schedule_timer_seq_tombstones_like_schedule_timer() {
+        let mut coord = EventQueue::new();
+        let mut q = EventQueue::new();
+        let s1 = coord.alloc_seq();
+        q.schedule_timer_seq(SimTime::from_millis(10), node(0), s1);
+        let s2 = coord.alloc_seq();
+        q.schedule_timer_seq(SimTime::from_millis(20), node(0), s2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.live_len(), 1);
+        let (at, event) = q.pop().unwrap();
+        assert_eq!(at, SimTime::from_millis(20));
+        assert!(matches!(event, SimEvent::Timer(n, _) if n == node(0)));
+        assert_eq!(q.pop(), None);
         assert_eq!(q.stale_timers_dropped(), 1);
     }
 

@@ -26,6 +26,7 @@
 //! * [`medium`] — the shared channel: who hears whom, collisions, capture.
 //! * [`link_cache`] — per-topology-epoch cache of link budgets and
 //!   audible-neighbor lists (the hot-path accelerator).
+//! * [`shard`] — spatial partitioning for the sharded event engine.
 //! * [`radio`] — per-node half-duplex radio state machine.
 //! * [`firmware`] — the [`Firmware`] trait protocol implementations adapt to.
 //! * [`topology`] — node placement generators.
@@ -69,6 +70,7 @@ pub mod metrics;
 pub mod mobility;
 pub mod radio;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod time;
 pub mod topology;

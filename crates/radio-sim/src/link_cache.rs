@@ -55,10 +55,14 @@ pub struct LinkRow {
 }
 
 /// Lazily filled symmetric matrix of link budgets, invalidated wholesale
-/// whenever any position may have changed.
+/// whenever any position may have changed — or row-by-row by the sharded
+/// engine, which knows which spatial bands a mobility tick touched.
 #[derive(Debug, Default)]
 pub struct LinkCache {
     rows: Vec<Option<LinkRow>>,
+    /// Rows filled since construction (cache-rebuild accounting for the
+    /// scoped-invalidation regression tests; not part of any metric).
+    rebuilds: u64,
 }
 
 impl LinkCache {
@@ -95,12 +99,31 @@ impl LinkCache {
         }
     }
 
+    /// Drops one node's cached row, leaving the others in place. The
+    /// sharded engine calls this for exactly the rows a mobility tick
+    /// could have changed; rows it leaves cached may retain stale
+    /// *sub-sensitivity* powers toward moved far-away nodes, which the
+    /// simulator provably never reads (interference is audibility-gated).
+    pub fn invalidate_row(&mut self, i: usize) {
+        if let Some(row) = self.rows.get_mut(i) {
+            *row = None;
+        }
+    }
+
+    /// Number of row fills since construction — how many times a
+    /// (re-)computation of some node's links actually ran.
+    #[must_use]
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
     /// Row `i`, computing it on first access this epoch. `compute(j)`
     /// must return the link budget between nodes `i` and `j`; it is only
     /// invoked for pairs no other cached row already covers (links are
     /// symmetric, so entry `i` of a cached row `j` is reused directly).
     pub fn row(&mut self, i: usize, mut compute: impl FnMut(usize) -> Link) -> &LinkRow {
         if self.rows[i].is_none() {
+            self.rebuilds += 1;
             let n = self.rows.len();
             let mut links = Vec::with_capacity(n);
             let mut audible = Vec::new();
@@ -173,6 +196,25 @@ mod tests {
             link(-80.0, true)
         });
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn invalidate_row_is_scoped_and_counted() {
+        let mut cache = LinkCache::new();
+        cache.resize(3);
+        let _ = cache.row(0, |_| link(-80.0, true));
+        let _ = cache.row(1, |_| link(-85.0, true));
+        assert_eq!(cache.rebuilds(), 2);
+        cache.invalidate_row(0);
+        // Row 1 must survive; row 0 must refill (one more rebuild).
+        let _ = cache.row(1, |_| panic!("row 1 was not invalidated"));
+        let mut calls = 0;
+        let _ = cache.row(0, |_| {
+            calls += 1;
+            link(-80.0, true)
+        });
+        assert_eq!(calls, 1, "only the uncached pair (0,2) is recomputed");
+        assert_eq!(cache.rebuilds(), 3);
     }
 
     #[test]

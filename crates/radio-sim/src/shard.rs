@@ -1,0 +1,287 @@
+//! Spatial partitioning for the sharded event engine.
+//!
+//! The sharded engine splits the plane into contiguous *bands* along the
+//! x-axis (a degenerate grid of range-sized cells: one column per shard)
+//! and gives each band its own calendar queue. The partition is sound
+//! because audibility is *distance-bounded*: with the shadowing offset
+//! truncated at ±[`Shadowing::MAX_OFFSET_SIGMA`]·σ, there is a finite
+//! [`max_audible_range`] beyond which no link can ever exceed the
+//! modulation's sensitivity. A transmission from `x` can therefore only
+//! be heard (or interfere audibly, or trip a CAD scan) inside
+//! `[x − r_max, x + r_max]`, so it only needs to be visible to the bands
+//! overlapping that interval ([`Partitioner::reach`]); everything else
+//! is provably shard-local.
+//!
+//! The matching *temporal* bound is [`min_lookahead`]: every frame is on
+//! the air for at least one preamble, so an event processed at `t` can
+//! only create events in *other* shards (an `RxEnd` at a receiver homed
+//! elsewhere) at `t + preamble` or later. The engine's merge loop uses
+//! this window to drain one shard's queue in batches without consulting
+//! the others (see `sim.rs`).
+//!
+//! Band edges are chosen once — quantiles of the node x-coordinates at
+//! `start()` — and never move, so `band_of` is a pure function for the
+//! whole run and both engines agree on it forever.
+
+use std::time::Duration;
+
+use lora_phy::link::sensitivity;
+use lora_phy::propagation::Shadowing;
+
+use crate::medium::RfConfig;
+
+/// The farthest distance (metres) at which any link under `config` can
+/// be audible, shadowing included.
+///
+/// A link is audible when `tx_power + 2·antenna_gain − loss(d) + shadow`
+/// reaches the SF/BW sensitivity; the best case is the maximum shadowing
+/// offset `+MAX_OFFSET_SIGMA·σ`. Path loss is monotone in distance, so
+/// the bound is found by bisection. Returns `0.0` when even adjacent
+/// nodes can never hear each other (a degenerate but safe partition:
+/// every audibility claim is then vacuous).
+#[must_use]
+pub fn max_audible_range(config: &RfConfig) -> f64 {
+    let sens = sensitivity(
+        config.modulation.spreading_factor,
+        config.modulation.bandwidth,
+    );
+    // Maximum tolerable path loss for an audible link.
+    let margin = config.tx_power.value() + 2.0 * config.antenna_gain_db - sens.value()
+        + Shadowing::MAX_OFFSET_SIGMA * config.shadowing.sigma_db;
+    if config.path_loss.loss_db(0.0) > margin {
+        return 0.0;
+    }
+    // Exponential search for an inaudible distance, then bisect. The cap
+    // only guards pathological configs (margin so large the model never
+    // crosses it within 10^12 m); real LoRa budgets converge in ~40 steps.
+    let mut hi = 1.0;
+    while config.path_loss.loss_db(hi) <= margin {
+        hi *= 2.0;
+        if hi >= 1.0e12 {
+            return hi;
+        }
+    }
+    let mut lo = 0.0;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if config.path_loss.loss_db(mid) <= margin {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // `hi` is inaudible, so every audible distance is strictly below it.
+    hi
+}
+
+/// The conservative lookahead window of the sharded engine: the shortest
+/// possible airtime under `config`, which is one preamble
+/// (`time_on_air(n) = preamble_time() + payload time` for every `n`).
+#[must_use]
+pub fn min_lookahead(config: &RfConfig) -> Duration {
+    config.modulation.preamble_time()
+}
+
+/// Fixed partition of the x-axis into contiguous bands.
+///
+/// `shards` bands are separated by `shards − 1` edges placed at
+/// quantiles of the initial node x-coordinates, so load balances even
+/// for clustered topologies. Edges never move after construction.
+#[derive(Clone, Debug)]
+pub struct Partitioner {
+    /// Ascending interior band boundaries (`bands() == edges.len() + 1`).
+    edges: Vec<f64>,
+    /// Maximum audible distance (metres) used for reach computations.
+    r_max: f64,
+}
+
+impl Partitioner {
+    /// Builds a partition of `shards` bands from the given node
+    /// x-coordinates. With no nodes (or `shards <= 1`) the partition
+    /// degenerates to a single band, which is always sound.
+    #[must_use]
+    pub fn new(xs: &[f64], shards: usize, r_max: f64) -> Self {
+        let mut edges = Vec::new();
+        if shards > 1 && !xs.is_empty() {
+            let mut sorted = xs.to_vec();
+            sorted.sort_by(f64::total_cmp);
+            for k in 1..shards {
+                // `k < shards`, so the quantile index is always in
+                // bounds; `get` keeps the hot path panic-free anyway.
+                if let Some(&edge) = sorted.get(k * sorted.len() / shards) {
+                    edges.push(edge);
+                }
+            }
+        }
+        Partitioner { edges, r_max }
+    }
+
+    /// Number of bands.
+    #[must_use]
+    pub fn bands(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    /// The audible-range bound the partition was built with.
+    #[must_use]
+    pub fn r_max(&self) -> f64 {
+        self.r_max
+    }
+
+    /// The band containing coordinate `x`. Band `b` covers
+    /// `[edges[b-1], edges[b])` with unbounded first and last bands.
+    #[must_use]
+    pub fn band_of(&self, x: f64) -> usize {
+        self.edges.partition_point(|e| *e <= x)
+    }
+
+    /// The inclusive band range a transmission originating at `x` can
+    /// reach: every band overlapping `[x − r_max, x + r_max]`.
+    #[must_use]
+    pub fn reach(&self, x: f64) -> (usize, usize) {
+        self.reach_interval(x, x)
+    }
+
+    /// The inclusive band range within `r_max` of the x-interval
+    /// `[lo, hi]` — used to scope link-cache invalidation to the bands a
+    /// node's move could affect.
+    #[must_use]
+    pub fn reach_interval(&self, lo: f64, hi: f64) -> (usize, usize) {
+        (self.band_of(lo - self.r_max), self.band_of(hi + self.r_max))
+    }
+
+    /// Whether a node at `x` is *interior* to its band: no transmission
+    /// from `x` can be heard outside the band, and nothing audible at
+    /// `x` can originate outside it.
+    #[must_use]
+    pub fn is_interior(&self, x: f64) -> bool {
+        let (lo, hi) = self.reach(x);
+        lo == hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::propagation::PathLossModel;
+
+    #[test]
+    fn range_bound_is_conservative_and_finite() {
+        let config = RfConfig::default();
+        let r = max_audible_range(&config);
+        assert!(r.is_finite() && r > 0.0, "r_max = {r}");
+        // Just inside must be at most the margin; just outside must
+        // exceed it (monotone loss ⇒ the bisection bracketed the edge).
+        let sens = sensitivity(
+            config.modulation.spreading_factor,
+            config.modulation.bandwidth,
+        );
+        let margin = config.tx_power.value() + 2.0 * config.antenna_gain_db - sens.value();
+        assert!(config.path_loss.loss_db(r * 0.999) <= margin + 1e-6);
+        assert!(config.path_loss.loss_db(r * 1.001) > margin - 1e-6);
+    }
+
+    #[test]
+    fn shadowing_widens_the_range_bound() {
+        let base = RfConfig::default();
+        let shadowed = RfConfig {
+            shadowing: Shadowing::new(4.0, 7),
+            ..RfConfig::default()
+        };
+        assert!(max_audible_range(&shadowed) > max_audible_range(&base));
+    }
+
+    #[test]
+    fn hopeless_link_budget_gives_zero_range() {
+        // Reference loss far beyond any link budget.
+        let config = RfConfig {
+            path_loss: PathLossModel::LogDistance {
+                reference_loss_db: 500.0,
+                reference_distance_m: 1.0,
+                exponent: 2.0,
+            },
+            ..RfConfig::default()
+        };
+        assert_eq!(max_audible_range(&config), 0.0);
+    }
+
+    #[test]
+    fn lookahead_is_the_preamble_and_bounds_every_airtime() {
+        let config = RfConfig::default();
+        let la = min_lookahead(&config);
+        assert!(la > Duration::ZERO);
+        for len in [0, 1, 16, 255] {
+            assert!(config.modulation.time_on_air(len) >= la);
+        }
+    }
+
+    #[test]
+    fn quantile_edges_balance_a_uniform_line() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let p = Partitioner::new(&xs, 4, 5.0);
+        assert_eq!(p.bands(), 4);
+        let mut counts = [0usize; 4];
+        for &x in &xs {
+            counts[p.band_of(x)] += 1;
+        }
+        assert_eq!(counts, [25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn band_of_is_monotone_and_total() {
+        let p = Partitioner::new(&[0.0, 10.0, 20.0, 30.0], 4, 1.0);
+        let mut last = 0;
+        for x in [-1.0e9, -5.0, 3.0, 11.0, 29.0, 1.0e9] {
+            let b = p.band_of(x);
+            assert!(b >= last);
+            assert!(b < p.bands());
+            last = b;
+        }
+    }
+
+    #[test]
+    fn reach_covers_every_band_within_r_max() {
+        let xs: Vec<f64> = (0..64).map(|i| f64::from(i) * 10.0).collect();
+        let p = Partitioner::new(&xs, 8, 35.0);
+        for &x in &xs {
+            let (lo, hi) = p.reach(x);
+            assert!(lo <= p.band_of(x) && p.band_of(x) <= hi);
+            for &y in &xs {
+                if (x - y).abs() <= 35.0 {
+                    let b = p.band_of(y);
+                    assert!(
+                        (lo..=hi).contains(&b),
+                        "{y} within reach of {x} but band {b} outside {lo}..={hi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interior_nodes_cannot_reach_other_bands() {
+        let xs: Vec<f64> = (0..64).map(|i| f64::from(i) * 10.0).collect();
+        let p = Partitioner::new(&xs, 4, 15.0);
+        let interior: Vec<f64> = xs.iter().copied().filter(|&x| p.is_interior(x)).collect();
+        assert!(!interior.is_empty(), "some nodes must be interior");
+        for &x in &interior {
+            assert_eq!(p.band_of(x - 15.0), p.band_of(x + 15.0));
+        }
+    }
+
+    #[test]
+    fn degenerate_partitions_are_single_band() {
+        assert_eq!(Partitioner::new(&[], 8, 10.0).bands(), 1);
+        assert_eq!(Partitioner::new(&[1.0, 2.0], 1, 10.0).bands(), 1);
+    }
+
+    #[test]
+    fn bands_narrower_than_r_max_reach_multiple_neighbors() {
+        // Dense cluster: every band is narrower than r_max, so reach must
+        // span several bands, not just adjacent ones.
+        let xs: Vec<f64> = (0..80).map(|i| f64::from(i) * 1.0).collect();
+        let p = Partitioner::new(&xs, 8, 50.0);
+        let (lo, hi) = p.reach(40.0);
+        assert!(hi - lo >= 4, "reach {lo}..={hi} too narrow");
+    }
+}

@@ -35,6 +35,7 @@ use crate::metrics::Metrics;
 use crate::mobility::{Mobility, MobilityState};
 use crate::radio::{Radio, RadioState, Reception};
 use crate::rng::SimRng;
+use crate::shard::{self, Partitioner};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
 
@@ -64,6 +65,16 @@ pub struct SimConfig {
     /// stale-timer counters differ — so this stays on except when
     /// differential-testing the engine itself (tests/engine_diff.rs).
     pub timer_tombstones: bool,
+    /// Number of spatial shards the event engine partitions the world
+    /// into (see [`crate::shard`]). `1` (the default) runs the classic
+    /// sequential engine; `> 1` gives each spatial band its own calendar
+    /// queue, range-scoped medium roster and range-scoped link-cache
+    /// invalidation, merged under a conservative lookahead window.
+    /// Behaviourally transparent — traces, metrics, RNG draws and
+    /// firmware callbacks are byte-identical for every shard count; only
+    /// the stale-timer drop *timing* differs (tests/shard_diff.rs) — so
+    /// the sequential engine remains the differential reference.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -75,6 +86,7 @@ impl Default for SimConfig {
             mobility_tick: Duration::from_secs(1),
             link_cache: true,
             timer_tombstones: true,
+            shards: 1,
         }
     }
 }
@@ -88,6 +100,61 @@ struct NodeSlot<F> {
     alive: bool,
     /// The firmware wake time for which a timer event is pending.
     scheduled_wake: Option<Duration>,
+}
+
+/// Runtime state of the sharded engine, built at [`Simulator::start`]
+/// when [`SimConfig::shards`] > 1.
+///
+/// Each spatial band owns a calendar queue holding the *internal* events
+/// (timers, `TxEnd`/`RxEnd`/CAD) of the nodes homed there; externally
+/// injected events (app traffic, faults, mobility ticks) stay on the
+/// coordinator queue ([`Simulator::queue`]), which also allocates every
+/// sequence number so `(time, seq)` remains one global total order. The
+/// run loop merges all queues in exactly that order — which is why the
+/// sharded engine is byte-identical to the sequential one — and uses the
+/// lookahead window to drain one band's queue in batches (see
+/// [`crate::shard`] for the partitioning and lookahead arguments).
+struct ShardState {
+    /// The fixed spatial partition (band edges never move).
+    parts: Partitioner,
+    /// Each node's home queue: its band at the moment it was added.
+    /// Fixed for the node's lifetime even if it migrates across band
+    /// edges — routing is a pure load-balancing choice (the merge is
+    /// global), and a fixed home keeps each queue's timer-generation
+    /// table authoritative for its nodes.
+    home: Vec<usize>,
+    /// One calendar queue per band.
+    queues: Vec<EventQueue>,
+    /// δ: the conservative lookahead window (one preamble airtime).
+    lookahead: Duration,
+    /// Per band: in-flight transmissions visible there (every tx whose
+    /// origin is within `r_max` of the band), ascending by frame id —
+    /// frame ids are allocated monotonically, so pushes keep it sorted.
+    active: Vec<Vec<(FrameId, NodeId, Position)>>,
+    /// Scratch: bands touched by the current mobility tick.
+    touched: Vec<bool>,
+}
+
+impl ShardState {
+    /// Registers a transmission in every band it can reach.
+    fn register(&mut self, frame: FrameId, sender: NodeId, origin: Position) {
+        let (lo, hi) = self.parts.reach(origin.x);
+        for band in lo..=hi {
+            self.active[band].push((frame, sender, origin));
+        }
+    }
+
+    /// Removes a transmission from every band it was registered in.
+    /// Reach is recomputed from the (immutable) origin, so registration
+    /// and removal always agree.
+    fn unregister(&mut self, frame: FrameId, origin: Position) {
+        let (lo, hi) = self.parts.reach(origin.x);
+        for band in lo..=hi {
+            if let Ok(pos) = self.active[band].binary_search_by_key(&frame, |e| e.0) {
+                self.active[band].remove(pos);
+            }
+        }
+    }
 }
 
 /// A deterministic discrete-event simulation of a LoRa network.
@@ -112,10 +179,12 @@ pub struct Simulator<F: Firmware> {
     /// Cached link budgets for the current topology epoch.
     link_cache: LinkCache,
     /// Indices of nodes currently in [`RadioState::Rx`], kept sorted
-    /// ascending. The culled fan-out must still visit these even when
-    /// they cannot hear the new frame: sub-sensitivity interference
-    /// still enters their interference sums. A sorted `Vec` rather than
-    /// a `BTreeSet`: membership churn in the hot path must not allocate.
+    /// ascending. Interference sums are audibility-gated (sub-sensitivity
+    /// power never enters one), so the culled fan-out no longer needs to
+    /// visit receivers; this index powers the sharded engine's
+    /// `TxEnd`/`kill` interferer sweeps, which visit only locked
+    /// receivers instead of all N nodes. A sorted `Vec` rather than a
+    /// `BTreeSet`: membership churn in the hot path must not allocate.
     rx_nodes: Vec<usize>,
     /// Reused fan-out index buffer (avoids a per-transmission alloc).
     fanout_scratch: Vec<usize>,
@@ -128,6 +197,8 @@ pub struct Simulator<F: Firmware> {
     active_scratch: Vec<(NodeId, Position)>,
     /// Events processed so far (throughput accounting for benches).
     events_processed: u64,
+    /// Sharded-engine state ([`SimConfig::shards`] > 1), built at start.
+    shard: Option<ShardState>,
 }
 
 impl<F: Firmware> Simulator<F> {
@@ -154,6 +225,7 @@ impl<F: Firmware> Simulator<F> {
             interferer_scratch: Vec::new(),
             active_scratch: Vec::new(),
             events_processed: 0,
+            shard: None,
         }
     }
 
@@ -181,6 +253,10 @@ impl<F: Firmware> Simulator<F> {
             scheduled_wake: None,
         });
         self.link_cache.resize(self.nodes.len());
+        if let Some(sh) = &mut self.shard {
+            // Late joiner: home it in the band it appears in.
+            sh.home.push(sh.parts.band_of(position.x));
+        }
         if self.started {
             self.fire(id.0, |fw, ctx| fw.on_start(ctx));
         }
@@ -249,6 +325,13 @@ impl<F: Firmware> Simulator<F> {
         self.events_processed
     }
 
+    /// Number of link-cache row (re)builds so far — regression
+    /// accounting for the sharded engine's scoped invalidation.
+    #[must_use]
+    pub fn link_rebuilds(&self) -> u64 {
+        self.link_cache.rebuilds()
+    }
+
     /// The debug trace (empty unless [`SimConfig::trace_capacity`] > 0).
     #[must_use]
     pub fn trace(&self) -> &Trace {
@@ -311,6 +394,31 @@ impl<F: Firmware> Simulator<F> {
             return;
         }
         self.started = true;
+        if self.config.shards > 1 && self.shard.is_none() {
+            let xs: Vec<f64> = self.nodes.iter().map(|s| s.position.x).collect();
+            let r_max = shard::max_audible_range(self.medium.config());
+            let parts = Partitioner::new(&xs, self.config.shards, r_max);
+            let bands = parts.bands();
+            let mut sh = ShardState {
+                home: self
+                    .nodes
+                    .iter()
+                    .map(|s| parts.band_of(s.position.x))
+                    .collect(),
+                queues: (0..bands).map(|_| EventQueue::new()).collect(),
+                lookahead: shard::min_lookahead(self.medium.config()),
+                active: vec![Vec::new(); bands],
+                touched: vec![false; bands],
+                parts,
+            };
+            // Transmissions begun before start (tests driving `with_node`
+            // early) predate the rosters; enroll them now. `active()`
+            // iterates ascending by frame id, preserving sortedness.
+            for tx in self.medium.active() {
+                sh.register(tx.frame, tx.sender, tx.origin);
+            }
+            self.shard = Some(sh);
+        }
         for i in 0..self.nodes.len() {
             self.fire(i, |fw, ctx| fw.on_start(ctx));
         }
@@ -321,14 +429,18 @@ impl<F: Firmware> Simulator<F> {
     pub fn run_until(&mut self, until: Duration) {
         self.start();
         let until = SimTime::from(until);
-        while let Some(at) = self.queue.peek_time() {
-            if at > until {
-                break;
+        if self.shard.is_some() {
+            self.run_merged(until);
+        } else {
+            while let Some(at) = self.queue.peek_time() {
+                if at > until {
+                    break;
+                }
+                self.step();
             }
-            self.step();
         }
         // Peeking may have discarded stale tombstones after the last step.
-        self.metrics.stale_timers_dropped = self.queue.stale_timers_dropped();
+        self.metrics.stale_timers_dropped = self.stale_dropped_total();
         if until > self.now {
             self.now = until;
         }
@@ -342,13 +454,24 @@ impl<F: Firmware> Simulator<F> {
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.start();
-        let Some((at, event)) = self.queue.pop() else {
+        let popped = if self.shard.is_some() {
+            self.pop_next_merged()
+        } else {
+            self.queue.pop()
+        };
+        let Some((at, event)) = popped else {
             return false;
         };
+        self.dispatch(at, event);
+        self.metrics.stale_timers_dropped = self.stale_dropped_total();
+        true
+    }
+
+    /// Advances the clock to `at` and handles one event.
+    fn dispatch(&mut self, at: SimTime, event: SimEvent) {
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.events_processed += 1;
-        self.metrics.stale_timers_dropped = self.queue.stale_timers_dropped();
         match event {
             SimEvent::Timer(node, _) => self.handle_timer(node),
             SimEvent::TxEnd(node, frame) => self.handle_tx_end(node, frame),
@@ -369,7 +492,101 @@ impl<F: Firmware> Simulator<F> {
             SimEvent::Revive(node) => self.revive(node),
             SimEvent::MobilityTick => self.mobility_tick(),
         }
-        true
+    }
+
+    /// Pops the globally next event across the coordinator queue and
+    /// every shard queue — the single-step form of the sharded merge.
+    fn pop_next_merged(&mut self) -> Option<(SimTime, SimEvent)> {
+        let mut best = self.queue.peek_key();
+        let mut from = usize::MAX;
+        let sh = self.shard.as_mut().expect("sharded engine");
+        for (qi, q) in sh.queues.iter_mut().enumerate() {
+            let Some(k) = q.peek_key() else { continue };
+            if best.is_none_or(|b| k < b) {
+                best = Some(k);
+                from = qi;
+            }
+        }
+        best?;
+        if from == usize::MAX {
+            self.queue.pop()
+        } else {
+            sh.queues[from].pop()
+        }
+    }
+
+    /// The sharded run loop: a k-way merge of the coordinator queue and
+    /// every shard queue by `(time, seq)` — exactly the global order the
+    /// sequential engine processes, which is why both engines are
+    /// byte-identical. The winning shard queue is drained in a *batch*
+    /// while its head is provably still the global minimum:
+    ///
+    /// * internal events only create cross-queue work (an `RxEnd` at a
+    ///   receiver homed elsewhere) at `now + airtime ≥ t0 + lookahead`
+    ///   (see [`crate::shard`]), bounding the batch by the lookahead
+    ///   horizon;
+    /// * nothing in a batch inserts into the coordinator queue (faults,
+    ///   app traffic and mobility ticks are injected externally), and
+    ///   coordinator events are processed one at a time because they
+    ///   *can* create immediate work anywhere (a revive fires
+    ///   `on_start` now);
+    /// * same-queue insertions (timers clamped to now, CAD endings) are
+    ///   handled by re-peeking the head every iteration;
+    /// * the pre-batch second-best head caps the batch from the side of
+    ///   the *existing* contents of the other queues.
+    fn run_merged(&mut self, until: SimTime) {
+        loop {
+            let mut best = self.queue.peek_key();
+            let mut from = usize::MAX;
+            let mut second: Option<(SimTime, u64)> = None;
+            {
+                let sh = self.shard.as_mut().expect("sharded engine");
+                for (qi, q) in sh.queues.iter_mut().enumerate() {
+                    let Some(k) = q.peek_key() else { continue };
+                    if best.is_none_or(|b| k < b) {
+                        second = best;
+                        best = Some(k);
+                        from = qi;
+                    } else if second.is_none_or(|s| k < s) {
+                        second = Some(k);
+                    }
+                }
+            }
+            let Some((t0, _)) = best else { return };
+            if t0 > until {
+                return;
+            }
+            if from == usize::MAX {
+                let (at, event) = self.queue.pop().expect("peeked");
+                self.dispatch(at, event);
+                continue;
+            }
+            let horizon = t0 + self.shard.as_ref().expect("sharded engine").lookahead;
+            loop {
+                let sh = self.shard.as_mut().expect("sharded engine");
+                let Some(k) = sh.queues[from].peek_key() else {
+                    break;
+                };
+                if k.0 > until || k.0 >= horizon || second.is_some_and(|s| k >= s) {
+                    break;
+                }
+                let (at, event) = sh.queues[from].pop().expect("peeked");
+                self.dispatch(at, event);
+            }
+        }
+    }
+
+    /// Stale-timer tombstone drops across every queue.
+    fn stale_dropped_total(&self) -> u64 {
+        let mut total = self.queue.stale_timers_dropped();
+        if let Some(sh) = &self.shard {
+            total += sh
+                .queues
+                .iter()
+                .map(EventQueue::stale_timers_dropped)
+                .sum::<u64>();
+        }
+        total
     }
 
     /// Finalises per-node radio accounting (call before reading state
@@ -404,6 +621,48 @@ impl<F: Firmware> Simulator<F> {
         result
     }
 
+    /// Schedules an internal event owned by `node` — on the node's home
+    /// shard queue when sharded (with a globally allocated sequence
+    /// number, so the k-way merge reproduces insertion order), else on
+    /// the global queue.
+    fn schedule_for(&mut self, at: SimTime, node: usize, event: SimEvent) {
+        match &mut self.shard {
+            Some(sh) => {
+                let seq = self.queue.alloc_seq();
+                sh.queues[sh.home[node]].schedule_at_seq(at, seq, event);
+            }
+            None => self.queue.schedule(at, event),
+        }
+    }
+
+    /// Tombstones any queued timer for `node` and schedules a fresh one
+    /// in whichever queue owns the node.
+    fn schedule_wake(&mut self, at: SimTime, node: NodeId) {
+        match &mut self.shard {
+            Some(sh) => {
+                let seq = self.queue.alloc_seq();
+                sh.queues[sh.home[node.0]].schedule_timer_seq(at, node, seq);
+            }
+            None => self.queue.schedule_timer(at, node),
+        }
+    }
+
+    /// Cancels `node`'s pending timer in whichever queue owns it.
+    fn cancel_wake(&mut self, node: NodeId) {
+        match &mut self.shard {
+            Some(sh) => sh.queues[sh.home[node.0]].cancel_timer(node),
+            None => self.queue.cancel_timer(node),
+        }
+    }
+
+    /// `node`'s timer generation in its owning queue (legacy engine).
+    fn wake_generation(&mut self, node: NodeId) -> u64 {
+        match &mut self.shard {
+            Some(sh) => sh.queues[sh.home[node.0]].timer_generation(node),
+            None => self.queue.timer_generation(node),
+        }
+    }
+
     /// Keeps exactly one pending timer event aligned with the firmware's
     /// requested wake time.
     fn sync_wake(&mut self, i: usize) {
@@ -420,20 +679,20 @@ impl<F: Firmware> Simulator<F> {
                     // Tombstones any previously queued timer for this
                     // node and stamps the new one with a fresh
                     // generation.
-                    self.queue.schedule_timer(at, NodeId(i));
+                    self.schedule_wake(at, NodeId(i));
                 } else {
                     // Legacy engine behaviour: pile up timer events and
                     // sort out staleness in `handle_timer`. Stamping
                     // with the current (never-bumped) generation keeps
                     // them all live.
                     let node = NodeId(i);
-                    let gen = self.queue.timer_generation(node);
-                    self.queue.schedule(at, SimEvent::Timer(node, gen));
+                    let gen = self.wake_generation(node);
+                    self.schedule_for(at, node.0, SimEvent::Timer(node, gen));
                 }
             }
         } else {
             if self.config.timer_tombstones && slot.scheduled_wake.is_some() {
-                self.queue.cancel_timer(NodeId(i));
+                self.cancel_wake(NodeId(i));
             }
             self.nodes[i].scheduled_wake = None;
         }
@@ -549,14 +808,23 @@ impl<F: Firmware> Simulator<F> {
     /// The CAD predicate: any in-flight transmission (other than
     /// `except`) audible at node `i`?
     fn channel_busy(&mut self, i: usize, except: Option<NodeId>) -> bool {
-        if !self.config.link_cache {
+        if self.shard.is_none() && !self.config.link_cache {
             return self
                 .medium
                 .channel_busy_at(&self.nodes[i].position, NodeId(i), except);
         }
         let mut active = std::mem::take(&mut self.active_scratch);
         active.clear();
-        active.extend(self.medium.active().map(|tx| (tx.sender, tx.origin)));
+        // The band roster is a superset of the transmissions audible at
+        // `i` (audibility is distance-bounded), so scanning it instead of
+        // the global registry yields the same boolean.
+        match &self.shard {
+            Some(sh) => {
+                let band = sh.parts.band_of(self.nodes[i].position.x);
+                active.extend(sh.active[band].iter().map(|&(_, s, origin)| (s, origin)));
+            }
+            None => active.extend(self.medium.active().map(|tx| (tx.sender, tx.origin))),
+        }
         let mut busy = false;
         for &(sender, origin) in &active {
             if Some(sender) == except || sender.0 == i {
@@ -574,11 +842,12 @@ impl<F: Firmware> Simulator<F> {
     /// Fills `out` with the node indices `start_tx`'s fan-out must visit
     /// for a transmission by `i`, in ascending order.
     ///
-    /// With the cache on this is the merge of `i`'s audible neighbors and
-    /// the currently-receiving nodes; every skipped index is provably a
-    /// no-op in the uncached loop (inaudible + not in Rx ⇒ no lock, no
-    /// interference entry, no CAD note). With the cache off it is simply
-    /// every node, preserving the historical iteration exactly.
+    /// With the cache on this is `i`'s audible-neighbor list; every
+    /// skipped index is provably a no-op in the uncached loop (inaudible
+    /// ⇒ no lock, no CAD note, and — since interference sums are
+    /// audibility-gated — no interference entry either). With the cache
+    /// off it is simply every node, preserving the historical iteration
+    /// exactly.
     fn fill_fanout(&mut self, i: usize, out: &mut Vec<usize>) {
         out.clear();
         if !self.config.link_cache {
@@ -589,31 +858,7 @@ impl<F: Firmware> Simulator<F> {
         let row = self
             .link_cache
             .row(i, |k| Self::compute_link(medium, nodes, i, k));
-        let mut audible = row.audible.iter().copied().peekable();
-        let mut receiving = self.rx_nodes.iter().copied().peekable();
-        loop {
-            match (audible.peek(), receiving.peek()) {
-                (Some(&a), Some(&r)) => {
-                    let next = a.min(r);
-                    if a <= r {
-                        audible.next();
-                    }
-                    if r <= a {
-                        receiving.next();
-                    }
-                    out.push(next);
-                }
-                (Some(&a), None) => {
-                    audible.next();
-                    out.push(a);
-                }
-                (None, Some(&r)) => {
-                    receiving.next();
-                    out.push(r);
-                }
-                (None, None) => break,
-            }
-        }
+        out.extend(row.audible.iter().copied());
     }
 
     fn start_tx(&mut self, i: usize, bytes: std::sync::Arc<[u8]>) {
@@ -646,7 +891,10 @@ impl<F: Firmware> Simulator<F> {
         let frame = tx.frame;
         let end = self.now + tx.airtime;
         self.nodes[i].radio.begin_tx(self.now, frame, end);
-        self.queue.schedule(end, SimEvent::TxEnd(sender, frame));
+        self.schedule_for(end, i, SimEvent::TxEnd(sender, frame));
+        if let Some(sh) = &mut self.shard {
+            sh.register(frame, sender, origin);
+        }
         self.metrics.record_tx(sender, tx.airtime);
         self.trace.push(
             self.now,
@@ -681,16 +929,22 @@ impl<F: Firmware> Simulator<F> {
                     }
                 }
                 RadioState::Rx { frame: current, .. } => {
-                    // The new frame interferes with the ongoing reception.
-                    let steal = {
+                    // The new frame interferes with the ongoing reception
+                    // — when audible. Sub-sensitivity power is orders of
+                    // magnitude below both the noise floor already inside
+                    // `judge` and any signal worth locking onto, so
+                    // gating it out of the sum cannot move a judgement
+                    // that matters; it is what makes range-scoped rosters
+                    // and scoped cache invalidation exact (DESIGN.md,
+                    // "Sharded engine").
+                    let steal = link.audible && {
                         let rec = self.nodes[j]
                             .radio
                             .reception
                             .as_mut()
                             .expect("Rx state implies a reception");
                         rec.add_interferer(frame, link.power_mw);
-                        link.audible
-                            && link.power_mw >= rec.signal_mw * self.medium.capture_ratio_linear()
+                        link.power_mw >= rec.signal_mw * self.medium.capture_ratio_linear()
                             && self
                                 .medium
                                 .get(current)
@@ -734,20 +988,39 @@ impl<F: Firmware> Simulator<F> {
         let mut reception = Reception::new(frame, sender, quality, power_mw, payload);
         let mut interferers = std::mem::take(&mut self.interferer_scratch);
         interferers.clear();
-        interferers.extend(
-            self.medium
-                .active()
-                .filter(|a| a.frame != frame && a.sender != receiver)
-                .map(|a| (a.frame, a.sender, a.origin)),
-        );
+        // The sharded engine reads the receiver's band roster instead of
+        // the global registry: every audible transmission is registered
+        // there (coverage ∈ reach of its origin), and rosters are kept
+        // ascending by frame id, so the audibility filter below yields
+        // the same interferer set in the same order — bit-identical
+        // float sums — as the sequential scan.
+        match &self.shard {
+            Some(sh) => {
+                let band = sh.parts.band_of(self.nodes[j].position.x);
+                interferers.extend(
+                    sh.active[band]
+                        .iter()
+                        .filter(|&&(f, s, _)| f != frame && s != receiver)
+                        .copied(),
+                );
+            }
+            None => interferers.extend(
+                self.medium
+                    .active()
+                    .filter(|a| a.frame != frame && a.sender != receiver)
+                    .map(|a| (a.frame, a.sender, a.origin)),
+            ),
+        }
         for &(f, s, origin) in &interferers {
-            let p = self.active_tx_power_mw(s.0, origin, j);
-            reception.add_interferer(f, p);
+            if self.active_tx_audible(s.0, origin, j) {
+                let p = self.active_tx_power_mw(s.0, origin, j);
+                reception.add_interferer(f, p);
+            }
         }
         self.interferer_scratch = interferers;
         self.nodes[j].radio.begin_rx(self.now, reception, end);
         self.rx_insert(j);
-        self.queue.schedule(end, SimEvent::RxEnd(receiver, frame));
+        self.schedule_for(end, j, SimEvent::RxEnd(receiver, frame));
     }
 
     fn handle_tx_end(&mut self, node: NodeId, frame: FrameId) {
@@ -756,10 +1029,28 @@ impl<F: Firmware> Simulator<F> {
             return;
         };
         debug_assert_eq!(tx.sender, node);
-        // The frame stops interfering with ongoing receptions.
-        for slot in &mut self.nodes {
-            if let Some(rec) = slot.radio.reception.as_mut() {
-                rec.remove_interferer(frame);
+        // The frame stops interfering with ongoing receptions. The
+        // sharded engine visits only locked receivers (the rx-node
+        // index) instead of all N: a node outside it either has no
+        // reception or a stale one left behind by an rx-abort, whose
+        // contents are never read again (receptions are only consulted
+        // under a matching `Rx` radio state and are overwritten by the
+        // next lock).
+        if let Some(sh) = &mut self.shard {
+            sh.unregister(frame, tx.origin);
+            let Self {
+                nodes, rx_nodes, ..
+            } = self;
+            for &j in rx_nodes.iter() {
+                if let Some(rec) = nodes[j].radio.reception.as_mut() {
+                    rec.remove_interferer(frame);
+                }
+            }
+        } else {
+            for slot in &mut self.nodes {
+                if let Some(rec) = slot.radio.reception.as_mut() {
+                    rec.remove_interferer(frame);
+                }
             }
         }
         self.trace.push(self.now, TraceEvent::TxEnd { node, frame });
@@ -836,8 +1127,8 @@ impl<F: Firmware> Simulator<F> {
                 .modulation
                 .symbol_time()
                 .mul_f64(f64::from(self.config.cad_symbols));
-            self.queue
-                .schedule(self.now + duration, SimEvent::CadBusyReport(NodeId(i)));
+            let at = self.now + duration;
+            self.schedule_for(at, i, SimEvent::CadBusyReport(NodeId(i)));
             return;
         }
         let node = NodeId(i);
@@ -850,7 +1141,7 @@ impl<F: Firmware> Simulator<F> {
             .mul_f64(f64::from(self.config.cad_symbols));
         let until = self.now + duration;
         self.nodes[i].radio.begin_cad(self.now, until, busy_now);
-        self.queue.schedule(until, SimEvent::CadEnd(node));
+        self.schedule_for(until, i, SimEvent::CadEnd(node));
     }
 
     fn handle_cad_end(&mut self, node: NodeId) {
@@ -879,13 +1170,31 @@ impl<F: Firmware> Simulator<F> {
         // A transmission in progress is truncated: receivers locked to it
         // can no longer decode it, and it stops interfering.
         if let RadioState::Tx { frame, .. } = *self.nodes[i].radio.state() {
-            self.medium.end_tx(frame);
-            for slot in &mut self.nodes {
-                if let Some(rec) = slot.radio.reception.as_mut() {
-                    if rec.frame == frame {
-                        rec.corrupted = true;
-                    } else {
-                        rec.remove_interferer(frame);
+            let ended = self.medium.end_tx(frame);
+            if let Some(sh) = &mut self.shard {
+                // Same rx-node-scoped sweep as `handle_tx_end`.
+                let origin = ended.expect("Tx state implies an active frame").origin;
+                sh.unregister(frame, origin);
+                let Self {
+                    nodes, rx_nodes, ..
+                } = self;
+                for &j in rx_nodes.iter() {
+                    if let Some(rec) = nodes[j].radio.reception.as_mut() {
+                        if rec.frame == frame {
+                            rec.corrupted = true;
+                        } else {
+                            rec.remove_interferer(frame);
+                        }
+                    }
+                }
+            } else {
+                for slot in &mut self.nodes {
+                    if let Some(rec) = slot.radio.reception.as_mut() {
+                        if rec.frame == frame {
+                            rec.corrupted = true;
+                        } else {
+                            rec.remove_interferer(frame);
+                        }
                     }
                 }
             }
@@ -896,7 +1205,7 @@ impl<F: Firmware> Simulator<F> {
             // The legacy engine leaves dead-node timers queued and
             // filters them in `handle_timer`; tombstoning drops them
             // inside the queue instead.
-            self.queue.cancel_timer(node);
+            self.cancel_wake(node);
         }
         self.rx_remove(i);
         self.trace.push(self.now, TraceEvent::Killed { node });
@@ -926,13 +1235,44 @@ impl<F: Firmware> Simulator<F> {
 
     fn mobility_tick(&mut self) {
         let dt = self.config.mobility_tick;
-        for slot in &mut self.nodes {
-            if slot.alive && slot.mobility.is_mobile() {
-                slot.position = slot.mobility.step(slot.position, dt, &mut slot.rng);
+        if let Some(mut sh) = self.shard.take() {
+            // Scoped invalidation: a move can only change links touching
+            // nodes within audible range of the mover's old or new
+            // position. Rows of nodes outside every such interval keep
+            // correct audibility flags and bit-fresh audible powers —
+            // their stale entries are all sub-sensitivity (distance
+            // > r_max before *and* after the move, and distance ≥ |Δx|),
+            // which gated interference never reads.
+            for t in &mut sh.touched {
+                *t = false;
             }
+            for slot in &mut self.nodes {
+                if slot.alive && slot.mobility.is_mobile() {
+                    let old_x = slot.position.x;
+                    slot.position = slot.mobility.step(slot.position, dt, &mut slot.rng);
+                    let (lo, hi) = sh
+                        .parts
+                        .reach_interval(old_x.min(slot.position.x), old_x.max(slot.position.x));
+                    for band in lo..=hi {
+                        sh.touched[band] = true;
+                    }
+                }
+            }
+            for i in 0..self.nodes.len() {
+                if sh.touched[sh.parts.band_of(self.nodes[i].position.x)] {
+                    self.link_cache.invalidate_row(i);
+                }
+            }
+            self.shard = Some(sh);
+        } else {
+            for slot in &mut self.nodes {
+                if slot.alive && slot.mobility.is_mobile() {
+                    slot.position = slot.mobility.step(slot.position, dt, &mut slot.rng);
+                }
+            }
+            // Positions changed: every cached link budget is now stale.
+            self.link_cache.invalidate_all();
         }
-        // Positions changed: every cached link budget is now stale.
-        self.link_cache.invalidate_all();
         self.queue.schedule(self.now + dt, SimEvent::MobilityTick);
     }
 }

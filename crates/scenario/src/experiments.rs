@@ -40,6 +40,10 @@ pub struct ExpOptions {
     /// Worker threads for the sweep engine. Runs are deterministic and
     /// independent, so any value yields identical tables.
     pub jobs: usize,
+    /// Spatial shards for the event engine inside each run. The sharded
+    /// engine is behaviourally transparent, so any value yields
+    /// identical tables; larger values batch range-isolated regions.
+    pub shards: usize,
 }
 
 impl Default for ExpOptions {
@@ -49,6 +53,7 @@ impl Default for ExpOptions {
             seed: 42,
             seeds: 1,
             jobs: 1,
+            shards: 1,
         }
     }
 }
@@ -427,6 +432,7 @@ pub fn e5_protocol_comparison(opt: &ExpOptions) -> ExpTable {
         let positions = random_positions(n, spacing, seed ^ (n as u64) << 8);
         let mut runner = NetworkBuilder::mesh(positions, seed)
             .protocol(protocol.clone())
+            .shards(opt.shards)
             .build();
         // Identical warm-up for all protocols (mesh uses it to
         // converge; the baselines are simply idle).
@@ -943,6 +949,7 @@ pub fn e12_fairness(opt: &ExpOptions) -> ExpTable {
         let positions = random_positions(n, spacing, seed ^ (n as u64) << 40);
         let mut runner = NetworkBuilder::mesh(positions, seed)
             .protocol(protocol.clone())
+            .shards(opt.shards)
             .build();
         let start = Duration::from_secs(300);
         runner.run_until(start);

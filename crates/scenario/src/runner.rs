@@ -140,6 +140,15 @@ impl NetworkBuilder {
         self
     }
 
+    /// Number of spatial shards for the event engine (behaviourally
+    /// transparent; `1` — the default — is the sequential reference,
+    /// larger values batch-process range-isolated regions).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.sim.shards = shards;
+        self
+    }
+
     /// Enables or disables listen-before-talk on mesh nodes (ablation).
     #[must_use]
     pub fn csma(mut self, on: bool) -> Self {

@@ -29,7 +29,10 @@ cargo run -q --release --offline -p meshlint -- --root . --baseline meshlint.bas
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
-echo "==> bench_scaling --smoke (link-cache transparency + perf smoke)"
+echo "==> bench_scaling --smoke (link-cache + sharded-engine transparency smoke)"
 cargo run --release --offline -p bench --bin bench_scaling -- --smoke
+
+echo "==> meshsim --shards 4 smoke (sharded engine through the CLI)"
+cargo run -q --release --offline -p meshsim -- --nodes 12 --duration 120 --shards 4 >/dev/null
 
 echo "ci: all checks passed"

@@ -78,9 +78,9 @@ impl Firmware for Beacon {
     }
 }
 
-#[test]
-fn steady_state_event_processing_does_not_allocate() {
-    let mut sim = Simulator::new(SimConfig::default(), 42);
+fn assert_steady_state_alloc_free(mut config: SimConfig, shards: usize) {
+    config.shards = shards;
+    let mut sim = Simulator::new(config, 42);
     // A tight grid, everyone in range of everyone. Beacon phases are
     // spaced 180 ms apart — far wider than a 16-byte frame's airtime —
     // so transmissions never overlap and every event type except
@@ -94,7 +94,9 @@ fn steady_state_event_processing_does_not_allocate() {
 
     // Warm-up: every beacon slot cycles through the calendar ring many
     // times, growing each bucket heap, the scratch buffers and the
-    // per-node metrics to their steady-state capacities.
+    // per-node metrics to their steady-state capacities. (The sharded
+    // engine's per-band queues and rosters are built at `start` and
+    // grow through the same warm-up.)
     sim.run_for(Duration::from_secs(500));
     let events_before = sim.events_processed();
 
@@ -113,6 +115,19 @@ fn steady_state_event_processing_does_not_allocate() {
     assert!(delivered > 1_000, "only {delivered} deliveries");
     assert_eq!(
         allocs, 0,
-        "steady state allocated {allocs} times over {events} events"
+        "steady state ({shards} shards) allocated {allocs} times over {events} events"
     );
+}
+
+#[test]
+fn steady_state_event_processing_does_not_allocate() {
+    assert_steady_state_alloc_free(SimConfig::default(), 1);
+}
+
+/// PR 6: the sharded engine's hot path — k-way merge, batch draining,
+/// roster registration and range-scoped sweeps — must be just as
+/// allocation-free as the sequential reference.
+#[test]
+fn sharded_steady_state_does_not_allocate() {
+    assert_steady_state_alloc_free(SimConfig::default(), 4);
 }

@@ -151,9 +151,16 @@ fn flooding_fingerprint(seed: u64) -> u64 {
 
 /// (seed, golden digest) pairs recorded on the pre-swap `HashMap`
 /// implementations at commit 052e215.
+///
+/// The mesh digests were re-pinned in PR 6: audibility-gating the
+/// interference sums (see DESIGN.md "Sharded engine") flipped a couple
+/// of marginal-SIR judgements in these runs. The digests were
+/// re-recorded on the sequential engine and still pin the collection
+/// swap: both engines and both collection families reproduce them
+/// bit-for-bit.
 const MESH_GOLDEN: [(u64, u64); 2] = [
-    (11, 8_692_589_240_337_773_995),
-    (31, 16_374_478_427_912_794_311),
+    (11, 13_788_772_325_276_016_391),
+    (31, 10_569_796_329_372_555_057),
 ];
 const FLOODING_GOLDEN: [(u64, u64); 2] = [
     (11, 1_602_448_124_015_804_826),

@@ -18,6 +18,17 @@
 //!
 //! and paste the printed table, with a review of why the behaviour
 //! moved.
+//!
+//! Regen history:
+//!
+//! * PR 6 ("mobile" rows 11 and 13): interference sums became
+//!   audibility-gated — sub-sensitivity power no longer enters a
+//!   receiver's interference total (required for the sharded engine's
+//!   range-scoped rosters and scoped link-cache invalidation to be
+//!   exact; see DESIGN.md "Sharded engine"). Only mobile scenarios
+//!   moved: with shadowing and movement, a handful of marginal-SIR
+//!   judgements sat close enough to the capture threshold for the
+//!   vanishing sub-floor terms to flip them.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -238,9 +249,9 @@ const GOLDEN: &[(&str, u64, u64)] = &[
     ("static", 11, 0x1ac234958047f884),
     ("static", 12, 0x0dfa3239f693301b),
     ("static", 13, 0xb2887df902538bb9),
-    ("mobile", 11, 0xb7721a41158c9e1c),
+    ("mobile", 11, 0xb60b03110289d79f),
     ("mobile", 12, 0xf38a48772c227c46),
-    ("mobile", 13, 0x6eac89f8b2becc2f),
+    ("mobile", 13, 0xf0c57fd85d2d4c7f),
     ("full", 11, 0xa1df7cbd03bd3898),
     ("full", 12, 0x41ac1d1b60bbeb07),
     ("full", 13, 0x68812fdf7845c4ce),

@@ -16,6 +16,13 @@ fn opts(seeds: usize, jobs: usize) -> ExpOptions {
     }
 }
 
+fn opts_sharded(seeds: usize, jobs: usize, shards: usize) -> ExpOptions {
+    ExpOptions {
+        shards,
+        ..opts(seeds, jobs)
+    }
+}
+
 /// E5 (the headline protocol comparison) replicated over 4 seeds must
 /// render byte-identical tables whether the runs are sharded over 1 or
 /// 4 worker threads.
@@ -44,6 +51,21 @@ fn single_seed_table_matches_legacy_output() {
         !legacy.to_string().contains('±'),
         "single runs have no dispersion"
     );
+}
+
+/// Worker threads parallelise *across* runs; spatial shards batch
+/// events *inside* each run. Both are behaviourally transparent, so any
+/// (jobs, shards) pair must render the same E5 table byte for byte.
+#[test]
+fn e5_tables_are_invariant_across_jobs_and_shards() {
+    let reference = experiments::e5_protocol_comparison(&opts_sharded(3, 1, 1));
+    for (jobs, shards) in [(1, 4), (4, 1), (4, 4), (2, 8)] {
+        assert_eq!(
+            reference,
+            experiments::e5_protocol_comparison(&opts_sharded(3, jobs, shards)),
+            "table drift at jobs={jobs}, shards={shards}"
+        );
+    }
 }
 
 /// The raw pool primitive returns results in work order for any mix of
