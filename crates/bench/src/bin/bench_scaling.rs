@@ -1,4 +1,4 @@
-//! Scaling benchmark for the simulator hot path, two sections:
+//! Scaling benchmark for the simulator hot path, three sections:
 //!
 //! 1. **Link cache** — the static-grid beacon scenario at
 //!    N ∈ {16, 64, 256, 1024}, link cache on vs off (the PR 2/PR 4
@@ -7,22 +7,29 @@
 //!    (4096 and 16384 nodes) with the event engine running sequentially
 //!    (`shards = 1`) vs spatially sharded (4 and 8 bands), asserting
 //!    identical metrics *and identical event counts* — the engines must
-//!    process the exact same timeline, only faster.
+//!    process the exact same timeline, only faster. Since PR 7 the rows
+//!    this section fills are sparse (spatial-grid candidates, not all
+//!    n nodes) and the bands are occupancy-weighted.
+//! 3. **Worker threads** — the mobile variant (every third node on a
+//!    RandomWaypoint, so rows are re-filled all run long) at a fixed
+//!    shard count with `threads` ∈ {1, 2, 4}: thread counts must leave
+//!    metrics and event counts byte-identical while the wake-gated
+//!    prefetch regions fan row construction out across workers.
 //!
 //! ```text
 //! bench_scaling [--smoke] [--out PATH] [--secs N] [--seed N]
 //! ```
 //!
 //! `--out PATH` writes a JSON report (`scripts/bench.sh` points it at
-//! `BENCH_PR6.json`; `BENCH_PR2.json`/`BENCH_PR4.json` are earlier
-//! baselines of the link-cache section); `--smoke` shrinks the run to a
-//! CI-friendly correctness check.
+//! `BENCH_PR7.json`; `BENCH_PR2/4/6.json` are earlier baselines);
+//! `--smoke` shrinks the run to a CI-friendly correctness check.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use bench::scaling;
 use radio_sim::metrics::Metrics;
+use radio_sim::SimConfig;
 
 /// Wall-clock timings and outcome of one (n, link_cache, shards)
 /// measurement.
@@ -47,6 +54,31 @@ fn measure(
     for _ in 0..repeats {
         let start = Instant::now();
         let (metrics, events) = scaling::run(n, link_cache, shards, sim_secs, seed);
+        let wall = start.elapsed();
+        if best.as_ref().is_none_or(|b| wall < b.wall) {
+            best = Some(Measurement {
+                metrics,
+                events,
+                wall,
+            });
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// [`measure`] over a caller-shaped config and topology choice.
+fn measure_cfg(
+    n: usize,
+    cfg: &SimConfig,
+    mobile: bool,
+    sim_secs: u64,
+    seed: u64,
+    repeats: usize,
+) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let (metrics, events) = scaling::run_cfg(n, cfg.clone(), mobile, sim_secs, seed);
         let wall = start.elapsed();
         if best.as_ref().is_none_or(|b| wall < b.wall) {
             best = Some(Measurement {
@@ -93,7 +125,30 @@ struct ShardRow {
     cells: Vec<ShardCell>,
 }
 
-fn json_report(sim_secs: u64, seed: u64, rows: &[Row], shard_rows: &[ShardRow]) -> String {
+/// One thread count's timing at a fixed (nodes, shards).
+struct ThreadCell {
+    threads: usize,
+    events_per_sec: f64,
+    ns_per_event: f64,
+    /// threads = 1 wall time / this wall time.
+    speedup: f64,
+}
+
+struct ThreadRow {
+    nodes: usize,
+    shards: usize,
+    sim_secs: u64,
+    events: u64,
+    cells: Vec<ThreadCell>,
+}
+
+fn json_report(
+    sim_secs: u64,
+    seed: u64,
+    rows: &[Row],
+    shard_rows: &[ShardRow],
+    thread_rows: &[ThreadRow],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"scaling_static_grid_beacon\",");
@@ -137,6 +192,32 @@ fn json_report(sim_secs: u64, seed: u64, rows: &[Row], shard_rows: &[ShardRow]) 
         }
         s.push_str("]}");
         s.push_str(if i + 1 < shard_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n  \"thread_rows\": [\n");
+    for (i, r) in thread_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"nodes\": {}, \"shards\": {}, \"sim_seconds\": {}, \
+             \"events\": {}, \"mobile\": true, \"engines\": [",
+            r.nodes, r.shards, r.sim_secs, r.events
+        );
+        for (j, c) in r.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{{\"threads\": {}, \"events_per_sec\": {:.0}, \
+                 \"ns_per_event\": {:.1}, \"speedup\": {:.2}}}",
+                c.threads, c.events_per_sec, c.ns_per_event, c.speedup
+            );
+            if j + 1 < r.cells.len() {
+                s.push_str(", ");
+            }
+        }
+        s.push_str("]}");
+        s.push_str(if i + 1 < thread_rows.len() {
             ",\n"
         } else {
             "\n"
@@ -282,8 +363,78 @@ fn main() {
         });
     }
 
+    // Worker threads on the mobile variant: mobility keeps invalidating
+    // rows, so the wake-gated prefetch regions run all simulation long.
+    // Thread counts must be behaviourally invisible; wall-clock scaling
+    // depends on the host's core count (a single-core host can at best
+    // break even, trading lazy coordinator fills for batched prefetch).
+    let thread_sizes: &[(usize, usize, u64)] = if smoke {
+        &[(64, 4, 20)]
+    } else {
+        &[(4096, 4, 60)]
+    };
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    println!();
+    println!(
+        "{:>6} {:>6} {:>8} {:>10} {:>7} {:>12} {:>10} {:>8}",
+        "nodes", "shards", "sim s", "events", "threads", "events/s", "ns/event", "speedup"
+    );
+    let mut thread_rows = Vec::new();
+    for &(n, shards, secs) in thread_sizes {
+        let mut cells = Vec::new();
+        let mut reference: Option<Measurement> = None;
+        for &threads in thread_counts {
+            let cfg = SimConfig {
+                shards,
+                threads,
+                ..SimConfig::default()
+            };
+            let m = measure_cfg(n, &cfg, true, secs, seed, 1);
+            if let Some(one) = &reference {
+                assert_eq!(
+                    one.metrics, m.metrics,
+                    "{threads} threads changed behaviour at n={n}"
+                );
+                assert_eq!(
+                    one.events, m.events,
+                    "{threads} threads changed the event count at n={n}"
+                );
+            }
+            let speedup = reference
+                .as_ref()
+                .map_or(1.0, |one| one.wall.as_secs_f64() / m.wall.as_secs_f64());
+            println!(
+                "{:>6} {:>6} {:>8} {:>10} {:>7} {:>12.0} {:>10.1} {:>7.2}x",
+                n,
+                shards,
+                secs,
+                m.events,
+                threads,
+                per_sec(&m),
+                per_event_ns(&m),
+                speedup
+            );
+            cells.push(ThreadCell {
+                threads,
+                events_per_sec: per_sec(&m),
+                ns_per_event: per_event_ns(&m),
+                speedup,
+            });
+            if reference.is_none() {
+                reference = Some(m);
+            }
+        }
+        thread_rows.push(ThreadRow {
+            nodes: n,
+            shards,
+            sim_secs: secs,
+            events: reference.expect("at least one thread count").events,
+            cells,
+        });
+    }
+
     if let Some(path) = out_path {
-        let report = json_report(sim_secs, seed, &rows, &shard_rows);
+        let report = json_report(sim_secs, seed, &rows, &shard_rows, &thread_rows);
         std::fs::write(&path, &report).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);

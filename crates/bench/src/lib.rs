@@ -21,8 +21,10 @@ use scenario::experiments::ExpOptions;
 
 /// Parses the common CLI of the experiment binaries: `--quick` shrinks
 /// sweeps, `--seed N` overrides the master seed, `--seeds N` replicates
-/// every cell across N spread seeds and `--jobs N` shards the runs over
-/// N worker threads (the tables are identical for every jobs count).
+/// every cell across N spread seeds, `--jobs N` spreads the runs over N
+/// worker threads, and `--shards N` / `--threads N` configure each
+/// simulator's sharded engine and parallel evaluate regions (the tables
+/// are identical for every jobs, shards and threads count).
 #[must_use]
 pub fn options_from_args() -> ExpOptions {
     let mut opt = ExpOptions::default();
@@ -36,7 +38,9 @@ pub fn options_from_args() -> ExpOptions {
                     Err(msg) => eprintln!("{msg}"),
                     _ => eprintln!("unknown argument: {arg}"),
                 }
-                eprintln!("usage: exp_eN [--quick] [--seed N] [--seeds N] [--jobs N]");
+                eprintln!(
+                    "usage: exp_eN [--quick] [--seed N] [--seeds N] [--jobs N] [--shards N] [--threads N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -74,6 +78,12 @@ pub fn apply_common_flag(
         "--jobs" => {
             opt.jobs = int("--jobs")?.max(1) as usize;
         }
+        "--shards" => {
+            opt.shards = int("--shards")?.max(1) as usize;
+        }
+        "--threads" => {
+            opt.threads = int("--threads")?.max(1) as usize;
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -103,6 +113,15 @@ mod tests {
         let mut rest = ["4"].iter().map(ToString::to_string);
         assert_eq!(apply_common_flag(&mut opt, "--jobs", &mut rest), Ok(true));
         assert_eq!(opt.jobs, 4);
+        let mut rest = ["4"].iter().map(ToString::to_string);
+        assert_eq!(apply_common_flag(&mut opt, "--shards", &mut rest), Ok(true));
+        assert_eq!(opt.shards, 4);
+        let mut rest = ["2"].iter().map(ToString::to_string);
+        assert_eq!(
+            apply_common_flag(&mut opt, "--threads", &mut rest),
+            Ok(true)
+        );
+        assert_eq!(opt.threads, 2);
         let mut rest = std::iter::empty::<String>();
         assert_eq!(
             apply_common_flag(&mut opt, "--markdown", &mut rest),

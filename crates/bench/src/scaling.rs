@@ -17,6 +17,7 @@ use std::time::Duration;
 use lora_phy::link::SignalQuality;
 use radio_sim::firmware::{Context, Firmware};
 use radio_sim::metrics::Metrics;
+use radio_sim::mobility::Mobility;
 use radio_sim::topology;
 use radio_sim::{SimConfig, Simulator};
 
@@ -24,6 +25,8 @@ use radio_sim::{SimConfig, Simulator};
 pub const BEACON_INTERVAL: Duration = Duration::from_secs(3);
 /// Beacon payload length in bytes.
 pub const BEACON_LEN: usize = 16;
+/// Every `MOBILE_STRIDE`-th node moves in the mobile variant.
+pub const MOBILE_STRIDE: usize = 3;
 
 /// Fires a fixed-length broadcast every [`BEACON_INTERVAL`], phase-offset
 /// per node; counts the beacons it hears.
@@ -75,6 +78,13 @@ pub fn build(n: usize, link_cache: bool, shards: usize, seed: u64) -> Simulator<
         shards,
         ..SimConfig::default()
     };
+    build_cfg(n, cfg, seed)
+}
+
+/// [`build`] with a caller-shaped [`SimConfig`] (threads, spatial grid,
+/// RNG streams, …).
+#[must_use]
+pub fn build_cfg(n: usize, cfg: SimConfig, seed: u64) -> Simulator<Beacon> {
     let spacing = topology::radio_range_m(&cfg.rf) * 0.8;
     let side = (n as f64).sqrt().ceil() as usize;
     let mut sim = Simulator::new(cfg, seed);
@@ -87,11 +97,54 @@ pub fn build(n: usize, link_cache: bool, shards: usize, seed: u64) -> Simulator<
     sim
 }
 
+/// The mobile variant: the same beacon grid, but every
+/// [`MOBILE_STRIDE`]-th node walks a RandomWaypoint over the deployment
+/// area. Mobility ticks invalidate link-cache rows band by band, so the
+/// measurement covers row rebuilds, grid rebuilds and — with
+/// `cfg.threads > 1` — the wake-gated parallel prefetch regions.
+#[must_use]
+pub fn build_mobile(n: usize, cfg: SimConfig, seed: u64) -> Simulator<Beacon> {
+    let spacing = topology::radio_range_m(&cfg.rf) * 0.8;
+    let side = (n as f64).sqrt().ceil() as usize;
+    let extent = side as f64 * spacing;
+    let walk = Mobility::RandomWaypoint {
+        width_m: extent,
+        height_m: extent,
+        min_speed: 2.0,
+        max_speed: 14.0,
+        pause: Duration::from_secs(2),
+    };
+    let mut sim = Simulator::new(cfg, seed);
+    for (i, pos) in topology::grid(side, side, spacing).into_iter().enumerate() {
+        let phase = Duration::from_millis((i as u64).wrapping_mul(2971) % 3000);
+        if i % MOBILE_STRIDE == 0 {
+            sim.add_mobile_node(Beacon::with_phase(phase), pos, walk.clone());
+        } else {
+            sim.add_node(Beacon::with_phase(phase), pos);
+        }
+    }
+    sim
+}
+
 /// Runs the scenario for `sim_secs` simulated seconds and returns the
 /// final PHY metrics plus the number of events processed.
 #[must_use]
 pub fn run(n: usize, link_cache: bool, shards: usize, sim_secs: u64, seed: u64) -> (Metrics, u64) {
-    let mut sim = build(n, link_cache, shards, seed);
+    finish(build(n, link_cache, shards, seed), sim_secs)
+}
+
+/// [`run`] over a caller-shaped config, static or mobile topology.
+#[must_use]
+pub fn run_cfg(n: usize, cfg: SimConfig, mobile: bool, sim_secs: u64, seed: u64) -> (Metrics, u64) {
+    let sim = if mobile {
+        build_mobile(n, cfg, seed)
+    } else {
+        build_cfg(n, cfg, seed)
+    };
+    finish(sim, sim_secs)
+}
+
+fn finish(mut sim: Simulator<Beacon>, sim_secs: u64) -> (Metrics, u64) {
     sim.run_for(Duration::from_secs(sim_secs));
     let mut metrics = sim.metrics().clone();
     // The engines may time out superseded timers on different sides of
@@ -122,6 +175,24 @@ mod tests {
             let (sharded, ev) = run(25, true, shards, 15, 42);
             assert_eq!(seq, sharded, "{shards} shards changed behaviour");
             assert_eq!(ev_s, ev, "{shards} shards changed the event count");
+        }
+    }
+
+    #[test]
+    fn mobile_runs_agree_across_shards_and_threads() {
+        let cfg = |shards: usize, threads: usize| SimConfig {
+            shards,
+            threads,
+            ..SimConfig::default()
+        };
+        let reference = run_cfg(81, cfg(1, 1), true, 15, 42);
+        assert!(reference.0.frames_delivered > 0, "mobile grid must deliver");
+        for (shards, threads) in [(1, 2), (4, 1), (4, 4)] {
+            assert_eq!(
+                reference,
+                run_cfg(81, cfg(shards, threads), true, 15, 42),
+                "mobile run diverged at shards={shards}, threads={threads}"
+            );
         }
     }
 }

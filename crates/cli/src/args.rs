@@ -89,6 +89,9 @@ pub struct Cli {
     /// Spatial shards for the event engine (1 = sequential reference;
     /// behaviourally transparent either way).
     pub shards: usize,
+    /// Worker threads inside the simulator's parallel evaluate regions
+    /// (1 = coordinator only; behaviourally transparent either way).
+    pub threads: usize,
     /// Spreading factor.
     pub sf: SpreadingFactor,
     /// Probabilistic reception near the SNR floor.
@@ -123,6 +126,7 @@ impl Default for Cli {
             seeds: 1,
             jobs: 1,
             shards: 1,
+            threads: 1,
             sf: SpreadingFactor::Sf7,
             grey_zone: false,
             link_cache: true,
@@ -165,6 +169,7 @@ OPTIONS:
   --seeds N                               replication seeds    [1]
   --jobs N                                worker threads for --seeds [1]
   --shards N                              spatial event-engine shards [1]
+  --threads N                             simulator worker threads [1]
   --sf 7..12                              spreading factor     [7]
   --grey-zone                             probabilistic reception
   --no-link-cache                         disable link-budget caching
@@ -290,6 +295,15 @@ impl Cli {
                         .map_err(|_| ParseError(format!("bad shard count '{v}'")))?;
                     if cli.shards == 0 {
                         return Err(ParseError("--shards must be at least 1".into()));
+                    }
+                }
+                "--threads" => {
+                    let v = value_of("--threads", &mut it)?;
+                    cli.threads = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad thread count '{v}'")))?;
+                    if cli.threads == 0 {
+                        return Err(ParseError("--threads must be at least 1".into()));
                     }
                 }
                 "--sf" => {
@@ -525,6 +539,18 @@ mod tests {
         assert_eq!(parse(&["--shards", "4"]).unwrap().shards, 4);
         assert!(parse(&["--shards", "0"]).is_err());
         assert!(parse(&["--shards", "lots"]).is_err());
+    }
+
+    #[test]
+    fn threads_parse() {
+        assert_eq!(
+            parse(&[]).unwrap().threads,
+            1,
+            "coordinator only by default"
+        );
+        assert_eq!(parse(&["--threads", "2"]).unwrap().threads, 2);
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "lots"]).is_err());
     }
 
     #[test]

@@ -129,6 +129,7 @@ fn run_scenario(cli: &Cli, seed: u64) -> (String, TrafficReport) {
     sim.rf.grey_zone = cli.grey_zone;
     sim.link_cache = cli.link_cache;
     sim.shards = cli.shards;
+    sim.threads = cli.threads;
     let range = topology::radio_range_m(&sim.rf);
     let spacing = range * cli.spacing_frac;
 

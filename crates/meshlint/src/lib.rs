@@ -254,6 +254,10 @@ impl Config {
                 // Shard partitioning runs on every event-engine batch
                 // decision and every transmission's roster registration.
                 "crates/radio-sim/src/shard.rs".into(),
+                // The spatial grid sits under every link-cache row fill;
+                // the fork-join helper hosts every worker-thread region.
+                "crates/radio-sim/src/grid.rs".into(),
+                "crates/radio-sim/src/par.rs".into(),
             ],
             no_std_crates: vec!["core".into(), "lora-phy".into()],
         }
@@ -902,13 +906,18 @@ fn index_expr_cols(line: &str) -> Vec<usize> {
             continue;
         }
         // `&'a [u8]`: an identifier that is really a lifetime name — walk
-        // to its start and check for a leading tick.
+        // to its start and check for a leading tick. Keywords (`&mut
+        // [T]`, `dyn [..]`) are slice-type syntax too: a keyword can
+        // never be the receiver of an index expression.
         if is_ident_byte(p) {
             let mut s = j;
             while s > 0 && is_ident_byte(bytes[s - 1]) {
                 s -= 1;
             }
             if s > 0 && bytes[s - 1] == b'\'' {
+                continue;
+            }
+            if matches!(&bytes[s..=j], b"mut" | b"dyn" | b"in") {
                 continue;
             }
         }
@@ -1156,6 +1165,11 @@ mod tests {
         assert_eq!(index_expr_cols("f()[1]"), vec![4]);
         assert!(index_expr_cols("fn take(&mut self) -> Result<&'a [u8], E> {").is_empty());
         assert!(index_expr_cols("frame: &'static [u8],").is_empty());
+        assert!(index_expr_cols("pub fn run_chunks<T>(items: &mut [T]) {").is_empty());
+        assert!(index_expr_cols("F: Fn(usize, &mut [T]) + Sync,").is_empty());
+        assert!(index_expr_cols("for x in [1, 2, 3] {").is_empty());
+        // A real index after `mut` binding still fires on the receiver.
+        assert_eq!(index_expr_cols("let mut y = frame[0];"), vec![18]);
     }
 
     #[test]

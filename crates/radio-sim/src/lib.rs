@@ -26,7 +26,11 @@
 //! * [`medium`] — the shared channel: who hears whom, collisions, capture.
 //! * [`link_cache`] — per-topology-epoch cache of link budgets and
 //!   audible-neighbor lists (the hot-path accelerator).
+//! * [`grid`] — uniform spatial grid bounding each node's audibility
+//!   candidates (flattens link-row fills from O(n) to local density).
 //! * [`shard`] — spatial partitioning for the sharded event engine.
+//! * [`par`] — deterministic fork-join helper for the worker-thread
+//!   regions (`SimConfig::threads`).
 //! * [`radio`] — per-node half-duplex radio state machine.
 //! * [`firmware`] — the [`Firmware`] trait protocol implementations adapt to.
 //! * [`topology`] — node placement generators.
@@ -64,10 +68,12 @@
 
 pub mod event;
 pub mod firmware;
+pub mod grid;
 pub mod link_cache;
 pub mod medium;
 pub mod metrics;
 pub mod mobility;
+pub mod par;
 pub mod radio;
 pub mod rng;
 pub mod shard;

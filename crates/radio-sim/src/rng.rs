@@ -9,6 +9,13 @@
 //! Independent streams (one per node, one for the workload, …) are derived
 //! with [`SimRng::fork`], which mixes a stream identifier into the seed so
 //! that adding a node never perturbs the random sequence of another.
+//!
+//! [`SimRng::stream`] is the parallel-engine variant of the same idea: a
+//! counter-keyed SplitMix64 derivation straight from the *master seed*,
+//! needing no root generator value at all. Any worker that knows
+//! `(master_seed, stream_id)` can mint the stream locally, which is what
+//! makes per-node streams reproducible independently of which shard or
+//! thread hosts the node (see `SimConfig::rng_streams`).
 
 /// A deterministic xoshiro256++ pseudo-random number generator.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,6 +54,24 @@ impl SimRng {
         let mut mix = self.s[0] ^ stream_id.wrapping_mul(0xd6e8_feb8_6659_fd93);
         let base = splitmix64(&mut mix);
         SimRng::new(base ^ self.s[3].rotate_left(23))
+    }
+
+    /// Derives an independent stream for `stream_id` directly from a
+    /// master seed — a pure, counter-keyed SplitMix64 derivation.
+    ///
+    /// Unlike [`SimRng::fork`] (which mixes the *root generator's state*
+    /// into the child), `stream` depends only on `(seed, stream_id)`:
+    /// two SplitMix64 steps walk the counter away from the plain-seed
+    /// sequence before the usual xoshiro seeding, so `stream(s, k)` is
+    /// decorrelated both from `new(s)` and from every other counter.
+    /// This is the derivation the parallel engine can evaluate on any
+    /// worker thread without sharing a generator.
+    #[must_use]
+    pub fn stream(seed: u64, stream_id: u64) -> SimRng {
+        let mut key = stream_id.wrapping_mul(0x9e6c_63d0_876a_46ad);
+        let a = splitmix64(&mut key);
+        let b = splitmix64(&mut key);
+        SimRng::new(seed ^ a ^ b.rotate_left(17))
     }
 
     /// The next 64 uniformly random bits.
@@ -165,6 +190,44 @@ mod tests {
         let mut f2 = root.fork(2);
         assert_eq!(f1.next_u64(), f1_again.next_u64());
         assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn stream_is_pure_in_seed_and_counter() {
+        let mut a = SimRng::stream(99, 7);
+        let mut b = SimRng::stream(99, 7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut other_counter = SimRng::stream(99, 8);
+        let mut other_seed = SimRng::stream(100, 7);
+        let same_counter = (0..64)
+            .filter(|_| a.next_u64() == other_counter.next_u64())
+            .count();
+        let same_seed = (0..64)
+            .filter(|_| b.next_u64() == other_seed.next_u64())
+            .count();
+        assert_eq!(same_counter, 0);
+        assert_eq!(same_seed, 0);
+    }
+
+    #[test]
+    fn stream_is_decorrelated_from_plain_seeding_and_fork() {
+        // The counter derivation must not collide with `new(seed)` (the
+        // master generator itself) or with the fork-based node streams it
+        // is an alternative to.
+        let mut st = SimRng::stream(42, 0);
+        let mut plain = SimRng::new(42);
+        let mut forked = SimRng::new(42).fork(1);
+        let vs_plain = (0..64)
+            .filter(|_| st.next_u64() == plain.next_u64())
+            .count();
+        let mut st = SimRng::stream(42, 1);
+        let vs_fork = (0..64)
+            .filter(|_| st.next_u64() == forked.next_u64())
+            .count();
+        assert_eq!(vs_plain, 0);
+        assert_eq!(vs_fork, 0);
     }
 
     #[test]

@@ -116,6 +116,59 @@ impl Partitioner {
         Partitioner { edges, r_max }
     }
 
+    /// Builds an **occupancy-weighted** partition: edges split the
+    /// x-axis into `shards` bands of near-equal *summed weight* instead
+    /// of equal node count. With the audible-degree weights from
+    /// [`crate::grid::Grid`], a band's weight tracks the event-dispatch
+    /// work it will actually see (fan-out, interferer seeding and row
+    /// fills all scale with local density), so clustered topologies no
+    /// longer starve some workers while drowning others — the cause of
+    /// the 16384-node shards=8 regression the count-quantile split had.
+    ///
+    /// Edge placement only changes *which queue hosts whose events*,
+    /// never the merged `(time, seq)` order, so any weighting is
+    /// behaviourally transparent (tests/shard_diff.rs runs on this).
+    /// `weights` is indexed like `xs`; missing or zero weights count
+    /// as 1 so every node retains nonzero mass.
+    #[must_use]
+    pub fn weighted(xs: &[f64], weights: &[usize], shards: usize, r_max: f64) -> Self {
+        let mut edges = Vec::new();
+        if shards > 1 && !xs.is_empty() {
+            let mut order: Vec<usize> = (0..xs.len()).collect();
+            order.sort_by(|&a, &b| {
+                let (xa, xb) = (xs.get(a), xs.get(b));
+                match (xa, xb) {
+                    (Some(xa), Some(xb)) => xa.total_cmp(xb),
+                    _ => a.cmp(&b),
+                }
+            });
+            let weight_of =
+                |i: usize| -> u64 { weights.get(i).copied().max(Some(1)).map_or(1, |w| w as u64) };
+            let total: u64 = order.iter().map(|&i| weight_of(i)).sum();
+            let mut cumulative = 0u64;
+            let mut next_cut = 1u64;
+            for &i in &order {
+                if edges.len() + 1 >= shards {
+                    break;
+                }
+                cumulative += weight_of(i);
+                // Place an edge each time the running weight crosses the
+                // next k·total/shards threshold; a single heavy node can
+                // cross several, collapsing the bands between them.
+                while edges.len() + 1 < shards && cumulative * shards as u64 >= next_cut * total {
+                    if let Some(&edge) = xs.get(i) {
+                        edges.push(edge);
+                    }
+                    next_cut += 1;
+                }
+            }
+            // Collapsed cuts would create empty duplicate-edge bands;
+            // keeping edges strictly increasing merges them instead.
+            edges.dedup_by(|a, b| a == b);
+        }
+        Partitioner { edges, r_max }
+    }
+
     /// Number of bands.
     #[must_use]
     pub fn bands(&self) -> usize {
@@ -225,6 +278,64 @@ mod tests {
             counts[p.band_of(x)] += 1;
         }
         assert_eq!(counts, [25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn weighted_edges_balance_summed_weight_not_node_count() {
+        // A dense cluster of 80 heavy nodes and a sparse tail of 20
+        // light ones. Count quantiles put 3 of 4 edges inside the
+        // cluster *by count*; weight quantiles must split so each band
+        // carries ~¼ of the total weight.
+        let mut xs: Vec<f64> = (0..80).map(|i| f64::from(i) * 1.0).collect();
+        xs.extend((0..20).map(|i| 1000.0 + f64::from(i) * 50.0));
+        let mut weights = vec![80usize; 80];
+        weights.extend(vec![1usize; 20]);
+        let p = Partitioner::weighted(&xs, &weights, 4, 10.0);
+        assert_eq!(p.bands(), 4);
+        let total: usize = weights.iter().sum();
+        let mut band_weight = vec![0usize; p.bands()];
+        for (x, w) in xs.iter().zip(&weights) {
+            band_weight[p.band_of(*x)] += *w;
+        }
+        for (b, w) in band_weight.iter().enumerate() {
+            assert!(
+                *w * 4 <= total * 2,
+                "band {b} carries {w} of {total} — not balanced: {band_weight:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_weights_degenerate_to_near_count_quantiles() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let p = Partitioner::weighted(&xs, &vec![3; 100], 4, 5.0);
+        assert_eq!(p.bands(), 4);
+        let mut counts = [0usize; 4];
+        for &x in &xs {
+            counts[p.band_of(x)] += 1;
+        }
+        for c in counts {
+            assert!((20..=30).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_handles_missing_weights_and_heavy_singletons() {
+        // Short weight vector: missing entries count as 1.
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let p = Partitioner::weighted(&xs, &[5, 5], 2, 1.0);
+        assert_eq!(p.bands(), 2);
+        // One node holding nearly all weight: its crossing may collapse
+        // several cuts; the partition must stay valid (≤ shards bands,
+        // strictly increasing edges).
+        let p = Partitioner::weighted(&xs, &[1, 1, 1, 1000, 1, 1, 1, 1, 1, 1], 8, 1.0);
+        assert!(p.bands() <= 8 && p.bands() >= 1);
+        let mut last = 0;
+        for &x in &xs {
+            let b = p.band_of(x);
+            assert!(b >= last && b < p.bands());
+            last = b;
+        }
     }
 
     #[test]

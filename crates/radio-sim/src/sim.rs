@@ -29,15 +29,21 @@ use lora_phy::propagation::Position;
 
 use crate::event::{EventQueue, FrameId, SimEvent};
 use crate::firmware::{Context, Firmware, NodeId, RadioCommand};
-use crate::link_cache::{Link, LinkCache};
+use crate::grid::Grid;
+use crate::link_cache::{Link, LinkCache, LinkRow};
 use crate::medium::{Medium, RfConfig, RxOutcome};
 use crate::metrics::Metrics;
 use crate::mobility::{Mobility, MobilityState};
+use crate::par;
 use crate::radio::{Radio, RadioState, Reception};
 use crate::rng::SimRng;
 use crate::shard::{self, Partitioner};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
+
+/// Worker regions are only spun up when at least this many independent
+/// items are queued; below it, spawn overhead dwarfs the work.
+const PAR_MIN_ITEMS: usize = 64;
 
 /// Simulation-wide configuration.
 #[derive(Clone, Debug)]
@@ -75,6 +81,34 @@ pub struct SimConfig {
     /// the stale-timer drop *timing* differs (tests/shard_diff.rs) — so
     /// the sequential engine remains the differential reference.
     pub shards: usize,
+    /// Number of worker threads for the parallel evaluate regions
+    /// (mobility stepping and link-row prefetch; see [`crate::par`]).
+    /// `1` (the default) runs everything on the coordinator thread and
+    /// never touches thread machinery. Behaviourally transparent for
+    /// every value — events are still committed one at a time in the
+    /// global `(time, seq)` order, and worker results merge in item
+    /// order — so traces, metrics and RNG draws are byte-identical
+    /// across thread counts (tests/shard_diff.rs).
+    pub threads: usize,
+    /// Index audibility candidates with a uniform spatial grid
+    /// ([`crate::grid`]) so a link-cache row fill visits only the 3×3
+    /// cell neighborhood instead of all n nodes. Behaviourally
+    /// transparent — a node outside the candidate set is provably
+    /// beyond `max_audible_range`, so its omitted (silent) entry matches
+    /// what the full computation would conclude — and differential-tested
+    /// in tests/link_cache_diff.rs, so this stays on except when testing
+    /// the grid itself.
+    pub spatial_grid: bool,
+    /// Derive per-node RNG streams with the counter-keyed
+    /// [`SimRng::stream`] derivation (pure in `(master seed, node id)`,
+    /// mintable on any worker without a shared root generator) instead
+    /// of the classic [`SimRng::fork`] from the root generator's state.
+    /// Both derivations are engine-invariant — per-*node* streams are
+    /// untouched by shard or thread counts — but they produce different
+    /// draws, so the fork derivation stays the default as the pinned
+    /// differential reference (the same pattern as `timer_tombstones`);
+    /// tests/shard_diff.rs runs the whole battery under both.
+    pub rng_streams: bool,
 }
 
 impl Default for SimConfig {
@@ -87,19 +121,31 @@ impl Default for SimConfig {
             link_cache: true,
             timer_tombstones: true,
             shards: 1,
+            threads: 1,
+            spatial_grid: true,
+            rng_streams: false,
         }
     }
 }
 
+/// The coordinator-only half of a node: firmware, radio state machine
+/// and timer bookkeeping. Never touched by worker threads, so hosting a
+/// non-`Send` firmware costs nothing.
 struct NodeSlot<F> {
     firmware: F,
     radio: Radio,
+    /// The firmware wake time for which a timer event is pending.
+    scheduled_wake: Option<Duration>,
+}
+
+/// The per-node state the parallel worker regions read and write,
+/// split out of [`NodeSlot`] so chunks of it can move to worker threads
+/// (`Send` by construction — no bound on the hosted firmware).
+struct NodeState {
     position: Position,
     mobility: MobilityState,
     rng: SimRng,
     alive: bool,
-    /// The firmware wake time for which a timer event is pending.
-    scheduled_wake: Option<Duration>,
 }
 
 /// Runtime state of the sharded engine, built at [`Simulator::start`]
@@ -165,6 +211,8 @@ pub struct Simulator<F: Firmware> {
     config: SimConfig,
     medium: Medium,
     nodes: Vec<NodeSlot<F>>,
+    /// Worker-visible per-node state, parallel to `nodes`.
+    state: Vec<NodeState>,
     queue: EventQueue,
     now: SimTime,
     metrics: Metrics,
@@ -186,8 +234,9 @@ pub struct Simulator<F: Firmware> {
     /// receivers instead of all N nodes. A sorted `Vec` rather than a
     /// `BTreeSet`: membership churn in the hot path must not allocate.
     rx_nodes: Vec<usize>,
-    /// Reused fan-out index buffer (avoids a per-transmission alloc).
-    fanout_scratch: Vec<usize>,
+    /// Reused fan-out buffer: `(node index, link)` pairs a transmission
+    /// must visit, ascending (avoids a per-transmission alloc).
+    fanout_scratch: Vec<(usize, Link)>,
     /// Reused firmware-command buffer for [`Simulator::fire`] (avoids a
     /// per-callback alloc).
     command_scratch: Vec<RadioCommand>,
@@ -199,6 +248,21 @@ pub struct Simulator<F: Firmware> {
     events_processed: u64,
     /// Sharded-engine state ([`SimConfig::shards`] > 1), built at start.
     shard: Option<ShardState>,
+    /// The master seed (stream derivation for [`SimConfig::rng_streams`]).
+    seed: u64,
+    /// Audibility bound the grid and partitioner are built with.
+    audible_range: f64,
+    /// Spatial candidate index ([`SimConfig::spatial_grid`]).
+    grid: Grid,
+    /// Whether `grid` must be rebuilt before its next use (positions
+    /// changed: mobility tick, `set_position`, node addition).
+    grid_dirty: bool,
+    /// Reused candidate-index buffer for link-row fills.
+    cand_scratch: Vec<usize>,
+    /// Reused row-index buffer for parallel prefetch planning.
+    prefetch_scratch: Vec<usize>,
+    /// Reused old-x snapshot for mobility ticks.
+    xs_scratch: Vec<f64>,
 }
 
 impl<F: Firmware> Simulator<F> {
@@ -206,11 +270,13 @@ impl<F: Firmware> Simulator<F> {
     #[must_use]
     pub fn new(config: SimConfig, seed: u64) -> Self {
         let trace = Trace::new(config.trace_capacity);
+        let audible_range = shard::max_audible_range(&config.rf);
         Simulator {
             medium: Medium::new(config.rf.clone()),
             trace,
             config,
             nodes: Vec::new(),
+            state: Vec::new(),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             metrics: Metrics::new(),
@@ -226,6 +292,13 @@ impl<F: Firmware> Simulator<F> {
             active_scratch: Vec::new(),
             events_processed: 0,
             shard: None,
+            seed,
+            audible_range,
+            grid: Grid::new(),
+            grid_dirty: true,
+            cand_scratch: Vec::new(),
+            prefetch_scratch: Vec::new(),
+            xs_scratch: Vec::new(),
         }
     }
 
@@ -242,17 +315,27 @@ impl<F: Firmware> Simulator<F> {
         mobility: Mobility,
     ) -> NodeId {
         let id = NodeId(self.nodes.len());
-        let rng = self.root_rng.fork(id.0 as u64 + 1);
+        // Both derivations are pure in (seed, node id), so adding a node
+        // never perturbs another's stream; see `SimConfig::rng_streams`
+        // for why two exist.
+        let rng = if self.config.rng_streams {
+            SimRng::stream(self.seed, id.0 as u64 + 1)
+        } else {
+            self.root_rng.fork(id.0 as u64 + 1)
+        };
         self.nodes.push(NodeSlot {
             firmware,
             radio: Radio::new(),
+            scheduled_wake: None,
+        });
+        self.state.push(NodeState {
             position,
             mobility: MobilityState::new(mobility),
             rng,
             alive: true,
-            scheduled_wake: None,
         });
         self.link_cache.resize(self.nodes.len());
+        self.grid_dirty = true;
         if let Some(sh) = &mut self.shard {
             // Late joiner: home it in the band it appears in.
             sh.home.push(sh.parts.band_of(position.x));
@@ -286,13 +369,14 @@ impl<F: Firmware> Simulator<F> {
     /// A node's current position.
     #[must_use]
     pub fn position(&self, id: NodeId) -> Position {
-        self.nodes[id.0].position
+        self.state[id.0].position
     }
 
     /// Moves a node instantly (tests and custom scenarios).
     pub fn set_position(&mut self, id: NodeId, position: Position) {
-        self.nodes[id.0].position = position;
+        self.state[id.0].position = position;
         self.link_cache.invalidate_all();
+        self.grid_dirty = true;
     }
 
     /// A node's radio (state durations feed the energy model).
@@ -304,7 +388,7 @@ impl<F: Firmware> Simulator<F> {
     /// Whether a node is currently alive.
     #[must_use]
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.nodes[id.0].alive
+        self.state[id.0].alive
     }
 
     /// The current simulated time.
@@ -395,13 +479,28 @@ impl<F: Firmware> Simulator<F> {
         }
         self.started = true;
         if self.config.shards > 1 && self.shard.is_none() {
-            let xs: Vec<f64> = self.nodes.iter().map(|s| s.position.x).collect();
-            let r_max = shard::max_audible_range(self.medium.config());
-            let parts = Partitioner::new(&xs, self.config.shards, r_max);
+            let xs: Vec<f64> = self.state.iter().map(|s| s.position.x).collect();
+            let r_max = self.audible_range;
+            // Band edges balance expected *work*, not node count: with
+            // the grid available, a node's weight is its audible-degree
+            // bound (fan-out, interferer sums and row fills all scale
+            // with it). Edge placement is pure load balancing — the
+            // merge stays in global (time, seq) order either way.
+            let parts = if self.config.spatial_grid {
+                self.ensure_grid();
+                let weights: Vec<usize> = self
+                    .state
+                    .iter()
+                    .map(|s| self.grid.degree(s.position))
+                    .collect();
+                Partitioner::weighted(&xs, &weights, self.config.shards, r_max)
+            } else {
+                Partitioner::new(&xs, self.config.shards, r_max)
+            };
             let bands = parts.bands();
             let mut sh = ShardState {
                 home: self
-                    .nodes
+                    .state
                     .iter()
                     .map(|s| parts.band_of(s.position.x))
                     .collect(),
@@ -418,6 +517,16 @@ impl<F: Firmware> Simulator<F> {
                 sh.register(tx.frame, tx.sender, tx.origin);
             }
             self.shard = Some(sh);
+        }
+        // Warm the link cache in parallel before the on_start storm:
+        // every alive node's row is a pure function of positions, so
+        // workers can build them all while the coordinator waits.
+        if self.config.threads > 1 && self.config.link_cache {
+            let mut rows = std::mem::take(&mut self.prefetch_scratch);
+            rows.clear();
+            rows.extend((0..self.state.len()).filter(|&i| self.state[i].alive));
+            self.prefetch_rows(&rows);
+            self.prefetch_scratch = rows;
         }
         for i in 0..self.nodes.len() {
             self.fire(i, |fw, ctx| fw.on_start(ctx));
@@ -478,13 +587,13 @@ impl<F: Firmware> Simulator<F> {
             SimEvent::RxEnd(node, frame) => self.handle_rx_end(node, frame),
             SimEvent::CadEnd(node) => self.handle_cad_end(node),
             SimEvent::CadBusyReport(node) => {
-                if self.nodes[node.0].alive {
+                if self.state[node.0].alive {
                     self.metrics.record_cad(node, true);
                     self.fire(node.0, |fw, ctx| fw.on_cad_done(true, ctx));
                 }
             }
             SimEvent::App(node, tag) => {
-                if self.nodes[node.0].alive {
+                if self.state[node.0].alive {
                     self.fire(node.0, |fw, ctx| fw.on_app(tag, ctx));
                 }
             }
@@ -666,10 +775,10 @@ impl<F: Firmware> Simulator<F> {
     /// Keeps exactly one pending timer event aligned with the firmware's
     /// requested wake time.
     fn sync_wake(&mut self, i: usize) {
-        let slot = &mut self.nodes[i];
-        if !slot.alive {
+        if !self.state[i].alive {
             return;
         }
+        let slot = &mut self.nodes[i];
         let wake = slot.firmware.next_wake();
         if let Some(t) = wake {
             if slot.scheduled_wake != Some(t) {
@@ -699,10 +808,10 @@ impl<F: Firmware> Simulator<F> {
     }
 
     fn handle_timer(&mut self, node: NodeId) {
-        let slot = &self.nodes[node.0];
-        if !slot.alive {
+        if !self.state[node.0].alive {
             return;
         }
+        let slot = &self.nodes[node.0];
         if self.config.timer_tombstones {
             // Every firmware mutation funnels through `fire` →
             // `sync_wake` (or `kill` → `cancel_timer`), so a timer that
@@ -746,26 +855,52 @@ impl<F: Firmware> Simulator<F> {
         }
     }
 
-    /// The link budget between nodes `i` and `j`, computed directly from
-    /// their current positions (the cache's fill function, and the whole
-    /// story when the cache is disabled).
-    fn compute_link(medium: &Medium, nodes: &[NodeSlot<F>], i: usize, j: usize) -> Link {
-        let power =
-            medium.received_power(&nodes[i].position, &nodes[j].position, NodeId(i), NodeId(j));
-        Link {
-            power,
-            power_mw: power.to_milliwatts().value(),
-            audible: medium.audible(power),
+    /// Rebuilds the spatial grid over the current positions if any have
+    /// changed since the last build. No-op when the grid is disabled.
+    fn ensure_grid(&mut self) {
+        if self.config.spatial_grid && self.grid_dirty {
+            self.grid_dirty = false;
+            let r_max = self.audible_range;
+            let Self { grid, state, .. } = self;
+            grid.rebuild_from(state.iter().map(|s| s.position), r_max);
         }
+    }
+
+    /// Fills `out` with row `i`'s candidate set: the grid's 3×3
+    /// neighborhood when the grid is on (a superset of every audible
+    /// node — see [`crate::grid`]), else every node.
+    fn fill_candidates(&mut self, i: usize, out: &mut Vec<usize>) {
+        if self.config.spatial_grid {
+            self.ensure_grid();
+            self.grid.candidates_into(self.state[i].position, out);
+        } else {
+            out.clear();
+            out.extend(0..self.state.len());
+        }
+    }
+
+    /// Makes sure row `i` of the link cache is filled for this epoch.
+    /// Only call when [`SimConfig::link_cache`] is on.
+    fn ensure_row(&mut self, i: usize) {
+        if self.link_cache.has_row(i) {
+            return;
+        }
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        self.fill_candidates(i, &mut cands);
+        let (medium, state) = (&self.medium, &self.state);
+        let _ = self
+            .link_cache
+            .row(i, &cands, |k| link_between(medium, state, i, k));
+        self.cand_scratch = cands;
     }
 
     /// The (cached) link budget between nodes `i` and `j` at their
     /// current positions. Only call when [`SimConfig::link_cache`] is on.
     fn link_for(&mut self, i: usize, j: usize) -> Link {
-        let (medium, nodes) = (&self.medium, &self.nodes);
+        self.ensure_row(i);
         self.link_cache
-            .row(i, |k| Self::compute_link(medium, nodes, i, k))
-            .links[j]
+            .cached(i)
+            .map_or_else(Link::silent, |row| row.get(j))
     }
 
     /// Received power (mW) at node `rx` of an active transmission by
@@ -774,13 +909,13 @@ impl<F: Firmware> Simulator<F> {
     /// tick the cached (current-position) power would be wrong for a
     /// frame already on the air.
     fn active_tx_power_mw(&mut self, sender: usize, origin: Position, rx: usize) -> f64 {
-        if self.config.link_cache && self.nodes[sender].position == origin {
+        if self.config.link_cache && self.state[sender].position == origin {
             self.link_for(sender, rx).power_mw
         } else {
             self.medium
                 .received_power(
                     &origin,
-                    &self.nodes[rx].position,
+                    &self.state[rx].position,
                     NodeId(sender),
                     NodeId(rx),
                 )
@@ -792,12 +927,12 @@ impl<F: Firmware> Simulator<F> {
     /// Like [`Self::active_tx_power_mw`] but answering the CAD question:
     /// is the transmission audible at `rx`?
     fn active_tx_audible(&mut self, sender: usize, origin: Position, rx: usize) -> bool {
-        if self.config.link_cache && self.nodes[sender].position == origin {
+        if self.config.link_cache && self.state[sender].position == origin {
             self.link_for(sender, rx).audible
         } else {
             let power = self.medium.received_power(
                 &origin,
-                &self.nodes[rx].position,
+                &self.state[rx].position,
                 NodeId(sender),
                 NodeId(rx),
             );
@@ -811,7 +946,7 @@ impl<F: Firmware> Simulator<F> {
         if self.shard.is_none() && !self.config.link_cache {
             return self
                 .medium
-                .channel_busy_at(&self.nodes[i].position, NodeId(i), except);
+                .channel_busy_at(&self.state[i].position, NodeId(i), except);
         }
         let mut active = std::mem::take(&mut self.active_scratch);
         active.clear();
@@ -820,7 +955,7 @@ impl<F: Firmware> Simulator<F> {
         // the global registry yields the same boolean.
         match &self.shard {
             Some(sh) => {
-                let band = sh.parts.band_of(self.nodes[i].position.x);
+                let band = sh.parts.band_of(self.state[i].position.x);
                 active.extend(sh.active[band].iter().map(|&(_, s, origin)| (s, origin)));
             }
             None => active.extend(self.medium.active().map(|tx| (tx.sender, tx.origin))),
@@ -839,26 +974,41 @@ impl<F: Firmware> Simulator<F> {
         busy
     }
 
-    /// Fills `out` with the node indices `start_tx`'s fan-out must visit
-    /// for a transmission by `i`, in ascending order.
-    ///
-    /// With the cache on this is `i`'s audible-neighbor list; every
-    /// skipped index is provably a no-op in the uncached loop (inaudible
-    /// ⇒ no lock, no CAD note, and — since interference sums are
-    /// audibility-gated — no interference entry either). With the cache
-    /// off it is simply every node, preserving the historical iteration
-    /// exactly.
-    fn fill_fanout(&mut self, i: usize, out: &mut Vec<usize>) {
-        out.clear();
-        if !self.config.link_cache {
-            out.extend(0..self.nodes.len());
+    /// Builds the given link-cache rows on worker threads and installs
+    /// them in row order ([`crate::par`]). Purely a warm-up: every row is
+    /// a value the coordinator's lazy fill would compute bit-identically
+    /// anyway ([`LinkCache::compute_row`] reads only rows cached *before*
+    /// the region starts, and link budgets are symmetric bit-for-bit), so
+    /// thread count and scheduling stay invisible to the simulation.
+    fn prefetch_rows(&mut self, rows: &[usize]) {
+        if self.config.threads <= 1 || !self.config.link_cache || rows.len() < PAR_MIN_ITEMS {
             return;
         }
-        let (medium, nodes) = (&self.medium, &self.nodes);
-        let row = self
-            .link_cache
-            .row(i, |k| Self::compute_link(medium, nodes, i, k));
-        out.extend(row.audible.iter().copied());
+        self.ensure_grid();
+        let threads = self.config.threads;
+        let use_grid = self.config.spatial_grid;
+        let n = self.state.len();
+        let Self {
+            medium,
+            state,
+            link_cache,
+            grid,
+            ..
+        } = self;
+        let cache: &LinkCache = link_cache;
+        let computed: Vec<(usize, LinkRow)> = par::map_chunks(threads, rows, |_, &i| {
+            let mut cands = Vec::new();
+            if use_grid {
+                grid.candidates_into(state[i].position, &mut cands);
+            } else {
+                cands.extend(0..n);
+            }
+            let row = cache.compute_row(i, &cands, |k| link_between(medium, state, i, k));
+            (i, row)
+        });
+        for (i, row) in computed {
+            link_cache.install(i, row);
+        }
     }
 
     fn start_tx(&mut self, i: usize, bytes: std::sync::Arc<[u8]>) {
@@ -866,7 +1016,7 @@ impl<F: Firmware> Simulator<F> {
             self.metrics.tx_oversized += 1;
             return;
         }
-        if !self.nodes[i].alive {
+        if !self.state[i].alive {
             self.metrics.tx_while_dead += 1;
             return;
         }
@@ -886,7 +1036,7 @@ impl<F: Firmware> Simulator<F> {
             }
         }
         let sender = NodeId(i);
-        let origin = self.nodes[i].position;
+        let origin = self.state[i].position;
         let tx = self.medium.begin_tx(sender, origin, self.now, bytes);
         let frame = tx.frame;
         let end = self.now + tx.airtime;
@@ -905,22 +1055,33 @@ impl<F: Firmware> Simulator<F> {
             },
         );
 
-        // Decide how every other node experiences this frame. The culled
-        // list visits exactly the nodes for which the full 0..n loop
-        // would do anything.
+        // Decide how every other node experiences this frame. With the
+        // cache on, the fan-out is `i`'s audible-neighbor list: every
+        // skipped index is provably a no-op in the uncached loop
+        // (inaudible ⇒ no lock, no CAD note, and — since interference
+        // sums are audibility-gated — no interference entry either).
+        // With the cache off it is simply every node, preserving the
+        // historical iteration exactly.
         let mut fanout = std::mem::take(&mut self.fanout_scratch);
-        self.fill_fanout(i, &mut fanout);
-        let use_cache = self.config.link_cache;
-        for &j in &fanout {
-            if j == i || !self.nodes[j].alive {
+        fanout.clear();
+        if self.config.link_cache {
+            self.ensure_row(i);
+            if let Some(row) = self.link_cache.cached(i) {
+                fanout.extend(row.entries().filter(|&(_, link)| link.audible));
+            }
+        } else {
+            let (medium, state) = (&self.medium, &self.state);
+            fanout.extend(
+                (0..state.len())
+                    .filter(|&j| j != i && state[j].alive)
+                    .map(|j| (j, link_between(medium, state, i, j))),
+            );
+        }
+        for &(j, link) in &fanout {
+            if j == i || !self.state[j].alive {
                 continue;
             }
             let receiver = NodeId(j);
-            let link = if use_cache {
-                self.link_for(i, j)
-            } else {
-                Self::compute_link(&self.medium, &self.nodes, i, j)
-            };
 
             match *self.nodes[j].radio.state() {
                 RadioState::Idle => {
@@ -996,7 +1157,7 @@ impl<F: Firmware> Simulator<F> {
         // float sums — as the sequential scan.
         match &self.shard {
             Some(sh) => {
-                let band = sh.parts.band_of(self.nodes[j].position.x);
+                let band = sh.parts.band_of(self.state[j].position.x);
                 interferers.extend(
                     sh.active[band]
                         .iter()
@@ -1055,7 +1216,7 @@ impl<F: Firmware> Simulator<F> {
         }
         self.trace.push(self.now, TraceEvent::TxEnd { node, frame });
         let slot = &self.nodes[node.0];
-        if slot.alive
+        if self.state[node.0].alive
             && matches!(slot.radio.state(), RadioState::Tx { frame: f, .. } if *f == frame)
         {
             self.nodes[node.0].radio.to_idle(self.now);
@@ -1065,7 +1226,7 @@ impl<F: Firmware> Simulator<F> {
 
     fn handle_rx_end(&mut self, node: NodeId, frame: FrameId) {
         let slot = &mut self.nodes[node.0];
-        if !slot.alive
+        if !self.state[node.0].alive
             || !matches!(slot.radio.state(), RadioState::Rx { frame: f, .. } if *f == frame)
         {
             return; // stale: the lock moved on
@@ -1077,15 +1238,21 @@ impl<F: Firmware> Simulator<F> {
             .expect("Rx state implies a reception");
         slot.radio.to_idle(self.now);
         self.rx_remove(node.0);
-        let slot = &mut self.nodes[node.0];
-        let mut outcome = self.medium.judge(&reception, &mut slot.rng);
+        let Self {
+            state,
+            medium,
+            link_loss,
+            ..
+        } = &mut *self;
+        let st = &mut state[node.0];
+        let mut outcome = medium.judge(&reception, &mut st.rng);
         if matches!(outcome, RxOutcome::Delivered(_)) {
             let key = (
                 reception.sender.0.min(node.0),
                 reception.sender.0.max(node.0),
             );
-            if let Some(&p) = self.link_loss.get(&key) {
-                if slot.rng.gen_bool(p) {
+            if let Some(&p) = link_loss.get(&key) {
+                if st.rng.gen_bool(p) {
                     outcome = RxOutcome::Lost(crate::medium::LossReason::Injected);
                 }
             }
@@ -1113,7 +1280,7 @@ impl<F: Firmware> Simulator<F> {
     }
 
     fn start_cad(&mut self, i: usize) {
-        if !self.nodes[i].alive {
+        if !self.state[i].alive {
             return;
         }
         if !self.nodes[i].radio.is_idle() {
@@ -1145,10 +1312,10 @@ impl<F: Firmware> Simulator<F> {
     }
 
     fn handle_cad_end(&mut self, node: NodeId) {
-        let slot = &self.nodes[node.0];
-        if !slot.alive {
+        if !self.state[node.0].alive {
             return;
         }
+        let slot = &self.nodes[node.0];
         let RadioState::Cad { until, busy_seen } = *slot.radio.state() else {
             return; // stale (killed+revived mid-scan)
         };
@@ -1163,10 +1330,10 @@ impl<F: Firmware> Simulator<F> {
 
     fn kill(&mut self, node: NodeId) {
         let i = node.0;
-        if !self.nodes[i].alive {
+        if !self.state[i].alive {
             return;
         }
-        self.nodes[i].alive = false;
+        self.state[i].alive = false;
         // A transmission in progress is truncated: receivers locked to it
         // can no longer decode it, and it stops interfering.
         if let RadioState::Tx { frame, .. } = *self.nodes[i].radio.state() {
@@ -1213,10 +1380,10 @@ impl<F: Firmware> Simulator<F> {
 
     fn revive(&mut self, node: NodeId) {
         let i = node.0;
-        if self.nodes[i].alive {
+        if self.state[i].alive {
             return;
         }
-        self.nodes[i].alive = true;
+        self.state[i].alive = true;
         self.nodes[i].radio.power_on(self.now);
         self.trace.push(self.now, TraceEvent::Revived { node });
         self.fire(i, |fw, ctx| fw.on_start(ctx));
@@ -1226,11 +1393,30 @@ impl<F: Firmware> Simulator<F> {
         if self.mobility_scheduled {
             return;
         }
-        if self.nodes.iter().any(|s| s.mobility.is_mobile()) {
+        if self.state.iter().any(|s| s.mobility.is_mobile()) {
             self.mobility_scheduled = true;
             self.queue
                 .schedule(self.now + self.config.mobility_tick, SimEvent::MobilityTick);
         }
+    }
+
+    /// Advances every mobile node by `dt` — on worker threads when
+    /// configured. Thread-count invisible: each node's step is a pure
+    /// function of its own mobility state and its own RNG stream, and
+    /// [`par::run_chunks`] partitions deterministically.
+    fn step_positions(&mut self, dt: Duration) {
+        let threads = if self.state.len() >= PAR_MIN_ITEMS {
+            self.config.threads
+        } else {
+            1
+        };
+        par::run_chunks(threads, &mut self.state, |_, chunk| {
+            for s in chunk {
+                if s.alive && s.mobility.is_mobile() {
+                    s.position = s.mobility.step(s.position, dt, &mut s.rng);
+                }
+            }
+        });
     }
 
     fn mobility_tick(&mut self) {
@@ -1246,34 +1432,65 @@ impl<F: Firmware> Simulator<F> {
             for t in &mut sh.touched {
                 *t = false;
             }
-            for slot in &mut self.nodes {
-                if slot.alive && slot.mobility.is_mobile() {
-                    let old_x = slot.position.x;
-                    slot.position = slot.mobility.step(slot.position, dt, &mut slot.rng);
+            let mut xs = std::mem::take(&mut self.xs_scratch);
+            xs.clear();
+            xs.extend(self.state.iter().map(|s| s.position.x));
+            self.step_positions(dt);
+            for (i, &old_x) in xs.iter().enumerate() {
+                let s = &self.state[i];
+                if s.alive && s.mobility.is_mobile() {
                     let (lo, hi) = sh
                         .parts
-                        .reach_interval(old_x.min(slot.position.x), old_x.max(slot.position.x));
+                        .reach_interval(old_x.min(s.position.x), old_x.max(s.position.x));
                     for band in lo..=hi {
                         sh.touched[band] = true;
                     }
                 }
             }
-            for i in 0..self.nodes.len() {
-                if sh.touched[sh.parts.band_of(self.nodes[i].position.x)] {
+            for i in 0..self.state.len() {
+                if sh.touched[sh.parts.band_of(self.state[i].position.x)] {
                     self.link_cache.invalidate_row(i);
                 }
             }
+            self.xs_scratch = xs;
             self.shard = Some(sh);
         } else {
-            for slot in &mut self.nodes {
-                if slot.alive && slot.mobility.is_mobile() {
-                    slot.position = slot.mobility.step(slot.position, dt, &mut slot.rng);
-                }
-            }
+            self.step_positions(dt);
             // Positions changed: every cached link budget is now stale.
             self.link_cache.invalidate_all();
         }
+        self.grid_dirty = true;
+        // Wake-gated warm-up: refill, on worker threads, the rows of
+        // nodes whose firmware will act before the next tick (their
+        // transmissions/CADs would fill those rows on the coordinator
+        // otherwise). Purely a prefetch — see `prefetch_rows`.
+        if self.config.threads > 1 && self.config.link_cache {
+            let horizon = self.now.as_duration() + dt;
+            let mut rows = std::mem::take(&mut self.prefetch_scratch);
+            rows.clear();
+            rows.extend((0..self.state.len()).filter(|&i| {
+                self.state[i].alive
+                    && !self.link_cache.has_row(i)
+                    && self.nodes[i].scheduled_wake.is_some_and(|w| w <= horizon)
+            }));
+            self.prefetch_rows(&rows);
+            self.prefetch_scratch = rows;
+        }
         self.queue.schedule(self.now + dt, SimEvent::MobilityTick);
+    }
+}
+
+/// The link budget between nodes `i` and `j`, computed directly from
+/// their current positions — the cache's fill function, and the whole
+/// story when the cache is disabled. A free function over the
+/// worker-visible [`NodeState`] slice so parallel prefetch can evaluate
+/// it without the firmware type or the coordinator's `&mut` access.
+fn link_between(medium: &Medium, state: &[NodeState], i: usize, j: usize) -> Link {
+    let power = medium.received_power(&state[i].position, &state[j].position, NodeId(i), NodeId(j));
+    Link {
+        power,
+        power_mw: power.to_milliwatts().value(),
+        audible: medium.audible(power),
     }
 }
 
@@ -1290,6 +1507,21 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<SimConfig>();
         assert_send::<Simulator<Probe>>();
+    }
+
+    /// The parallel evaluate regions share these by reference across
+    /// worker threads; none may grow interior mutability. Compile-time
+    /// check, like `simulator_is_send`.
+    #[test]
+    fn worker_shared_state_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_sync::<Medium>();
+        assert_sync::<LinkCache>();
+        assert_sync::<Grid>();
+        assert_sync::<NodeState>();
+        assert_send::<NodeState>();
+        assert_send::<Metrics>();
     }
 
     /// Test firmware: transmits a configured frame at a scheduled time and
@@ -1763,6 +1995,85 @@ mod tests {
         let uncached = run(false);
         assert_eq!(cached.0, uncached.0);
         assert_eq!(cached.1, uncached.1);
+    }
+
+    /// A mobile, chatty 80-node run — large enough (> `PAR_MIN_ITEMS`)
+    /// that the parallel stepping and prefetch regions genuinely fire.
+    fn mobile_fingerprint(mut cfg: SimConfig) -> (Metrics, Vec<(SimTime, TraceEvent)>) {
+        cfg.rf.grey_zone = true;
+        cfg.trace_capacity = 1 << 14;
+        let mut s = Simulator::new(cfg, 4242);
+        for k in 0..80u8 {
+            let mobility = if k % 3 == 0 {
+                Mobility::RandomWaypoint {
+                    width_m: 800.0,
+                    height_m: 500.0,
+                    min_speed: 1.0,
+                    max_speed: 8.0,
+                    pause: Duration::from_secs(1),
+                }
+            } else {
+                Mobility::Static
+            };
+            s.add_mobile_node(
+                sender_at(Duration::from_millis(13 * u64::from(k)), vec![k; 12]),
+                Position::new(f64::from(k % 10) * 85.0, f64::from(k / 10) * 60.0),
+                mobility,
+            );
+        }
+        s.run_for(Duration::from_secs(6));
+        let mut m = s.metrics().clone();
+        // Tombstone drop timing differs across engines by design.
+        m.stale_timers_dropped = 0;
+        (m, s.trace().entries().cloned().collect())
+    }
+
+    /// Spot check: thread count is behaviourally invisible (the
+    /// exhaustive battery lives in tests/shard_diff.rs).
+    #[test]
+    fn threads_do_not_change_outcomes() {
+        let base = mobile_fingerprint(SimConfig::default());
+        for threads in [2usize, 4] {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::default()
+            };
+            assert_eq!(mobile_fingerprint(cfg), base, "threads = {threads}");
+        }
+    }
+
+    /// Spot check: the spatial grid is behaviourally invisible (the
+    /// exhaustive battery lives in tests/link_cache_diff.rs).
+    #[test]
+    fn spatial_grid_off_matches_on() {
+        let on = mobile_fingerprint(SimConfig::default());
+        let cfg = SimConfig {
+            spatial_grid: false,
+            ..SimConfig::default()
+        };
+        assert_eq!(mobile_fingerprint(cfg), on);
+    }
+
+    /// Per-node stream derivation is engine-invariant — shard and thread
+    /// counts cannot perturb any node's draws — while still producing
+    /// different draws than the fork derivation (it is a genuinely
+    /// distinct stream family, which is why the fork stays the pinned
+    /// differential reference).
+    #[test]
+    fn rng_streams_are_engine_invariant() {
+        let cfg = SimConfig {
+            rng_streams: true,
+            ..SimConfig::default()
+        };
+        let seq = mobile_fingerprint(cfg.clone());
+        let sharded = SimConfig {
+            shards: 2,
+            threads: 2,
+            ..cfg
+        };
+        assert_eq!(mobile_fingerprint(sharded), seq);
+        let forked = mobile_fingerprint(SimConfig::default());
+        assert_ne!(seq.1, forked.1, "stream derivation must change draws");
     }
 
     #[test]

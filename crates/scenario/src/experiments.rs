@@ -44,6 +44,9 @@ pub struct ExpOptions {
     /// engine is behaviourally transparent, so any value yields
     /// identical tables; larger values batch range-isolated regions.
     pub shards: usize,
+    /// Worker threads inside each simulator (parallel evaluate regions).
+    /// Behaviourally transparent, so any value yields identical tables.
+    pub threads: usize,
 }
 
 impl Default for ExpOptions {
@@ -54,6 +57,7 @@ impl Default for ExpOptions {
             seeds: 1,
             jobs: 1,
             shards: 1,
+            threads: 1,
         }
     }
 }
@@ -433,6 +437,7 @@ pub fn e5_protocol_comparison(opt: &ExpOptions) -> ExpTable {
         let mut runner = NetworkBuilder::mesh(positions, seed)
             .protocol(protocol.clone())
             .shards(opt.shards)
+            .threads(opt.threads)
             .build();
         // Identical warm-up for all protocols (mesh uses it to
         // converge; the baselines are simply idle).
@@ -950,6 +955,7 @@ pub fn e12_fairness(opt: &ExpOptions) -> ExpTable {
         let mut runner = NetworkBuilder::mesh(positions, seed)
             .protocol(protocol.clone())
             .shards(opt.shards)
+            .threads(opt.threads)
             .build();
         let start = Duration::from_secs(300);
         runner.run_until(start);

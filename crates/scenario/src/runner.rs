@@ -149,6 +149,15 @@ impl NetworkBuilder {
         self
     }
 
+    /// Number of worker threads for the simulator's parallel evaluate
+    /// regions (behaviourally transparent; `1` — the default — never
+    /// touches thread machinery).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.sim.threads = threads;
+        self
+    }
+
     /// Enables or disables listen-before-talk on mesh nodes (ablation).
     #[must_use]
     pub fn csma(mut self, on: bool) -> Self {

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Perf trajectory for the simulator hot path: runs the static-grid
 # scaling benchmark — link cache on vs off at N ∈ {16, 64, 256, 1024},
-# plus the sharded event engine at N ∈ {4096, 16384} × shards {1, 4, 8}
-# — and writes BENCH_PR6.json at the repo root so future PRs can
-# compare (BENCH_PR2.json / BENCH_PR4.json are earlier baselines).
+# the sharded event engine at N ∈ {4096, 16384} × shards {1, 4, 8}
+# (sparse spatial-grid rows, occupancy-weighted bands), plus the
+# threaded mobile variant at 4096 nodes × threads {1, 2, 4} — and
+# writes BENCH_PR7.json at the repo root so future PRs can compare
+# (BENCH_PR2/4/6.json are earlier baselines). Every section asserts
+# identical metrics and event counts across its engine rows.
 # Extra arguments are passed through (e.g. --secs 60, --seed 7).
 #
 #   ./scripts/bench.sh
@@ -13,5 +16,5 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline -p bench --bin bench_scaling"
 cargo build --release --offline -p bench --bin bench_scaling
 
-echo "==> bench_scaling --out BENCH_PR6.json"
-./target/release/bench_scaling --out BENCH_PR6.json "$@"
+echo "==> bench_scaling --out BENCH_PR7.json"
+./target/release/bench_scaling --out BENCH_PR7.json "$@"

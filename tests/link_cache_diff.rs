@@ -81,18 +81,27 @@ fn fingerprint(s: &Simulator<Chatty>) -> Fingerprint {
 }
 
 fn config(link_cache: bool) -> SimConfig {
+    config_grid(link_cache, true)
+}
+
+fn config_grid(link_cache: bool, spatial_grid: bool) -> SimConfig {
     let mut cfg = SimConfig::default();
     cfg.rf.grey_zone = true;
     cfg.rf.shadowing = Shadowing::new(4.0, 7);
     cfg.trace_capacity = 1 << 16;
     cfg.link_cache = link_cache;
+    cfg.spatial_grid = spatial_grid;
     cfg
 }
 
 /// Static line + churn: kills and revives hit the rx_nodes bookkeeping
 /// and the Off/Idle fan-out paths.
 fn run_static(seed: u64, link_cache: bool) -> Fingerprint {
-    let mut s = Simulator::new(config(link_cache), seed);
+    run_static_cfg(seed, config(link_cache))
+}
+
+fn run_static_cfg(seed: u64, cfg: SimConfig) -> Fingerprint {
+    let mut s = Simulator::new(cfg, seed);
     for k in 0..10u64 {
         s.add_node(
             Chatty::new(40 * k + 5, 10 + k as usize),
@@ -110,7 +119,11 @@ fn run_static(seed: u64, link_cache: bool) -> Fingerprint {
 /// since transmission start), exercising the origin-vs-position
 /// fallback in interference seeding and CAD.
 fn run_mobile(seed: u64, link_cache: bool) -> Fingerprint {
-    let mut s = Simulator::new(config(link_cache), seed);
+    run_mobile_cfg(seed, config(link_cache))
+}
+
+fn run_mobile_cfg(seed: u64, cfg: SimConfig) -> Fingerprint {
+    let mut s = Simulator::new(cfg, seed);
     let waypoint = Mobility::RandomWaypoint {
         width_m: 600.0,
         height_m: 600.0,
@@ -211,4 +224,30 @@ fn sweep_aggregates_identical() {
     // Jobs-invariance (PR 1) must survive the cache: sharding the cached
     // runs over threads changes nothing.
     assert_eq!(cached, aggregate(true, 4));
+}
+
+/// PR 7: the spatial candidate grid must be exactly as invisible as the
+/// cache itself — toggling `spatial_grid` (which switches sparse rows
+/// back to full O(n) row fills and disables the weighted partitioner)
+/// changes nothing, in every combination with the `link_cache` toggle,
+/// on static-churn and mobile scenarios alike.
+#[test]
+fn spatial_grid_toggle_is_invisible() {
+    for seed in [2u64, 7] {
+        let reference = run_static_cfg(seed, config_grid(true, true));
+        assert!(reference.1.frames_delivered > 0, "seed {seed}: no traffic");
+        for (link_cache, spatial_grid) in [(true, false), (false, true), (false, false)] {
+            assert_eq!(
+                reference,
+                run_static_cfg(seed, config_grid(link_cache, spatial_grid)),
+                "static divergence at seed {seed},                  link_cache={link_cache}, spatial_grid={spatial_grid}"
+            );
+        }
+        let mobile_ref = run_mobile_cfg(seed, config_grid(true, true));
+        assert_eq!(
+            mobile_ref,
+            run_mobile_cfg(seed, config_grid(true, false)),
+            "mobile divergence at seed {seed} with the grid off"
+        );
+    }
 }

@@ -1,11 +1,17 @@
-//! Differential tests proving the PR 6 sharded event engine is
-//! behaviourally transparent: with `SimConfig::shards` at 1 (the
-//! classic sequential engine) or any larger value (per-band calendar
-//! queues, range-scoped medium rosters, scoped link-cache invalidation,
-//! lookahead-batched k-way merge), a simulation produces byte-identical
-//! traces, identical metrics, identical firmware state and identical
-//! routing tables — across seeds, shard counts, node churn, mobility
-//! and a full LoRaMesher mesh.
+//! Differential tests proving the PR 6 sharded event engine and the
+//! PR 7 parallel evaluate regions are behaviourally transparent: with
+//! `SimConfig::shards` at 1 (the classic sequential engine) or any
+//! larger value (per-band calendar queues, range-scoped medium rosters,
+//! scoped link-cache invalidation, lookahead-batched k-way merge), and
+//! with `SimConfig::threads` at 1 (coordinator only) or any larger
+//! value (worker-thread mobility stepping and link-row prefetch), a
+//! simulation produces byte-identical traces, identical metrics,
+//! identical firmware state and identical routing tables — across
+//! seeds, shard counts, thread counts, node churn, mobility and a full
+//! LoRaMesher mesh. The `SimConfig::rng_streams` derivation gets the
+//! same battery: engine-invariant under every (shards, threads) pair,
+//! while remaining a genuinely different stream family than the pinned
+//! fork derivation.
 //!
 //! The only allowed difference is the bookkeeping counter
 //! `stale_timers_dropped`: the merge settles queue heads at slightly
@@ -31,6 +37,9 @@ use scenario::{seed_list, NetworkBuilder, Target};
 /// reference; 2/4/8 exercise narrow bands (including bands narrower
 /// than the audible range, where rosters overlap heavily).
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Worker-thread counts the parallel evaluate regions are checked at.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Timer- and channel-churning firmware (same shape as
 /// `tests/engine_diff.rs`): CAD-busy verdicts move the next wake by an
@@ -95,11 +104,17 @@ fn fingerprint(s: &Simulator<Chatty>) -> Fingerprint {
 }
 
 fn config(shards: usize) -> SimConfig {
+    config_with(shards, 1, false)
+}
+
+fn config_with(shards: usize, threads: usize, rng_streams: bool) -> SimConfig {
     let mut cfg = SimConfig::default();
     cfg.rf.grey_zone = true;
     cfg.rf.shadowing = Shadowing::new(4.0, 7);
     cfg.trace_capacity = 1 << 16;
     cfg.shards = shards;
+    cfg.threads = threads;
+    cfg.rng_streams = rng_streams;
     cfg
 }
 
@@ -107,7 +122,11 @@ fn config(shards: usize) -> SimConfig {
 /// (roster unregistration), cancels timers in the victim's home queue,
 /// and the revive fires `on_start` from the coordinator queue mid-run.
 fn run_static(seed: u64, shards: usize) -> (Fingerprint, u64) {
-    let mut s = Simulator::new(config(shards), seed);
+    run_static_cfg(seed, config(shards))
+}
+
+fn run_static_cfg(seed: u64, cfg: SimConfig) -> (Fingerprint, u64) {
+    let mut s = Simulator::new(cfg, seed);
     for k in 0..10u64 {
         s.add_node(
             Chatty::new(40 * k + 5, 10 + k as usize),
@@ -124,7 +143,11 @@ fn run_static(seed: u64, shards: usize) -> (Fingerprint, u64) {
 /// Mobile scenario: nodes cross band edges (homes stay fixed), scoped
 /// invalidation runs every tick, and a late joiner grows the home table.
 fn run_mobile(seed: u64, shards: usize) -> (Fingerprint, u64) {
-    let mut s = Simulator::new(config(shards), seed);
+    run_mobile_cfg(seed, config(shards))
+}
+
+fn run_mobile_cfg(seed: u64, cfg: SimConfig) -> (Fingerprint, u64) {
+    let mut s = Simulator::new(cfg, seed);
     let waypoint = Mobility::RandomWaypoint {
         width_m: 600.0,
         height_m: 600.0,
@@ -339,4 +362,109 @@ fn sweep_aggregates_identical_across_jobs_and_shards() {
             "sweep drift at shards={shards}, jobs={jobs}"
         );
     }
+}
+
+/// Wide mixed scenario: enough nodes (above the simulator's parallel
+/// region threshold) that worker threads genuinely spin up for the
+/// start-of-run row prefetch, the mobility stepping and the wake-gated
+/// post-tick prefetch.
+fn run_wide(seed: u64, cfg: SimConfig) -> (Fingerprint, u64) {
+    let mut s = Simulator::new(cfg, seed);
+    let walk = Mobility::RandomWaypoint {
+        width_m: 900.0,
+        height_m: 500.0,
+        min_speed: 5.0,
+        max_speed: 20.0,
+        pause: Duration::ZERO,
+    };
+    for k in 0..72u64 {
+        let pos = Position::new((k % 12) as f64 * 80.0, (k / 12) as f64 * 70.0);
+        if k % 3 == 0 {
+            s.add_mobile_node(Chatty::new(23 * k + 5, 14), pos, walk.clone());
+        } else {
+            s.add_node(Chatty::new(23 * k + 5, 14), pos);
+        }
+    }
+    s.run_for(Duration::from_secs(6));
+    let events = s.events_processed();
+    (fingerprint(&s), events)
+}
+
+/// The tentpole invariance: every (shards, threads) pair — including
+/// thread counts beyond the host's core count — reproduces the
+/// sequential single-threaded run byte for byte.
+#[test]
+fn wide_runs_identical_for_every_shard_and_thread_count() {
+    let (reference, ref_events) = run_wide(11, config_with(1, 1, false));
+    assert!(
+        reference.1.frames_transmitted > 0 && reference.1.frames_delivered > 0,
+        "wide scenario produced no traffic — the test proves nothing"
+    );
+    for &shards in &SHARD_COUNTS {
+        for &threads in &THREAD_COUNTS {
+            if (shards, threads) == (1, 1) {
+                continue;
+            }
+            let (other, events) = run_wide(11, config_with(shards, threads, false));
+            assert_eq!(
+                reference, other,
+                "divergence at shards={shards}, threads={threads}"
+            );
+            assert_eq!(
+                ref_events, events,
+                "event count drift at shards={shards}, threads={threads}"
+            );
+        }
+    }
+}
+
+/// Thread counts must also be invisible on scenarios *below* the
+/// parallel threshold (the gate itself must not change behaviour), with
+/// and without sharding.
+#[test]
+fn small_runs_identical_for_every_thread_count() {
+    for seed in [1u64, 5] {
+        let (st_ref, _) = run_static_cfg(seed, config_with(1, 1, false));
+        let (mo_ref, _) = run_mobile_cfg(seed, config_with(1, 1, false));
+        for &threads in &THREAD_COUNTS[1..] {
+            for shards in [1usize, 4] {
+                let (st, _) = run_static_cfg(seed, config_with(shards, threads, false));
+                assert_eq!(
+                    st_ref, st,
+                    "static divergence at seed {seed}, shards={shards}, threads={threads}"
+                );
+                let (mo, _) = run_mobile_cfg(seed, config_with(shards, threads, false));
+                assert_eq!(
+                    mo_ref, mo,
+                    "mobile divergence at seed {seed}, shards={shards}, threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+/// The counter-keyed per-node stream derivation must be exactly as
+/// engine-invariant as the fork derivation — and genuinely different
+/// from it (otherwise it would not be a new stream family and the
+/// pinned fork reference would be redundant).
+#[test]
+fn rng_stream_runs_identical_across_engines() {
+    let (reference, ref_events) = run_wide(13, config_with(1, 1, true));
+    assert!(
+        reference.1.frames_transmitted > 0,
+        "stream battery produced no traffic"
+    );
+    for &(shards, threads) in &[(2usize, 1usize), (4, 2), (8, 4)] {
+        let (other, events) = run_wide(13, config_with(shards, threads, true));
+        assert_eq!(
+            reference, other,
+            "stream divergence at shards={shards}, threads={threads}"
+        );
+        assert_eq!(ref_events, events, "stream event count drift");
+    }
+    let (forked, _) = run_wide(13, config_with(1, 1, false));
+    assert_ne!(
+        reference.0, forked.0,
+        "stream derivation must draw differently than fork"
+    );
 }

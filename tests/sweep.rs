@@ -23,6 +23,13 @@ fn opts_sharded(seeds: usize, jobs: usize, shards: usize) -> ExpOptions {
     }
 }
 
+fn opts_threaded(seeds: usize, jobs: usize, shards: usize, threads: usize) -> ExpOptions {
+    ExpOptions {
+        threads,
+        ..opts_sharded(seeds, jobs, shards)
+    }
+}
+
 /// E5 (the headline protocol comparison) replicated over 4 seeds must
 /// render byte-identical tables whether the runs are sharded over 1 or
 /// 4 worker threads.
@@ -64,6 +71,22 @@ fn e5_tables_are_invariant_across_jobs_and_shards() {
             reference,
             experiments::e5_protocol_comparison(&opts_sharded(3, jobs, shards)),
             "table drift at jobs={jobs}, shards={shards}"
+        );
+    }
+}
+
+/// Three orthogonal axes of parallelism — sweep jobs across seeds,
+/// spatial shards inside a run, and worker threads inside the evaluate
+/// regions of a run — must compose without changing a single table
+/// byte.
+#[test]
+fn e5_tables_are_invariant_across_jobs_shards_and_threads() {
+    let reference = experiments::e5_protocol_comparison(&opts_threaded(2, 1, 1, 1));
+    for (jobs, shards, threads) in [(1, 1, 4), (4, 4, 2), (2, 8, 4), (4, 1, 2)] {
+        assert_eq!(
+            reference,
+            experiments::e5_protocol_comparison(&opts_threaded(2, jobs, shards, threads)),
+            "table drift at jobs={jobs}, shards={shards}, threads={threads}"
         );
     }
 }
