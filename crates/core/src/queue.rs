@@ -46,13 +46,11 @@ pub struct TxQueue {
 
 impl TxQueue {
     /// Creates a queue holding at most `capacity` packets in total.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// A zero capacity is clamped to one — a queue that can hold
+    /// nothing would silently drop every packet.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "queue capacity must be positive");
+        let capacity = capacity.max(1);
         TxQueue {
             levels: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             capacity,
@@ -232,8 +230,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity")]
-    fn zero_capacity_rejected() {
-        let _ = TxQueue::new(0);
+    fn zero_capacity_clamps_to_one() {
+        let mut q = TxQueue::new(0);
+        assert!(q.push(data(1)));
+        assert!(!q.push(data(2)));
     }
 }

@@ -83,11 +83,9 @@ pub struct OutboundTransfer {
 
 impl OutboundTransfer {
     /// Splits `payload` into fragments of at most `max_frag` bytes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `payload` is empty or `max_frag` is zero — the caller
-    /// validates both.
+    /// An empty payload travels as one empty fragment, and a zero
+    /// `max_frag` is clamped to one byte — degenerate inputs make a
+    /// slow transfer, not a crash.
     #[must_use]
     pub fn new(
         dst: Address,
@@ -97,9 +95,12 @@ impl OutboundTransfer {
         timeout: Duration,
         max_retries: u32,
     ) -> Self {
-        assert!(!payload.is_empty(), "payload must be non-empty");
-        assert!(max_frag > 0, "fragment size must be positive");
-        let fragments = payload.chunks(max_frag).map(<[u8]>::to_vec).collect();
+        let max_frag = max_frag.max(1);
+        let fragments = if payload.is_empty() {
+            vec![Vec::new()]
+        } else {
+            payload.chunks(max_frag).map(<[u8]>::to_vec).collect()
+        };
         OutboundTransfer {
             dst,
             seq,
@@ -126,14 +127,13 @@ impl OutboundTransfer {
         self.total_len
     }
 
-    /// The bytes of fragment `index`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
+    /// The bytes of fragment `index`; empty when `index` is out of
+    /// range (the state machine only ever asks for indices it minted).
     #[must_use]
     pub fn fragment(&self, index: u16) -> &[u8] {
-        &self.fragments[usize::from(index)]
+        self.fragments
+            .get(usize::from(index))
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Whether the transfer has finished (successfully or not).
@@ -227,9 +227,11 @@ impl OutboundTransfer {
     /// outstanding packet or aborts once the retry budget is spent.
     #[must_use]
     pub fn on_timeout(&mut self, now: Duration) -> SenderAction {
-        if self.state == OutState::Done {
-            return SenderAction::None;
-        }
+        let resend = match self.state {
+            OutState::AwaitSyncAck => SenderAction::SendSync,
+            OutState::AwaitFragAck(i) => SenderAction::SendFrag(i),
+            OutState::Done => return SenderAction::None,
+        };
         self.retries += 1;
         if self.retries > self.max_retries {
             self.state = OutState::Done;
@@ -238,11 +240,7 @@ impl OutboundTransfer {
         }
         self.retransmits += 1;
         self.deadline = Some(now + self.timeout);
-        match self.state {
-            OutState::AwaitSyncAck => SenderAction::SendSync,
-            OutState::AwaitFragAck(i) => SenderAction::SendFrag(i),
-            OutState::Done => unreachable!(),
-        }
+        resend
     }
 }
 
@@ -274,15 +272,12 @@ pub struct InboundTransfer {
 }
 
 impl InboundTransfer {
-    /// Opens a transfer announced by a Sync packet.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `frag_count` is zero — the node drops such Syncs before
-    /// constructing a transfer.
+    /// Opens a transfer announced by a Sync packet. A zero `frag_count`
+    /// (the node drops such Syncs, but a corrupt sender could still
+    /// claim one) is clamped to a single fragment.
     #[must_use]
     pub fn new(src: Address, seq: u8, frag_count: u16, total_len: u32, now: Duration) -> Self {
-        assert!(frag_count > 0, "transfers have at least one fragment");
+        let frag_count = frag_count.max(1);
         InboundTransfer {
             src,
             seq,
@@ -315,19 +310,18 @@ impl InboundTransfer {
     pub fn on_frag(&mut self, index: u16, data: &[u8], now: Duration) -> Vec<ReceiverAction> {
         self.last_activity = now;
         let mut actions = Vec::with_capacity(2);
-        let i = usize::from(index);
-        if i >= self.fragments.len() {
+        let Some(slot) = self.fragments.get_mut(usize::from(index)) else {
             // Out-of-range fragment: ignore entirely (corrupt sender).
             return actions;
-        }
-        if self.fragments[i].is_none() {
-            self.fragments[i] = Some(data.to_vec());
+        };
+        if slot.is_none() {
+            *slot = Some(data.to_vec());
         }
         actions.push(ReceiverAction::AckFrag(index));
         if !self.delivered && self.fragments.iter().all(Option::is_some) {
             let mut payload = Vec::with_capacity(self.total_len as usize);
-            for f in &self.fragments {
-                payload.extend_from_slice(f.as_ref().expect("all present"));
+            for f in self.fragments.iter().flatten() {
+                payload.extend_from_slice(f);
             }
             // A length mismatch means the sender lied in its Sync; deliver
             // what arrived — the application sees the actual bytes.
@@ -506,9 +500,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
-    fn empty_payload_rejected() {
-        let _ = OutboundTransfer::new(DST, 0, &[], 100, TIMEOUT, 3);
+    fn empty_payload_is_one_empty_fragment() {
+        let mut t = OutboundTransfer::new(DST, 0, &[], 100, TIMEOUT, 3);
+        assert_eq!(t.frag_count(), 1);
+        assert_eq!(t.fragment(0), &[] as &[u8]);
+        assert_eq!(t.total_len(), 0);
+        let _ = t.start(T0);
+        let _ = t.on_ack(SYNC_ACK_INDEX, T0);
+        assert_eq!(t.on_ack(0, T0), SenderAction::Completed);
+    }
+
+    #[test]
+    fn out_of_range_fragment_is_empty() {
+        let t = outbound(100, 100);
+        assert_eq!(t.fragment(7), &[] as &[u8]);
     }
 
     #[test]
@@ -560,8 +565,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one")]
-    fn inbound_zero_fragments_rejected() {
-        let _ = InboundTransfer::new(SRC, 1, 0, 0, T0);
+    fn inbound_zero_fragments_clamps_to_one() {
+        let mut t = InboundTransfer::new(SRC, 1, 0, 0, T0);
+        assert_eq!(t.missing(), vec![0]);
+        let a = t.on_frag(0, &[], T0);
+        assert_eq!(a.len(), 2, "empty payload still completes");
+        assert!(t.is_delivered());
     }
 }

@@ -32,14 +32,13 @@ impl ProtocolRng {
         x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 
-    /// A uniform value in `[0, bound)`.
+    /// A uniform value in `[0, bound)`; `0` when `bound` is zero.
     ///
-    /// # Panics
-    ///
-    /// Panics if `bound` is zero.
+    /// Note the stream still advances on a zero bound — the draw
+    /// happens either way, so call sequences stay aligned.
     pub fn gen_range(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "bound must be positive");
-        // Multiply-shift; bias is negligible for protocol jitter purposes.
+        // Multiply-shift; bias is negligible for protocol jitter
+        // purposes, and a zero bound yields zero by the same product.
         ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
@@ -86,8 +85,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_bound_panics() {
-        ProtocolRng::new(1).gen_range(0);
+    fn zero_bound_yields_zero_and_advances() {
+        let mut r = ProtocolRng::new(1);
+        let mut aligned = ProtocolRng::new(1);
+        assert_eq!(r.gen_range(0), 0);
+        let _ = aligned.next_u64();
+        assert_eq!(r.next_u64(), aligned.next_u64());
     }
 }

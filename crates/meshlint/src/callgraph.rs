@@ -1,0 +1,572 @@
+//! Workspace symbol table and call graph over the parser's output.
+//!
+//! Resolution is deliberately name-based — meshlint has no type
+//! information — and *scoped*: an edge from crate A to a function in
+//! crate B exists only when A's `Cargo.toml` (transitively) depends on
+//! B. Within that scope:
+//!
+//! * `path::name(..)` resolves `name` against functions whose
+//!   impl/trait qualifier, enclosing module, file stem, or crate name
+//!   matches `path`'s last segment (`Self::` already substituted by the
+//!   parser);
+//! * `recv.name(..)` resolves against impl/trait methods named `name`,
+//!   except for a curated list of ubiquitous `std` method names
+//!   (`len`, `push`, `get`, …) that would otherwise spray false edges;
+//!   a `self.name(..)` call additionally prefers methods of the
+//!   caller's own impl block when any exist — `self` cannot be a
+//!   foreign type, so the same-qual candidates are the true targets;
+//! * bare `name(..)` resolves against free functions named `name`.
+//!
+//! This over-approximates (a same-named method on an unrelated type in
+//! a dependency still makes an edge) and under-approximates (trait
+//! dispatch through a `dyn` object held by a caller in another crate,
+//! shadowed `std` names). Both are the right trade for a linter: the
+//! first costs an escape comment, the second a missed finding that the
+//! differential tests still catch.
+//!
+//! Crates without a `Cargo.toml` (plain-directory fixtures) are
+//! *permissive*: they see every crate in the scan set.
+
+use crate::parser::{ParsedFile, Span};
+use std::collections::btree_map::Entry as MapEntry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::Path;
+
+/// `(file index, fn index)` into [`Graph::entries`].
+pub type FnId = (usize, usize);
+
+/// Ubiquitous `std`/`core` method names excluded from method-call
+/// resolution: a `.len()` call should never create an edge to some
+/// workspace type's unrelated `fn len`.
+const STD_METHODS: [&str; 96] = [
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "binary_search",
+    "binary_search_by",
+    "bytes",
+    "ceil",
+    "chars",
+    "checked_add",
+    "checked_mul",
+    "checked_sub",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "dedup",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "extend_from_slice",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "flush",
+    "fold",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_char_boundary",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "ln",
+    "map",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "partition_point",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "product",
+    "push",
+    "push_str",
+    "read",
+    "rem_euclid",
+    "remove",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split",
+    "sqrt",
+    "starts_with",
+    "sum",
+    "swap",
+    "take",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+];
+
+/// Bare free-function names excluded from resolution (`drop(x)` must
+/// not resolve to a workspace `fn drop`).
+const STD_FREE_FNS: [&str; 6] = ["default", "drop", "from", "into", "max", "min"];
+
+/// Path-dependency closure between workspace crates, parsed from each
+/// `crates/<dir>/Cargo.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct CrateDeps {
+    /// crate dir → transitively reachable crate dirs (including self).
+    closure: BTreeMap<String, BTreeSet<String>>,
+    /// Crate dirs that have a manifest; others are permissive.
+    known: BTreeSet<String>,
+}
+
+impl CrateDeps {
+    /// Scans `<root>/crates/*/Cargo.toml` for `path = ".."` dependencies
+    /// and builds the transitive closure. Missing manifests simply leave
+    /// the crate permissive.
+    #[must_use]
+    pub fn load(root: &Path) -> CrateDeps {
+        let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut known = BTreeSet::new();
+        let crates_dir = root.join("crates");
+        let Ok(entries) = fs::read_dir(&crates_dir) else {
+            return CrateDeps::default();
+        };
+        for entry in entries.flatten() {
+            let dir = entry.file_name().to_string_lossy().into_owned();
+            let Ok(manifest) = fs::read_to_string(entry.path().join("Cargo.toml")) else {
+                continue;
+            };
+            known.insert(dir.clone());
+            direct.insert(dir, manifest_path_deps(&manifest));
+        }
+        let mut closure = BTreeMap::new();
+        for dir in &known {
+            let mut seen = BTreeSet::new();
+            let mut queue = vec![dir.clone()];
+            while let Some(d) = queue.pop() {
+                if seen.insert(d.clone()) {
+                    if let Some(deps) = direct.get(&d) {
+                        queue.extend(deps.iter().cloned());
+                    }
+                }
+            }
+            closure.insert(dir.clone(), seen);
+        }
+        CrateDeps { closure, known }
+    }
+
+    /// Whether code in crate `from` can call code in crate `to`.
+    /// `""` is the root package (sees everything); crates without a
+    /// manifest are permissive in both directions.
+    #[must_use]
+    pub fn visible(&self, from: &str, to: &str) -> bool {
+        if from == to || from.is_empty() || !self.known.contains(from) {
+            return true;
+        }
+        if to.is_empty() {
+            return false; // crates never depend on the root package
+        }
+        if !self.known.contains(to) {
+            return true;
+        }
+        self.closure.get(from).is_some_and(|c| c.contains(to))
+    }
+}
+
+/// Extracts the dir names of `path = "../<dir>"` dependencies from the
+/// `[dependencies]` section of a manifest (dev-dependencies are
+/// test-only and deliberately ignored).
+fn manifest_path_deps(manifest: &str) -> BTreeSet<String> {
+    let mut deps = BTreeSet::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            let section = section.trim_end_matches(']');
+            in_deps = section == "dependencies"
+                || (section.starts_with("target.") && section.ends_with(".dependencies"));
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        let Some(pos) = line.find("path") else {
+            continue;
+        };
+        let rest = line[pos + "path".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix('=') else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let quote = rest.chars().next();
+        if quote != Some('"') && quote != Some('\'') {
+            continue;
+        }
+        let inner = &rest[1..];
+        let Some(end) = inner.find(quote.unwrap_or('"')) else {
+            continue;
+        };
+        let path = &inner[..end];
+        if let Some(base) = path.rsplit('/').next() {
+            if !base.is_empty() {
+                deps.insert(base.to_string());
+            }
+        }
+    }
+    deps
+}
+
+/// One scanned file presented to the graph.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Crate dir name (`crates/<dir>/..`), `""` for the root package.
+    pub krate: String,
+    /// File stem used for module-path matching (`mod.rs` files use
+    /// their parent directory's name).
+    pub stem: String,
+    /// The parse result.
+    pub parsed: ParsedFile,
+    /// Per-fn: whether the fn lives in excised `#[cfg(test)]` code.
+    /// Test fns neither make nor receive edges.
+    pub test_fn: Vec<bool>,
+}
+
+/// The resolved call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// The scanned files, in the order given to [`Graph::build`].
+    pub entries: Vec<Entry>,
+    /// `(file, fn, call)` → resolved targets.
+    resolved: BTreeMap<(usize, usize, usize), Vec<FnId>>,
+    /// All non-test fns by bare name.
+    by_name: BTreeMap<String, Vec<FnId>>,
+}
+
+impl Graph {
+    /// Builds the symbol table and resolves every call site.
+    #[must_use]
+    pub fn build(entries: Vec<Entry>, deps: &CrateDeps) -> Graph {
+        let mut by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (fi, e) in entries.iter().enumerate() {
+            for (ni, f) in e.parsed.fns.iter().enumerate() {
+                if e.test_fn.get(ni).copied().unwrap_or(false) {
+                    continue;
+                }
+                by_name.entry(f.name.clone()).or_default().push((fi, ni));
+            }
+        }
+        let mut graph = Graph {
+            entries,
+            resolved: BTreeMap::new(),
+            by_name,
+        };
+        for fi in 0..graph.entries.len() {
+            for ni in 0..graph.entries[fi].parsed.fns.len() {
+                if graph.entries[fi].test_fn.get(ni).copied().unwrap_or(false) {
+                    continue;
+                }
+                for ci in 0..graph.entries[fi].parsed.fns[ni].calls.len() {
+                    let call = graph.entries[fi].parsed.fns[ni].calls[ci].clone();
+                    let caller = &graph.entries[fi].parsed.fns[ni];
+                    let self_qual = (call.method
+                        && call.recv.len() == 1
+                        && call.recv[0] == "self"
+                        && !caller.qual.is_empty())
+                    .then(|| caller.qual.clone());
+                    let targets = graph.resolve(
+                        fi,
+                        &call.name,
+                        call.qual.as_deref(),
+                        call.method,
+                        self_qual.as_deref(),
+                        deps,
+                    );
+                    if !targets.is_empty() {
+                        graph.resolved.insert((fi, ni, ci), targets);
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// Resolves a name as seen from `from_file` (see module docs for
+    /// the matching rules).
+    #[must_use]
+    pub fn resolve(
+        &self,
+        from_file: usize,
+        name: &str,
+        qual: Option<&str>,
+        method: bool,
+        self_qual: Option<&str>,
+        deps: &CrateDeps,
+    ) -> Vec<FnId> {
+        let from_crate = &self.entries[from_file].krate;
+        let Some(candidates) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &(fi, ni) in candidates {
+            let e = &self.entries[fi];
+            let f = &e.parsed.fns[ni];
+            let ok = match qual {
+                Some(q) if !q.is_empty() => {
+                    f.qual == q
+                        || f.module == q
+                        || e.stem == q
+                        || e.krate == q
+                        || e.krate.replace('-', "_") == q
+                }
+                _ if method => !f.qual.is_empty() && !STD_METHODS.contains(&name),
+                _ => f.qual.is_empty() && !STD_FREE_FNS.contains(&name),
+            };
+            if ok && deps.visible(from_crate, &e.krate) {
+                out.push((fi, ni));
+            }
+        }
+        // `self.name(..)`: the receiver is the caller's own type, so
+        // when that type defines a matching method, unrelated same-name
+        // methods elsewhere cannot be the target.
+        if let Some(sq) = self_qual {
+            let own = |&(fi, ni): &FnId| self.entries[fi].parsed.fns[ni].qual == sq;
+            if out.iter().any(own) {
+                out.retain(own);
+            }
+        }
+        out
+    }
+
+    /// Resolved targets of one call site.
+    #[must_use]
+    pub fn targets(&self, file: usize, f: usize, call: usize) -> &[FnId] {
+        self.resolved
+            .get(&(file, f, call))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// All `(owner fn, call index)` call sites in `file` whose name
+    /// token falls inside `span`.
+    #[must_use]
+    pub fn calls_in_span(&self, file: usize, span: Span) -> Vec<(FnId, usize)> {
+        let mut out = Vec::new();
+        let e = &self.entries[file];
+        for (ni, f) in e.parsed.fns.iter().enumerate() {
+            if e.test_fn.get(ni).copied().unwrap_or(false) {
+                continue;
+            }
+            for (ci, c) in f.calls.iter().enumerate() {
+                if span.contains(c.pos) {
+                    out.push(((file, ni), ci));
+                }
+            }
+        }
+        out
+    }
+
+    /// Breadth-first reachability from `roots` (which are included).
+    /// Returns each reached fn mapped to the edge that discovered it:
+    /// `(caller, call index)` — `None` for the roots themselves — so
+    /// callers can reconstruct a witness path.
+    #[must_use]
+    pub fn reach(&self, roots: &[FnId]) -> BTreeMap<FnId, Option<(FnId, usize)>> {
+        let mut seen: BTreeMap<FnId, Option<(FnId, usize)>> = BTreeMap::new();
+        let mut queue: Vec<FnId> = Vec::new();
+        for &r in roots {
+            if let MapEntry::Vacant(slot) = seen.entry(r) {
+                slot.insert(None);
+                queue.push(r);
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let (fi, ni) = queue[qi];
+            qi += 1;
+            for ci in 0..self.entries[fi].parsed.fns[ni].calls.len() {
+                for &tgt in self.targets(fi, ni, ci) {
+                    if let MapEntry::Vacant(slot) = seen.entry(tgt) {
+                        slot.insert(Some(((fi, ni), ci)));
+                        queue.push(tgt);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reconstructs the witness path root → … → `to` as a list of
+    /// `(caller, call index)` edges, using the parent map from
+    /// [`Graph::reach`].
+    #[must_use]
+    pub fn path_to(
+        &self,
+        parents: &BTreeMap<FnId, Option<(FnId, usize)>>,
+        to: FnId,
+    ) -> Vec<(FnId, usize)> {
+        let mut edges = Vec::new();
+        let mut cur = to;
+        while let Some(Some((parent, ci))) = parents.get(&cur) {
+            edges.push((*parent, *ci));
+            cur = *parent;
+        }
+        edges.reverse();
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn entry(rel: &str, krate: &str, stem: &str, src: &str) -> Entry {
+        let parsed = parse(src, &[]);
+        let n = parsed.fns.len();
+        Entry {
+            rel: rel.into(),
+            krate: krate.into(),
+            stem: stem.into(),
+            parsed,
+            test_fn: vec![false; n],
+        }
+    }
+
+    #[test]
+    fn manifest_deps_are_extracted_and_closed() {
+        let a = "[package]\nname = \"a\"\n[dependencies]\nb = { path = \"../b\" }\n";
+        assert_eq!(
+            manifest_path_deps(a).into_iter().collect::<Vec<_>>(),
+            vec!["b".to_string()]
+        );
+        let dev = "[dev-dependencies]\nb = { path = \"../b\" }\n";
+        assert!(manifest_path_deps(dev).is_empty());
+    }
+
+    #[test]
+    fn qualified_calls_resolve_by_stem_module_impl_and_crate() {
+        let lib = entry(
+            "crates/a/src/lib.rs",
+            "a",
+            "lib",
+            "pub fn top() { helpers::calc(); Codec::decode(); }\n",
+        );
+        let helpers = entry(
+            "crates/a/src/helpers.rs",
+            "a",
+            "helpers",
+            "pub fn calc() {}\n",
+        );
+        let codec = entry(
+            "crates/b/src/codec.rs",
+            "b",
+            "codec",
+            "impl Codec { pub fn decode() {} }\n",
+        );
+        let g = Graph::build(vec![lib, helpers, codec], &CrateDeps::default());
+        assert_eq!(g.targets(0, 0, 0), &[(1, 0)]);
+        assert_eq!(g.targets(0, 0, 1), &[(2, 0)]);
+    }
+
+    #[test]
+    fn std_method_names_make_no_edges() {
+        let a = entry(
+            "crates/a/src/lib.rs",
+            "a",
+            "lib",
+            "pub fn top(v: &V) { v.push(1); v.commit(); }\n",
+        );
+        let b = entry(
+            "crates/b/src/lib.rs",
+            "b",
+            "lib",
+            "impl V { pub fn push(&mut self, x: u8) {} pub fn commit(&self) {} }\n",
+        );
+        let g = Graph::build(vec![a, b], &CrateDeps::default());
+        assert!(g.targets(0, 0, 0).is_empty(), "push is a std method name");
+        assert_eq!(g.targets(0, 0, 1), &[(1, 1)]);
+    }
+
+    #[test]
+    fn self_calls_prefer_the_callers_own_impl() {
+        let metrics = "impl Metrics { pub fn record(&mut self) { self.node(); } pub fn node(&mut self) {} }\n";
+        let sim = "impl Harness { pub fn node(&self) {} }\n";
+        let report = "pub fn run(m: &Metrics) { m.node(); }\n";
+        let g = Graph::build(
+            vec![
+                entry("crates/a/src/metrics.rs", "a", "metrics", metrics),
+                entry("crates/a/src/sim.rs", "a", "sim", sim),
+                entry("crates/a/src/report.rs", "a", "report", report),
+            ],
+            &CrateDeps::default(),
+        );
+        // `self.node()` inside `impl Metrics` cannot reach Harness.
+        assert_eq!(g.targets(0, 0, 0), &[(0, 1)]);
+        // A non-self receiver still fans out to every candidate.
+        assert_eq!(g.targets(2, 0, 0).len(), 2);
+    }
+
+    #[test]
+    fn test_fns_are_invisible() {
+        let mut a = entry(
+            "crates/a/src/lib.rs",
+            "a",
+            "lib",
+            "pub fn top() { helper(); }\nfn helper() {}\n",
+        );
+        a.test_fn[1] = true; // pretend helper is in #[cfg(test)]
+        let g = Graph::build(vec![a], &CrateDeps::default());
+        assert!(g.targets(0, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn reachability_returns_witness_paths() {
+        let a = entry(
+            "crates/a/src/lib.rs",
+            "a",
+            "lib",
+            "pub fn top() { mid(); }\nfn mid() { deep(); }\nfn deep() {}\n",
+        );
+        let g = Graph::build(vec![a], &CrateDeps::default());
+        let parents = g.reach(&[(0, 0)]);
+        assert!(parents.contains_key(&(0, 2)));
+        let path = g.path_to(&parents, (0, 2));
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].0, (0, 0));
+        assert_eq!(path[1].0, (0, 1));
+    }
+}

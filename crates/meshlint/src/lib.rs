@@ -36,30 +36,54 @@
 //! a baseline file are tolerated (and tracked for burn-down) while any
 //! *new* finding fails the run.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The five project rules.
+pub mod callgraph;
+pub mod parser;
+
+/// The project rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// No `HashMap`/`HashSet` in determinism-critical crates.
     D1,
     /// No wall-clock or OS entropy outside `bench`/`testkit`.
     D2,
-    /// No panic paths in the protocol core's hot files.
+    /// No panic paths in (or reachable from) the protocol hot files.
     R1,
     /// No bare narrowing `as` casts in determinism-critical crates.
     C1,
     /// No ungated `std::` paths in `no_std`-capable crates.
     N1,
+    /// No shared-state machinery reachable from worker-evaluated
+    /// regions (parallel purity).
+    P1,
+    /// Event insertion in shard-aware sim code must use a
+    /// coordinator-issued seq.
+    S1,
+    /// No order-sensitive accumulation into captured state inside
+    /// worker-evaluated regions.
+    F1,
+    /// A `meshlint::allow` directive that suppresses nothing.
+    E1,
 }
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::R1, Rule::C1, Rule::N1];
+    pub const ALL: [Rule; 9] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::R1,
+        Rule::C1,
+        Rule::N1,
+        Rule::P1,
+        Rule::S1,
+        Rule::F1,
+        Rule::E1,
+    ];
 
     /// The identifier used in `meshlint::allow(<id>)` directives and
     /// baseline entries.
@@ -71,6 +95,10 @@ impl Rule {
             Rule::R1 => "r1",
             Rule::C1 => "c1",
             Rule::N1 => "n1",
+            Rule::P1 => "p1",
+            Rule::S1 => "s1",
+            Rule::F1 => "f1",
+            Rule::E1 => "e1",
         }
     }
 
@@ -83,6 +111,10 @@ impl Rule {
             "r1" => Some(Rule::R1),
             "c1" => Some(Rule::C1),
             "n1" => Some(Rule::N1),
+            "p1" => Some(Rule::P1),
+            "s1" => Some(Rule::S1),
+            "f1" => Some(Rule::F1),
+            "e1" => Some(Rule::E1),
             _ => None,
         }
     }
@@ -93,9 +125,13 @@ impl Rule {
         match self {
             Rule::D1 => "hashed collection in a determinism-critical crate",
             Rule::D2 => "wall clock or OS entropy outside bench/testkit",
-            Rule::R1 => "panic path in a protocol hot file",
+            Rule::R1 => "panic path in (or reachable from) a protocol hot file",
             Rule::C1 => "bare narrowing `as` cast in a determinism-critical crate",
             Rule::N1 => "ungated `std::` path in a no_std-capable crate",
+            Rule::P1 => "shared-state machinery reachable from a worker-evaluated region",
+            Rule::S1 => "locally fabricated seq passed to a shard event-insertion method",
+            Rule::F1 => "order-sensitive accumulation into captured state in a worker region",
+            Rule::E1 => "stale escape: allow directive suppresses nothing",
         }
     }
 
@@ -123,6 +159,22 @@ impl Rule {
                 "use core::/alloc:: equivalents, or gate the item behind \
                  #[cfg(feature = \"std\")] so --no-default-features keeps building"
             }
+            Rule::P1 => {
+                "workers must be pure evaluators: move the shared state behind the \
+                 coordinator's commit step (evaluate in parallel, commit sequentially)"
+            }
+            Rule::S1 => {
+                "take the seq from the coordinator counter (alloc_seq / schedule_at_seq / \
+                 schedule_timer_seq); a fabricated seq breaks the (time, seq) shard merge"
+            }
+            Rule::F1 => {
+                "return per-item results and reduce on the coordinator in roster order; \
+                 worker-side accumulation depends on chunk boundaries (thread count)"
+            }
+            Rule::E1 => {
+                "the code this directive excused is gone: delete the \
+                 // meshlint::allow(..) comment to keep escapes honest"
+            }
         }
     }
 }
@@ -146,6 +198,11 @@ pub struct Finding {
     pub col: usize,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// Extra context for call-graph findings (the witness path, the
+    /// fabricated expression, …). Empty for plain token findings.
+    /// Deliberately excluded from [`Finding::baseline_key`]: the
+    /// witness path may shift while the violation stays the same.
+    pub detail: String,
 }
 
 impl Finding {
@@ -162,15 +219,18 @@ impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}:{}: [{}] {}\n    {}\n    fix: {}",
+            "{}:{}:{}: [{}] {}\n    {}",
             self.file,
             self.line,
             self.col,
             self.rule.id(),
             self.rule.summary(),
             self.snippet,
-            self.rule.hint()
-        )
+        )?;
+        if !self.detail.is_empty() {
+            write!(f, "\n    note: {}", self.detail)?;
+        }
+        write!(f, "\n    fix: {}", self.rule.hint())
     }
 }
 
@@ -217,6 +277,14 @@ pub struct Config {
     /// Crate names that must keep building with `--no-default-features`
     /// (`no_std` + `alloc`): rule `n1`.
     pub no_std_crates: Vec<String>,
+    /// Names of the fork-join entry points whose final argument is a
+    /// worker-evaluated region: rules `p1` and `f1` (applied in
+    /// determinism-critical crates).
+    pub par_entries: Vec<String>,
+    /// Files (relative paths) where shard-aware event insertion lives:
+    /// rule `s1` checks the seq argument of `schedule_at_seq` /
+    /// `schedule_timer_seq` calls there.
+    pub seq_files: Vec<String>,
 }
 
 impl Config {
@@ -226,15 +294,17 @@ impl Config {
         Config {
             root: root.into(),
             scan_roots: vec!["crates".into(), "src".into()],
-            // meshlint's own sources mention the forbidden tokens by
-            // name (rule tables, fixtures); scanning them would be
-            // self-referential noise.
-            skip_prefixes: vec!["crates/meshlint".into()],
+            skip_prefixes: Vec::new(),
+            // meshlint self-lints: the analyzer is held to d1/d2/c1
+            // like the code it polices. Its rule tables spell the
+            // forbidden tokens inside string literals, which the lexer
+            // masks, so self-scanning is exact rather than noisy.
             deterministic_crates: vec![
                 "radio-sim".into(),
                 "core".into(),
                 "scenario".into(),
                 "mesh-baselines".into(),
+                "meshlint".into(),
             ],
             wallclock_crates: vec!["bench".into(), "testkit".into()],
             hot_path_files: vec![
@@ -260,6 +330,12 @@ impl Config {
                 "crates/radio-sim/src/par.rs".into(),
             ],
             no_std_crates: vec!["core".into(), "lora-phy".into()],
+            par_entries: vec!["run_chunks".into(), "map_chunks".into()],
+            seq_files: vec![
+                "crates/radio-sim/src/sim.rs".into(),
+                "crates/radio-sim/src/event.rs".into(),
+                "crates/radio-sim/src/shard.rs".into(),
+            ],
         }
     }
 
@@ -305,7 +381,107 @@ pub struct Analysis {
     pub files_scanned: usize,
 }
 
-/// Walks the configured tree and applies every rule.
+/// One scanned file: everything the line rules and graph rules need.
+struct FileScan {
+    rel: String,
+    krate: String,
+    stem: String,
+    source_lines: Vec<String>,
+    masked: Masked,
+    masked_lines: Vec<String>,
+    lines_index: parser::Lines,
+    test_lines: std::collections::BTreeSet<usize>,
+    std_gated: std::collections::BTreeSet<usize>,
+    rules: Vec<Rule>,
+    parsed: parser::ParsedFile,
+    /// Parallel to `masked.allows`: whether each directive suppressed
+    /// anything. Stale ones become `e1` findings.
+    allow_used: Vec<bool>,
+    hot: bool,
+}
+
+impl FileScan {
+    fn new(cfg: &Config, rel: &str, source: &str) -> FileScan {
+        let rules = cfg.rules_for(rel);
+        let masked = mask(source);
+        let test_lines = test_region_lines(&masked.text);
+        // Gated regions are found on the raw source: masking blanks
+        // the `"std"` literal inside the attribute.
+        let std_gated = if rules.contains(&Rule::N1) {
+            cfg_std_region_lines(source)
+        } else {
+            std::collections::BTreeSet::new()
+        };
+        let parsed = parser::parse(&masked.text, &cfg.par_entries);
+        let allow_used = vec![false; masked.allows.len()];
+        let stem = file_stem(rel);
+        FileScan {
+            rel: rel.to_string(),
+            krate: Config::crate_of(rel).unwrap_or("").to_string(),
+            stem,
+            source_lines: source.lines().map(str::to_string).collect(),
+            masked_lines: masked.text.lines().map(str::to_string).collect(),
+            lines_index: parser::Lines::new(&masked.text),
+            masked,
+            test_lines,
+            std_gated,
+            rules,
+            parsed,
+            allow_used,
+            hot: cfg.hot_path_files.iter().any(|f| f == rel),
+        }
+    }
+
+    fn source_line(&self, line_no: usize) -> &str {
+        self.source_lines
+            .get(line_no.wrapping_sub(1))
+            .map_or("", String::as_str)
+    }
+
+    fn masked_line(&self, line_no: usize) -> &str {
+        self.masked_lines
+            .get(line_no.wrapping_sub(1))
+            .map_or("", String::as_str)
+    }
+
+    /// Indices into `masked.allows` covering `rule` at `line`.
+    fn allow_indices(&self, rule: Rule, line: usize) -> Vec<usize> {
+        self.masked
+            .allows
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(l, r))| r == rule && (l == line || l + 1 == line))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// If an allow covers `rule` at `line`, marks it used.
+    fn use_allow(&mut self, rule: Rule, line: usize) -> bool {
+        let idxs = self.allow_indices(rule, line);
+        for &i in &idxs {
+            self.allow_used[i] = true;
+        }
+        !idxs.is_empty()
+    }
+}
+
+/// The file stem used for `path::fn()` resolution: `mod.rs` files take
+/// their parent directory's name.
+fn file_stem(rel: &str) -> String {
+    let base = rel.rsplit('/').next().unwrap_or(rel);
+    let stem = base.strip_suffix(".rs").unwrap_or(base);
+    if stem == "mod" {
+        let mut parts: Vec<&str> = rel.split('/').collect();
+        parts.pop();
+        parts.pop().unwrap_or(stem).to_string()
+    } else {
+        stem.to_string()
+    }
+}
+
+/// Walks the configured tree and applies every rule: the per-line
+/// token rules first, then the call-graph rules (`r1`-transitive,
+/// `p1`, `s1`, `f1`), then stale-escape detection (`e1`).
 ///
 /// # Errors
 ///
@@ -320,6 +496,7 @@ pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
     }
     files.sort();
     let mut analysis = Analysis::default();
+    let mut scans = Vec::new();
     for path in files {
         let rel = relative_slash_path(&cfg.root, &path);
         if cfg
@@ -330,58 +507,663 @@ pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
             continue;
         }
         let source = fs::read_to_string(&path)?;
-        analyze_source(cfg, &rel, &source, &mut analysis);
+        let scan = FileScan::new(cfg, &rel, &source);
+        for err in &scan.masked.directive_errors {
+            analysis.directive_errors.push(DirectiveError {
+                file: rel.clone(),
+                line: err.0,
+                message: err.1.clone(),
+            });
+        }
+        scans.push(scan);
         analysis.files_scanned += 1;
     }
+    for scan in &mut scans {
+        line_rules(scan, &mut analysis);
+    }
+    graph_rules(cfg, &mut scans, &mut analysis);
+    stale_escapes(&scans, &mut analysis);
+    analysis
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(analysis)
 }
 
-/// Analyses a single file's source text (the pure core, used directly
-/// by the fixture tests). Appends to `out`.
+/// Analyses a single file's source text with the per-line token rules
+/// (the pure core, used directly by the fixture tests). Call-graph
+/// rules need the whole workspace and only run under [`analyze`].
+/// Appends to `out`.
 pub fn analyze_source(cfg: &Config, rel: &str, source: &str, out: &mut Analysis) {
-    let rules = cfg.rules_for(rel);
-    let masked = mask(source);
-    for err in &masked.directive_errors {
+    let mut scan = FileScan::new(cfg, rel, source);
+    for err in &scan.masked.directive_errors {
         out.directive_errors.push(DirectiveError {
             file: rel.to_string(),
             line: err.0,
             message: err.1.clone(),
         });
     }
-    if rules.is_empty() {
+    line_rules(&mut scan, out);
+}
+
+/// Applies the per-line token rules to one file.
+fn line_rules(scan: &mut FileScan, out: &mut Analysis) {
+    if scan.rules.is_empty() {
         return;
     }
-    let test_lines = test_region_lines(&masked.text);
-    // Gated regions are found on the raw source: masking blanks the
-    // `"std"` literal inside the attribute.
-    let std_gated_lines = if rules.contains(&Rule::N1) {
-        cfg_std_region_lines(source)
-    } else {
-        std::collections::BTreeSet::new()
-    };
-    let source_lines: Vec<&str> = source.lines().collect();
-    for (idx, masked_line) in masked.text.lines().enumerate() {
+    for idx in 0..scan.masked_lines.len() {
         let line_no = idx + 1;
-        if test_lines.contains(&line_no) {
+        if scan.test_lines.contains(&line_no) {
             continue;
         }
-        for &rule in &rules {
-            if rule == Rule::N1 && std_gated_lines.contains(&line_no) {
+        for rule in scan.rules.clone() {
+            if rule == Rule::N1 && scan.std_gated.contains(&line_no) {
                 continue;
             }
-            for col in match_rule(rule, masked_line) {
-                if masked.is_allowed(rule, line_no) {
+            for col in match_rule(rule, &scan.masked_lines[idx]) {
+                if scan.use_allow(rule, line_no) {
                     out.allowed += 1;
                     continue;
                 }
                 out.findings.push(Finding {
                     rule,
-                    file: rel.to_string(),
+                    file: scan.rel.clone(),
                     line: line_no,
                     col,
-                    snippet: snippet_of(source_lines.get(idx).copied().unwrap_or("")),
+                    snippet: snippet_of(&scan.source_lines[idx]),
+                    detail: String::new(),
                 });
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Call-graph rules: r1-transitive, p1, s1, f1, and stale escapes (e1)
+// ---------------------------------------------------------------------
+
+/// Builds the workspace call graph and applies the semantic rules.
+fn graph_rules(cfg: &Config, scans: &mut [FileScan], out: &mut Analysis) {
+    let deps = callgraph::CrateDeps::load(&cfg.root);
+    let entries: Vec<callgraph::Entry> = scans
+        .iter()
+        .map(|s| callgraph::Entry {
+            rel: s.rel.clone(),
+            krate: s.krate.clone(),
+            stem: s.stem.clone(),
+            parsed: s.parsed.clone(),
+            test_fn: s
+                .parsed
+                .fns
+                .iter()
+                .map(|f| s.test_lines.contains(&f.sig_line))
+                .collect(),
+        })
+        .collect();
+    let graph = callgraph::Graph::build(entries, &deps);
+    rule_r1_transitive(scans, &graph, out);
+    rule_p1(cfg, scans, &graph, &deps, out);
+    rule_s1(cfg, scans, out);
+    rule_f1(cfg, scans, out);
+}
+
+/// Matcher hits inside one fn's body, split into live sites and the
+/// allow-directive indices that suppressed the rest. The allows are
+/// *conditional*: they only count as used if the fn turns out to be
+/// reachable from code the rule applies to.
+fn body_sites(
+    scan: &FileScan,
+    f: &parser::FnDef,
+    rule: Rule,
+    matcher: &dyn Fn(&str) -> Vec<usize>,
+) -> (Vec<(usize, usize)>, Vec<usize>) {
+    let Some(body) = f.body else {
+        return (Vec::new(), Vec::new());
+    };
+    let (lo, hi) = scan.lines_index.line_range(body);
+    let mut sites = Vec::new();
+    let mut allows = Vec::new();
+    for line_no in lo..=hi {
+        if scan.test_lines.contains(&line_no) {
+            continue;
+        }
+        for col in matcher(scan.masked_line(line_no)) {
+            let idxs = scan.allow_indices(rule, line_no);
+            if idxs.is_empty() {
+                sites.push((line_no, col));
+            } else {
+                allows.extend(idxs);
+            }
+        }
+    }
+    (sites, allows)
+}
+
+/// `r1`-transitive: a hot-file fn must not reach a panicking helper,
+/// however many crates away. Panic sites *in* hot files are reported
+/// directly by the line rules; this pass only chases calls that leave
+/// the hot set, anchoring each finding at the call site where they do.
+fn rule_r1_transitive(scans: &mut [FileScan], graph: &callgraph::Graph, out: &mut Analysis) {
+    let mut panicky: BTreeMap<callgraph::FnId, (usize, usize)> = BTreeMap::new();
+    let mut cond_allows: BTreeMap<callgraph::FnId, Vec<usize>> = BTreeMap::new();
+    let mut roots = Vec::new();
+    for (fi, scan) in scans.iter().enumerate() {
+        for (ni, f) in scan.parsed.fns.iter().enumerate() {
+            if scan.test_lines.contains(&f.sig_line) {
+                continue;
+            }
+            if scan.hot {
+                roots.push((fi, ni));
+                continue;
+            }
+            let (sites, allows) = body_sites(scan, f, Rule::R1, &|l| match_rule(Rule::R1, l));
+            if let Some(&site) = sites.first() {
+                panicky.insert((fi, ni), site);
+            }
+            if !allows.is_empty() {
+                cond_allows.insert((fi, ni), allows);
+            }
+        }
+    }
+    if roots.is_empty() {
+        return;
+    }
+    let parents = graph.reach(&roots);
+    for (id, idxs) in &cond_allows {
+        if parents.contains_key(id) {
+            for &ai in idxs {
+                scans[id.0].allow_used[ai] = true;
+            }
+        }
+    }
+    let mut seen = BTreeSet::new();
+    for &id in parents.keys() {
+        let Some(&(pline, _)) = panicky.get(&id) else {
+            continue;
+        };
+        let path = graph.path_to(&parents, id);
+        // The anchor: the first edge that leaves the hot set.
+        let mut anchor = None;
+        for (k, &((afi, ani), ci)) in path.iter().enumerate() {
+            let callee_file = if k + 1 < path.len() {
+                path[k + 1].0 .0
+            } else {
+                id.0
+            };
+            if scans[afi].hot && !scans[callee_file].hot {
+                anchor = Some((k, (afi, ani), ci));
+                break;
+            }
+        }
+        let Some((k, (afi, ani), ci)) = anchor else {
+            continue;
+        };
+        let call = scans[afi].parsed.fns[ani].calls[ci].clone();
+        if !seen.insert((afi, call.line, call.col, id)) {
+            continue;
+        }
+        if scans[afi].use_allow(Rule::R1, call.line) {
+            out.allowed += 1;
+            continue;
+        }
+        let chain: Vec<String> = path[k..]
+            .iter()
+            .map(|&((cfi, cni), cci)| scans[cfi].parsed.fns[cni].calls[cci].name.clone())
+            .collect();
+        let detail = format!(
+            "reaches {}; panic site {}:{}: {}",
+            chain.join(" -> "),
+            scans[id.0].rel,
+            pline,
+            snippet_of(scans[id.0].source_line(pline)),
+        );
+        let snippet = snippet_of(scans[afi].source_line(call.line));
+        out.findings.push(Finding {
+            rule: Rule::R1,
+            file: scans[afi].rel.clone(),
+            line: call.line,
+            col: call.col,
+            snippet,
+            detail,
+        });
+    }
+}
+
+/// `p1`: code reachable from a worker-evaluated region must not touch
+/// shared-state machinery — workers evaluate, the coordinator commits.
+fn rule_p1(
+    cfg: &Config,
+    scans: &mut [FileScan],
+    graph: &callgraph::Graph,
+    deps: &callgraph::CrateDeps,
+    out: &mut Analysis,
+) {
+    let mut impure: BTreeMap<callgraph::FnId, usize> = BTreeMap::new();
+    let mut cond_allows: BTreeMap<callgraph::FnId, Vec<usize>> = BTreeMap::new();
+    for (fi, scan) in scans.iter().enumerate() {
+        for (ni, f) in scan.parsed.fns.iter().enumerate() {
+            if scan.test_lines.contains(&f.sig_line) {
+                continue;
+            }
+            let (sites, allows) = body_sites(scan, f, Rule::P1, &impurity_cols);
+            if let Some(&(line, _)) = sites.first() {
+                impure.insert((fi, ni), line);
+            }
+            if !allows.is_empty() {
+                cond_allows.insert((fi, ni), allows);
+            }
+        }
+    }
+    for fi in 0..scans.len() {
+        let krate = scans[fi].krate.clone();
+        if !cfg.deterministic_crates.contains(&krate) {
+            continue;
+        }
+        let regions = scans[fi].parsed.regions.clone();
+        for region in regions {
+            // Direct hits on the region's own lines.
+            let (lo, hi) = scans[fi].lines_index.line_range(region.body);
+            for line_no in lo..=hi {
+                if scans[fi].test_lines.contains(&line_no) {
+                    continue;
+                }
+                let ml = scans[fi].masked_line(line_no).to_string();
+                for col in impurity_cols(&ml) {
+                    if scans[fi].use_allow(Rule::P1, line_no) {
+                        out.allowed += 1;
+                        continue;
+                    }
+                    let snippet = snippet_of(scans[fi].source_line(line_no));
+                    out.findings.push(Finding {
+                        rule: Rule::P1,
+                        file: scans[fi].rel.clone(),
+                        line: line_no,
+                        col,
+                        snippet,
+                        detail: format!("inside worker region entered at line {}", region.line),
+                    });
+                }
+            }
+            // Transitive hits through the calls the region makes.
+            let mut roots = Vec::new();
+            let mut origin: BTreeMap<callgraph::FnId, (usize, usize)> = BTreeMap::new();
+            for ((_, ni), ci) in graph.calls_in_span(fi, region.body) {
+                let call = scans[fi].parsed.fns[ni].calls[ci].clone();
+                for &t in graph.targets(fi, ni, ci) {
+                    origin.entry(t).or_insert((call.line, call.col));
+                    roots.push(t);
+                }
+            }
+            if roots.is_empty() {
+                // Function-path form: `par::map_chunks(t, items, helper)`.
+                if let Some((name, qual)) = region_path_target(&scans[fi].masked.text, region.body)
+                {
+                    for id in graph.resolve(fi, &name, qual.as_deref(), false, None, deps) {
+                        origin.entry(id).or_insert((region.line, 1));
+                        roots.push(id);
+                    }
+                }
+            }
+            if roots.is_empty() {
+                continue;
+            }
+            let parents = graph.reach(&roots);
+            for (id, idxs) in &cond_allows {
+                if parents.contains_key(id) {
+                    for &ai in idxs {
+                        scans[id.0].allow_used[ai] = true;
+                    }
+                }
+            }
+            let mut seen = BTreeSet::new();
+            for &id in parents.keys() {
+                let Some(&iline) = impure.get(&id) else {
+                    continue;
+                };
+                let path = graph.path_to(&parents, id);
+                let root = path.first().map_or(id, |&(caller, _)| caller);
+                let &(oline, ocol) = origin.get(&root).unwrap_or(&(region.line, 1));
+                if !seen.insert((oline, ocol, id)) {
+                    continue;
+                }
+                if scans[fi].use_allow(Rule::P1, oline) {
+                    out.allowed += 1;
+                    continue;
+                }
+                let mut chain = vec![scans[root.0].parsed.fns[root.1].name.clone()];
+                for &((cfi, cni), cci) in &path {
+                    chain.push(scans[cfi].parsed.fns[cni].calls[cci].name.clone());
+                }
+                let detail = format!(
+                    "worker region (line {}) reaches {}; shared-state token at {}:{}: {}",
+                    region.line,
+                    chain.join(" -> "),
+                    scans[id.0].rel,
+                    iline,
+                    snippet_of(scans[id.0].source_line(iline)),
+                );
+                let snippet = snippet_of(scans[fi].source_line(oline));
+                out.findings.push(Finding {
+                    rule: Rule::P1,
+                    file: scans[fi].rel.clone(),
+                    line: oline,
+                    col: ocol,
+                    snippet,
+                    detail,
+                });
+            }
+        }
+    }
+}
+
+/// The `name`/`qual` of a region whose body is a bare function path
+/// rather than a closure.
+fn region_path_target(masked: &str, span: parser::Span) -> Option<(String, Option<String>)> {
+    let text = masked.get(span.start..span.end)?.trim();
+    if text.is_empty()
+        || !text
+            .bytes()
+            .all(|b| is_ident_byte(b) || b == b':' || b.is_ascii_whitespace())
+    {
+        return None;
+    }
+    let segs: Vec<&str> = text.split("::").map(str::trim).collect();
+    let name = (*segs.last()?).to_string();
+    if name.is_empty() || name.bytes().next().is_some_and(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let qual = if segs.len() >= 2 {
+        Some(segs[segs.len() - 2].to_string())
+    } else {
+        None
+    };
+    Some((name, qual))
+}
+
+/// `s1`: in shard-aware sim files, the seq handed to
+/// `schedule_at_seq`/`schedule_timer_seq` must be a plain binding or a
+/// direct `alloc_seq()` draw — never a literal, arithmetic, or a field
+/// read (a locally fabricated counter).
+fn rule_s1(cfg: &Config, scans: &mut [FileScan], out: &mut Analysis) {
+    for scan in scans.iter_mut() {
+        if !cfg.seq_files.contains(&scan.rel) {
+            continue;
+        }
+        let masked_text = scan.masked.text.clone();
+        let fns = scan.parsed.fns.clone();
+        for f in &fns {
+            if scan.test_lines.contains(&f.sig_line) {
+                continue;
+            }
+            for call in &f.calls {
+                if call.name != "schedule_at_seq" && call.name != "schedule_timer_seq" {
+                    continue;
+                }
+                if scan.test_lines.contains(&call.line) {
+                    continue;
+                }
+                let args = parser::call_args(&masked_text, call.open);
+                let Some(seq) = args.get(1) else {
+                    continue;
+                };
+                let text = normalize_ws(masked_text.get(seq.start..seq.end).unwrap_or(""));
+                if seq_arg_ok(&text) {
+                    continue;
+                }
+                if scan.use_allow(Rule::S1, call.line) {
+                    out.allowed += 1;
+                    continue;
+                }
+                let snippet = snippet_of(scan.source_line(call.line));
+                out.findings.push(Finding {
+                    rule: Rule::S1,
+                    file: scan.rel.clone(),
+                    line: call.line,
+                    col: call.col,
+                    snippet,
+                    detail: format!("seq argument `{text}` is not a coordinator-issued seq"),
+                });
+            }
+        }
+    }
+}
+
+fn normalize_ws(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Whether a seq argument is acceptable: a plain identifier (a binding
+/// whose provenance the differential tests cover) or an expression
+/// ending in a direct `alloc_seq()` draw from the coordinator counter.
+fn seq_arg_ok(text: &str) -> bool {
+    let t = text.trim();
+    let bytes = t.as_bytes();
+    let ident = !t.is_empty()
+        && (bytes[0].is_ascii_alphabetic() || bytes[0] == b'_')
+        && bytes.iter().all(|&b| is_ident_byte(b));
+    ident || t.ends_with("alloc_seq()")
+}
+
+/// `f1`: compound accumulation (`+=`/`-=`/`*=`) inside a worker region
+/// whose left-hand side is captured from outside the region. Per-item
+/// math on region-local bindings is fine; captured accumulators make
+/// the result depend on chunk boundaries, i.e. on the thread count.
+fn rule_f1(cfg: &Config, scans: &mut [FileScan], out: &mut Analysis) {
+    for scan in scans.iter_mut() {
+        if !cfg.deterministic_crates.contains(&scan.krate) {
+            continue;
+        }
+        let regions = scan.parsed.regions.clone();
+        for region in regions {
+            let (lo, hi) = scan.lines_index.line_range(region.body);
+            let region_lines: Vec<String> =
+                (lo..=hi).map(|l| scan.masked_line(l).to_string()).collect();
+            let bound = region_bound_idents(&region_lines);
+            for (off, ml) in region_lines.iter().enumerate() {
+                let line_no = lo + off;
+                if scan.test_lines.contains(&line_no) {
+                    continue;
+                }
+                for (col, base) in captured_accum_sites(ml, &bound) {
+                    if scan.use_allow(Rule::F1, line_no) {
+                        out.allowed += 1;
+                        continue;
+                    }
+                    let snippet = snippet_of(scan.source_line(line_no));
+                    out.findings.push(Finding {
+                        rule: Rule::F1,
+                        file: scan.rel.clone(),
+                        line: line_no,
+                        col,
+                        snippet,
+                        detail: format!(
+                            "`{base}` is captured from outside the worker region entered at \
+                             line {}",
+                            region.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers bound *inside* a region: closure parameters on the
+/// first line, `let` bindings (pattern idents up to `=`) and `for`
+/// loop bindings (idents up to `in`). Over-collecting here only makes
+/// `f1` more conservative.
+fn region_bound_idents(lines: &[String]) -> BTreeSet<String> {
+    let mut bound = BTreeSet::new();
+    let collect_idents = |text: &str, bound: &mut BTreeSet<String>| {
+        let bytes = text.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            if is_ident_byte(bytes[i]) && !bytes[i].is_ascii_digit() {
+                let s = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                let word = &text[s..i];
+                if word != "mut" && word != "ref" {
+                    bound.insert(word.to_string());
+                }
+            } else {
+                i += 1;
+            }
+        }
+    };
+    for (idx, line) in lines.iter().enumerate() {
+        if idx == 0 {
+            // Closure parameters: `|a, &mut b| { ..` on the entry line.
+            if let Some(a) = line.find('|') {
+                if let Some(b_rel) = line[a + 1..].find('|') {
+                    collect_idents(&line[a + 1..a + 1 + b_rel], &mut bound);
+                }
+            }
+        }
+        for col in word_matches(line, "let") {
+            let after = &line[col - 1 + 3..];
+            let upto = after.find('=').map_or(after, |e| &after[..e]);
+            collect_idents(upto, &mut bound);
+        }
+        for col in word_matches(line, "for") {
+            let after = &line[col - 1 + 3..];
+            let upto = after.find(" in ").map_or(after, |e| &after[..e]);
+            collect_idents(upto, &mut bound);
+        }
+    }
+    bound
+}
+
+/// `(column, base identifier)` of compound assignments on the line
+/// whose receiver chain starts at an identifier not in `bound`.
+fn captured_accum_sites(line: &str, bound: &BTreeSet<String>) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for op in ["+=", "-=", "*="] {
+        let mut from = 0usize;
+        while let Some(pos) = find_from(line, op, from) {
+            from = pos + op.len();
+            let Some(base) = lvalue_base(line, pos) else {
+                continue;
+            };
+            if base != "_" && !bound.contains(&base) {
+                out.push((pos + 1, base));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The leftmost identifier of the lvalue ending just before `op_pos`
+/// (`self.stats[i].total` → `self`). `None` when the expression spans
+/// lines or is not an identifier chain.
+fn lvalue_base(line: &str, op_pos: usize) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut p = op_pos;
+    while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+        p -= 1;
+    }
+    let mut base = None;
+    loop {
+        loop {
+            match bytes.get(p.wrapping_sub(1)) {
+                Some(&b')') => p = match_back_line(bytes, p - 1, b'(', b')')?,
+                Some(&b']') => p = match_back_line(bytes, p - 1, b'[', b']')?,
+                _ => break,
+            }
+        }
+        if p == 0 || !is_ident_byte(bytes[p - 1]) {
+            break;
+        }
+        let mut s = p;
+        while s > 0 && is_ident_byte(bytes[s - 1]) {
+            s -= 1;
+        }
+        base = Some(line[s..p].to_string());
+        let mut q = s;
+        while q > 0 && bytes[q - 1].is_ascii_whitespace() {
+            q -= 1;
+        }
+        if q >= 1 && bytes[q - 1] == b'.' {
+            p = q - 1;
+        } else if q >= 2 && &bytes[q - 2..q] == b"::" {
+            p = q - 2;
+        } else {
+            break;
+        }
+    }
+    base
+}
+
+/// Like the parser's group matcher but line-local: `None` when the
+/// group opens on an earlier line.
+fn match_back_line(bytes: &[u8], close_at: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = close_at;
+    loop {
+        if bytes[j] == close {
+            depth += 1;
+        } else if bytes[j] == open {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+/// Shared-state tokens forbidden in worker-reachable code.
+fn impurity_cols(line: &str) -> Vec<usize> {
+    let mut cols = Vec::new();
+    for needle in [
+        "Mutex",
+        "RwLock",
+        "RefCell",
+        "UnsafeCell",
+        "OnceLock",
+        "OnceCell",
+        "LazyLock",
+        "thread_local",
+        "transmute",
+        "static mut",
+        "unsafe",
+        "Cell",
+    ] {
+        cols.extend(word_matches(line, needle));
+    }
+    // `Atomic*` is an identifier prefix (AtomicUsize, AtomicBool, ..).
+    let mut from = 0usize;
+    while let Some(pos) = find_from(line, "Atomic", from) {
+        if pos == 0 || !is_ident_byte(line.as_bytes()[pos - 1]) {
+            cols.push(pos + 1);
+        }
+        from = pos + "Atomic".len();
+    }
+    cols.sort_unstable();
+    cols.dedup();
+    cols
+}
+
+/// `e1`: every allow directive that suppressed nothing is itself a
+/// finding, so escapes cannot outlive the code they excused.
+fn stale_escapes(scans: &[FileScan], out: &mut Analysis) {
+    for scan in scans {
+        for (ai, &(line, rule)) in scan.masked.allows.iter().enumerate() {
+            if scan.allow_used[ai] {
+                continue;
+            }
+            out.findings.push(Finding {
+                rule: Rule::E1,
+                file: scan.rel.clone(),
+                line,
+                col: 1,
+                snippet: snippet_of(scan.source_line(line)),
+                detail: format!("allow({}) no longer suppresses any finding here", rule.id()),
+            });
         }
     }
 }
@@ -444,6 +1226,9 @@ struct Masked {
 }
 
 impl Masked {
+    /// Rule-level suppression check (analysis paths track usage via
+    /// [`FileScan::use_allow`] instead; this stays for the lexer tests).
+    #[cfg(test)]
     fn is_allowed(&self, rule: Rule, line: usize) -> bool {
         self.allows
             .iter()
@@ -478,7 +1263,13 @@ fn mask(source: &str) -> Masked {
             }
             b'/' if bytes.get(i + 1) == Some(&b'/') => {
                 let end = memchr_newline(bytes, i);
-                parse_directive(source, i, end, line, &mut allows, &mut errors);
+                // Doc comments (`///`, `//!`) are prose — a directive
+                // quoted in documentation must not take effect (or be
+                // reported stale).
+                let doc = matches!(bytes.get(i + 2), Some(&b'/') | Some(&b'!'));
+                if !doc {
+                    parse_directive(source, i, end, line, &mut allows, &mut errors);
+                }
                 blank(&mut out, i, end);
                 i = end;
             }
@@ -660,6 +1451,10 @@ fn parse_directive(
     }
     for id in ids.split(',') {
         match Rule::from_id(id) {
+            Some(Rule::E1) => errors.push((
+                line,
+                "e1 (stale escape) cannot be allowed: delete the stale directive instead".into(),
+            )),
             Some(rule) => allows.push((line, rule)),
             None => errors.push((line, format!("unknown rule '{}'", id.trim()))),
         }
@@ -882,6 +1677,9 @@ fn match_rule(rule: Rule, line: &str) -> Vec<usize> {
                 from = pos + "std::".len();
             }
         }
+        // These rules are semantic, not per-line: `p1`/`s1`/`f1` run on
+        // the call graph and the parse tree, `e1` on directive usage.
+        Rule::P1 | Rule::S1 | Rule::F1 | Rule::E1 => {}
     }
     cols.sort_unstable();
     cols
@@ -1076,12 +1874,13 @@ pub fn to_json(ratchet: &Ratchet, analysis: &Analysis) -> String {
     let render = |f: &Finding, is_new: bool| {
         format!(
             "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
-             \"snippet\": \"{}\", \"hint\": \"{}\", \"new\": {}}}",
+             \"snippet\": \"{}\", \"detail\": \"{}\", \"hint\": \"{}\", \"new\": {}}}",
             f.rule.id(),
             json_escape(&f.file),
             f.line,
             f.col,
             json_escape(&f.snippet),
+            json_escape(&f.detail),
             json_escape(f.rule.hint()),
             is_new
         )
@@ -1243,6 +2042,7 @@ fn also_open() {}\n";
             line,
             col: 1,
             snippet: "use std::collections::HashMap;".into(),
+            detail: String::new(),
         };
         let base = Baseline::from_findings(&[f(1)]);
         // Same key at a different line: still grandfathered (keys are

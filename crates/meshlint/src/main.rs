@@ -45,10 +45,17 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "meshlint [--root DIR] [--json] [--baseline FILE] [--write-baseline FILE]\n\
                      \n\
-                     Rules: d1 hashed collections, d2 wall clock/OS entropy,\n\
-                     r1 panic paths in protocol hot files, c1 bare narrowing casts,\n\
-                     n1 ungated std:: paths in no_std-capable crates.\n\
-                     Suppress a site with `// meshlint::allow(<rule>): <reason>`."
+                     Line rules: d1 hashed collections, d2 wall clock/OS entropy,\n\
+                     r1 panic paths in protocol hot files (transitively, through\n\
+                     the call graph), c1 bare narrowing casts, n1 ungated std::\n\
+                     paths in no_std-capable crates.\n\
+                     Graph rules: p1 shared-state machinery reachable from a\n\
+                     worker-evaluated `par::` region, s1 locally fabricated seq\n\
+                     passed to a shard event-insertion method, f1 order-sensitive\n\
+                     accumulation into captured state inside a worker region,\n\
+                     e1 stale escape (an allow directive that suppresses nothing).\n\
+                     Suppress a site with `// meshlint::allow(<rule>): <reason>`\n\
+                     (e1 itself cannot be allowed; delete the stale directive)."
                 );
                 std::process::exit(0);
             }

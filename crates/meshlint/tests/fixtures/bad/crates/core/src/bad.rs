@@ -6,3 +6,6 @@ use std::collections::HashMap;
 
 // meshlint::allow(bogus): the rule name does not exist
 pub fn nothing() {}
+
+// meshlint::allow(e1): stale escapes cannot be excused away
+pub fn also_nothing() {}

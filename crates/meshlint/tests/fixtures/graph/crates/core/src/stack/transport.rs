@@ -1,0 +1,18 @@
+//! Hot-path fixture: `r1`-transitive positives, decoys and escapes.
+//! Plain text to meshlint — never compiled.
+
+pub fn dispatch(frame: &[u8]) {
+    // Positive: a same-crate helper that panics (indexing).
+    decode_frame(frame);
+    // Positive: a cross-crate helper that panics (unwrap), one
+    // dependency hop away.
+    util::widen(frame);
+    // Escape: the helper carries a justified allow(r1) on its panic
+    // site, consumed lazily because this hot fn reaches it.
+    checked_helper(frame);
+    // Decoy: same-named panicking fn in a crate outside this crate's
+    // dependency closure — no edge, no finding.
+    isolated_panic(frame);
+    // Decoy: call syntax inside a string literal never makes an edge.
+    let _ = "decode_frame(frame).unwrap() plus frame[0]";
+}

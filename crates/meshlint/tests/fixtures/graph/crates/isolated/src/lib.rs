@@ -1,0 +1,6 @@
+//! A panicking fn that nothing in the hot crate's dependency closure
+//! can reach: calls to it from `core` must not resolve here.
+
+pub fn isolated_panic(frame: &[u8]) -> u8 {
+    frame[1]
+}

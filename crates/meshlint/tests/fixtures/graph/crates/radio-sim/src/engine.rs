@@ -1,0 +1,53 @@
+//! Worker-evaluated regions: `p1`/`f1` positives, decoys and escapes.
+//! Plain text to meshlint — never compiled.
+
+pub fn evaluate(items: &mut [u64], total: &mut f64) {
+    run_chunks(2, items, |_, chunk| {
+        let lock = Mutex::new(0u8);
+        bump_shared();
+        let mut local = 0.0;
+        for v in chunk.iter() {
+            local += f64::from(*v);
+        }
+        *total += local;
+        drop(lock);
+    });
+}
+
+fn bump_shared() {
+    let gate: &AtomicBool = commit_gate();
+    gate.store(true, Ordering::Release);
+}
+
+pub fn allowed_sites(items: &mut [u64], weight: &mut f64) {
+    run_chunks(2, items, |_, chunk| {
+        // meshlint::allow(p1): coordinator-owned scratch; workers see disjoint rows
+        let scratch = Mutex::new(0u8);
+        // meshlint::allow(f1): re-summed on the coordinator in roster order
+        *weight += chunk.len() as f64;
+        drop(scratch);
+    });
+}
+
+pub fn decoys() {
+    let _ = "run_chunks(2, x, |_, c| { Mutex::new(c); total += 1.0 })";
+}
+
+macro_rules! decoy_region {
+    ($items:expr) => {
+        run_chunks(2, $items, |_, chunk| {
+            let _ = Mutex::new(chunk);
+        })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        run_chunks(2, &mut [1u64], |_, chunk| {
+            let _ = RwLock::new(chunk);
+            captured_total += 1.0;
+        });
+    }
+}

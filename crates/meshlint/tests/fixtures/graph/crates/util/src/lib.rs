@@ -1,0 +1,5 @@
+//! Cross-crate helper reachable from the hot path.
+
+pub fn widen(frame: &[u8]) -> u16 {
+    u16::from(frame.iter().copied().next().unwrap())
+}

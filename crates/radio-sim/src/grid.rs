@@ -131,7 +131,7 @@ impl Grid {
             if let Some(slot) = cursor.get_mut(c) {
                 let at = *slot as usize;
                 if let Some(item) = self.items.get_mut(at) {
-                    // meshlint::allow(c1): node count < 2^32 by construction
+                    // Node count < 2^32 by construction.
                     *item = i as u32;
                 }
                 *slot += 1;
@@ -144,7 +144,7 @@ impl Grid {
         if !extent.is_finite() || extent <= 0.0 || cell == f64::INFINITY {
             return 1;
         }
-        // meshlint::allow(c1): quotient clamped to MAX_CELLS_PER_AXIS
+        // The quotient is clamped to MAX_CELLS_PER_AXIS right away.
         (((extent / cell).floor() as usize) + 1).min(MAX_CELLS_PER_AXIS)
     }
 
@@ -165,7 +165,7 @@ impl Grid {
         if idx <= 0.0 {
             0
         } else {
-            // meshlint::allow(c1): clamped to the cell count right after
+            // Clamped to the cell count right after the cast.
             (idx as usize).min(cells - 1)
         }
     }

@@ -140,7 +140,6 @@ mod tests {
             let mut items = vec![0u32; 61];
             run_chunks(threads, &mut items, |start, chunk| {
                 for (k, v) in chunk.iter_mut().enumerate() {
-                    // meshlint::allow(c1): test arithmetic on small indices
                     *v += (start + k) as u32 + 1;
                 }
             });

@@ -26,6 +26,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> meshlint (determinism & robustness rules, ratcheted)"
 cargo run -q --release --offline -p meshlint -- --root . --baseline meshlint.baseline
 
+echo "==> cargo test -q --offline -p meshlint (analyzer unit + fixture suite)"
+cargo test -q --offline -p meshlint
+
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 

@@ -3,14 +3,37 @@
 # meshlint determinism/robustness rules, ratcheted against the committed
 # baseline. Run from anywhere; fully offline.
 #
-#   ./scripts/lint.sh
+#   ./scripts/lint.sh [--json [FILE]]
+#
+# With --json, the meshlint report is additionally written as a JSON
+# artifact (default: target/meshlint.json) before the gating text run,
+# so CI can collect it even when the gate fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JSON_OUT=""
+if [[ "${1:-}" == "--json" ]]; then
+    JSON_OUT="${2:-target/meshlint.json}"
+elif [[ $# -gt 0 ]]; then
+    echo "usage: $0 [--json [FILE]]" >&2
+    exit 2
+fi
+
+run_meshlint() {
+    cargo run -q --release --offline -p meshlint -- \
+        --root . --baseline meshlint.baseline "$@"
+}
 
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+if [[ -n "$JSON_OUT" ]]; then
+    mkdir -p "$(dirname "$JSON_OUT")"
+    run_meshlint --json >"$JSON_OUT" || true
+    echo "meshlint: JSON artifact written to $JSON_OUT"
+fi
+
 echo "==> meshlint (determinism & robustness rules, ratcheted)"
-cargo run -q --release --offline -p meshlint -- --root . --baseline meshlint.baseline
+run_meshlint
 
 echo "lint: all checks passed"
