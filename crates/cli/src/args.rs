@@ -92,6 +92,9 @@ pub struct Cli {
     /// Worker threads inside the simulator's parallel evaluate regions
     /// (1 = coordinator only; behaviourally transparent either way).
     pub threads: usize,
+    /// Per-node RNG stream family (required for `--threads` > 1; picks
+    /// a different but equally valid stochastic trajectory).
+    pub rng_streams: bool,
     /// Spreading factor.
     pub sf: SpreadingFactor,
     /// Probabilistic reception near the SNR floor.
@@ -127,6 +130,7 @@ impl Default for Cli {
             jobs: 1,
             shards: 1,
             threads: 1,
+            rng_streams: false,
             sf: SpreadingFactor::Sf7,
             grey_zone: false,
             link_cache: true,
@@ -170,6 +174,8 @@ OPTIONS:
   --jobs N                                worker threads for --seeds [1]
   --shards N                              spatial event-engine shards [1]
   --threads N                             simulator worker threads [1]
+  --rng-streams                           per-node RNG streams (needed
+                                          for --threads > 1)
   --sf 7..12                              spreading factor     [7]
   --grey-zone                             probabilistic reception
   --no-link-cache                         disable link-budget caching
@@ -312,6 +318,7 @@ impl Cli {
                     cli.sf = SpreadingFactor::from_value(n)
                         .ok_or_else(|| ParseError(format!("SF must be 7..=12, got {n}")))?;
                 }
+                "--rng-streams" => cli.rng_streams = true,
                 "--grey-zone" => cli.grey_zone = true,
                 "--no-link-cache" => cli.link_cache = false,
                 "--eu868" => cli.eu868 = true,
@@ -369,6 +376,13 @@ impl Cli {
     }
 
     fn validate(&self) -> Result<(), ParseError> {
+        if self.threads > 1 && !self.rng_streams {
+            return Err(ParseError(
+                "--threads > 1 requires --rng-streams: parallel band workers \
+                 mint per-node RNG streams independently"
+                    .into(),
+            ));
+        }
         let check = |i: usize, what: &str| {
             if i >= self.nodes {
                 Err(ParseError(format!(
@@ -548,9 +562,24 @@ mod tests {
             1,
             "coordinator only by default"
         );
-        assert_eq!(parse(&["--threads", "2"]).unwrap().threads, 2);
+        assert_eq!(
+            parse(&["--threads", "2", "--rng-streams"]).unwrap().threads,
+            2
+        );
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads", "lots"]).is_err());
+    }
+
+    #[test]
+    fn rng_streams_parse_and_threads_guard() {
+        assert!(!parse(&[]).unwrap().rng_streams, "fork-chain by default");
+        assert!(parse(&["--rng-streams"]).unwrap().rng_streams);
+        // Parallel band workers mint per-node streams; the fork-chain
+        // family cannot serve them, so the combination is rejected at
+        // parse time rather than panicking inside the simulator.
+        let err = parse(&["--threads", "2"]).unwrap_err();
+        assert!(err.0.contains("--rng-streams"), "unhelpful error: {err}");
+        assert!(parse(&["--threads", "2", "--rng-streams"]).is_ok());
     }
 
     #[test]

@@ -130,6 +130,7 @@ fn run_scenario(cli: &Cli, seed: u64) -> (String, TrafficReport) {
     sim.link_cache = cli.link_cache;
     sim.shards = cli.shards;
     sim.threads = cli.threads;
+    sim.rng_streams = cli.rng_streams;
     let range = topology::radio_range_m(&sim.rf);
     let spacing = range * cli.spacing_frac;
 

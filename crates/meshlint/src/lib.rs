@@ -330,7 +330,14 @@ impl Config {
                 "crates/radio-sim/src/par.rs".into(),
             ],
             no_std_crates: vec!["core".into(), "lora-phy".into()],
-            par_entries: vec!["run_chunks".into(), "map_chunks".into()],
+            par_entries: vec![
+                "run_chunks".into(),
+                "map_chunks".into(),
+                // The parallel batch commit (PR 9): whole per-band
+                // event batches run inside the closure, so everything
+                // it reaches is held to the worker-purity contract.
+                "commit_bands".into(),
+            ],
             seq_files: vec![
                 "crates/radio-sim/src/sim.rs".into(),
                 "crates/radio-sim/src/event.rs".into(),
@@ -1132,6 +1139,12 @@ fn impurity_cols(line: &str) -> Vec<usize> {
         "static mut",
         "unsafe",
         "Cell",
+        // Coordinator-only simulator state (PR 9): workers inside a
+        // `commit_bands` region must never mint global sequence numbers
+        // or write the live trace — both are merged by the coordinator
+        // in `(time, seq)` order after the batch.
+        "alloc_seq",
+        "Trace",
     ] {
         cols.extend(word_matches(line, needle));
     }

@@ -1,0 +1,27 @@
+//! Parallel batch commit regions: `p1` positives through the
+//! `commit_bands` entry (direct `alloc_seq` mint + transitive `Trace`
+//! write), with the same tokens as coordinator-side decoys. Plain text
+//! to meshlint — never compiled.
+
+pub fn commit_batch(workers: &mut [Worker]) {
+    commit_bands(workers, |w| {
+        let seq = alloc_seq();
+        stamp_trace(w, seq);
+    });
+}
+
+fn stamp_trace(w: &mut Worker, seq: u64) {
+    let sink: &Trace = global_trace();
+    sink.record(w.band, seq);
+}
+
+pub fn coordinator_commit(seq: u64) {
+    // Same tokens OUTSIDE any worker region: minting seqs and writing
+    // the live trace is exactly the coordinator's job.
+    let t: &Trace = global_trace();
+    t.record(0, alloc_seq());
+}
+
+pub fn decoys() {
+    let _ = "commit_bands(w, |b| { alloc_seq(); Trace::record() })";
+}

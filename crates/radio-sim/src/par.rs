@@ -117,6 +117,94 @@ where
     parts.into_iter().flatten().collect()
 }
 
+/// Runs `f` over two equal-length slices in lockstep chunks: item `i` of
+/// `a` is always paired with item `i` of `b`. Same chunking rule as
+/// [`run_chunks`] (contiguous, `div_ceil`, chunk 0 on the caller).
+///
+/// Mismatched lengths truncate to the shorter slice (the debug build
+/// asserts — a length drift is always a caller bug).
+pub fn run_chunks_zip<A, B, F>(threads: usize, a: &mut [A], b: &mut [B], f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    debug_assert_eq!(a.len(), b.len(), "zip chunks need equal lengths");
+    let n = a.len().min(b.len());
+    let (a, b) = match (a.get_mut(..n), b.get_mut(..n)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return,
+    };
+    if n == 0 {
+        return;
+    }
+    if threads <= 1 || n == 1 {
+        f(0, a, b);
+        return;
+    }
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest_a = a;
+        let mut rest_b = b;
+        let mut start = 0usize;
+        let mut first: Option<(usize, &mut [A], &mut [B])> = None;
+        while !rest_a.is_empty() {
+            let take = chunk.min(rest_a.len());
+            let (head_a, tail_a) = rest_a.split_at_mut(take);
+            let (head_b, tail_b) = rest_b.split_at_mut(take);
+            if first.is_none() {
+                first = Some((start, head_a, head_b));
+            } else {
+                let fr = &f;
+                scope.spawn(move || fr(start, head_a, head_b));
+            }
+            start += take;
+            rest_a = tail_a;
+            rest_b = tail_b;
+        }
+        if let Some((s, head_a, head_b)) = first {
+            f(s, head_a, head_b);
+        }
+    });
+}
+
+/// Runs one closure invocation per worker, in parallel: worker 0 on the
+/// calling thread, the rest on scoped threads. This is the parallel
+/// *commit* entry — unlike [`run_chunks`], each worker dispatches whole
+/// per-band event batches (firmware, radio state, medium bookkeeping),
+/// so the closure body is a commit region under meshlint's `p1` rule:
+/// it must not reach coordinator-only state (the global event queue's
+/// seq counter, the live trace writer) on pain of nondeterminism.
+///
+/// Worker panics propagate to the caller.
+pub fn commit_bands<W, F>(workers: &mut [W], f: F)
+where
+    W: Send,
+    F: Fn(&mut W) + Sync,
+{
+    let Some((first, rest)) = workers.split_first_mut() else {
+        return;
+    };
+    if rest.is_empty() {
+        f(first);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in rest {
+            let fr = &f;
+            handles.push(scope.spawn(move || fr(w)));
+        }
+        f(first);
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +244,34 @@ mod tests {
             i
         });
         assert_eq!(starts, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_chunks_pair_items_for_every_thread_count() {
+        for threads in [1, 2, 3, 5, 16] {
+            let mut a: Vec<u32> = (0..53).collect();
+            let mut b: Vec<u32> = (0..53).map(|x| x * 10).collect();
+            run_chunks_zip(threads, &mut a, &mut b, |start, ca, cb| {
+                for (k, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    assert_eq!(*y, *x * 10, "pairing broke at {}", start + k);
+                    *x += *y;
+                    *y = (start + k) as u32;
+                }
+            });
+            let expected_a: Vec<u32> = (0..53).map(|x| x + x * 10).collect();
+            let expected_b: Vec<u32> = (0..53).collect();
+            assert_eq!(a, expected_a, "threads = {threads}");
+            assert_eq!(b, expected_b, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn commit_bands_runs_each_worker_once() {
+        for n in [0usize, 1, 2, 5] {
+            let mut workers: Vec<u32> = vec![0; n];
+            commit_bands(&mut workers, |w| *w += 1);
+            assert!(workers.iter().all(|&w| w == 1), "n = {n}");
+        }
     }
 
     #[test]

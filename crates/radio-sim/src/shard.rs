@@ -85,8 +85,10 @@ pub fn min_lookahead(config: &RfConfig) -> Duration {
 /// Fixed partition of the x-axis into contiguous bands.
 ///
 /// `shards` bands are separated by `shards − 1` edges placed at
-/// quantiles of the initial node x-coordinates, so load balances even
-/// for clustered topologies. Edges never move after construction.
+/// quantiles of the initial node x-coordinates — snapped to the widest
+/// nearby inter-node gap — so load balances even for clustered
+/// topologies and distant clusters land in distinct bands. Edges never
+/// move after construction.
 #[derive(Clone, Debug)]
 pub struct Partitioner {
     /// Ascending interior band boundaries (`bands() == edges.len() + 1`).
@@ -95,23 +97,80 @@ pub struct Partitioner {
     r_max: f64,
 }
 
+/// Neighbourhood searched by [`gap_snapped_edges`], in inter-node gaps:
+/// a fraction of the per-band node count, floored so tiny topologies
+/// can still reach a cluster gap a couple of nodes away.
+fn gap_window(len: usize, shards: usize) -> usize {
+    (len / (4 * shards)).max(3)
+}
+
+/// Snaps tentative cut positions to the widest inter-node gap in a
+/// small neighbourhood and places each edge at the gap's midpoint.
+///
+/// `cuts` are ascending indices into `sorted`, each meaning "the first
+/// node of the next band". Quantile placement puts edges *at node
+/// coordinates*, which can weld two distant clusters into one band
+/// whenever a cut lands a node or two past the gap between them; such a
+/// straddling band serializes both clusters under the parallel batch
+/// planner (its metre span covers everything in between) and bloats
+/// every reach computation across the gap. Searching the `window`
+/// nearest gaps keeps the split within a few nodes of the quantile —
+/// preserving balance — while strongly preferring natural cluster
+/// boundaries. On uniform topologies every nearby gap ties and the
+/// tie-break (closest to the quantile) reproduces the plain quantile
+/// split, so band membership is unchanged where it already was good.
+fn gap_snapped_edges(sorted: &[f64], cuts: &[usize], window: usize) -> Vec<f64> {
+    let mut edges = Vec::with_capacity(cuts.len());
+    if sorted.len() < 2 {
+        return edges;
+    }
+    // Gaps below this index are already claimed by an earlier cut;
+    // keeping cuts on distinct gaps keeps the edges strictly increasing
+    // and every band non-empty.
+    let mut min_gap = 0usize;
+    for &c in cuts {
+        let ideal = c.saturating_sub(1);
+        let lo = ideal.saturating_sub(window).max(min_gap);
+        let hi = (ideal + window).min(sorted.len() - 2);
+        // (gap, dist, j, midpoint) of the best gap seen so far.
+        let mut best: Option<(f64, usize, usize, f64)> = None;
+        let candidates = sorted.get(lo..=hi.saturating_add(1)).unwrap_or(&[]);
+        for (off, pair) in candidates.windows(2).enumerate() {
+            let &[x0, x1] = pair else { continue };
+            let j = lo + off;
+            let gap = x1 - x0;
+            let dist = ideal.abs_diff(j);
+            if best.is_none_or(|(bg, bd, _, _)| gap > bg || (gap == bg && dist < bd)) {
+                best = Some((gap, dist, j, 0.5 * (x0 + x1)));
+            }
+        }
+        if let Some((gap, _, j, mid)) = best {
+            // Every candidate gap is zero-width (duplicate coordinates):
+            // dropping the cut merges the would-be empty band, exactly
+            // like the old duplicate-edge dedup.
+            if gap > 0.0 {
+                edges.push(mid);
+                min_gap = j + 1;
+            }
+        }
+    }
+    edges
+}
+
 impl Partitioner {
     /// Builds a partition of `shards` bands from the given node
     /// x-coordinates. With no nodes (or `shards <= 1`) the partition
-    /// degenerates to a single band, which is always sound.
+    /// degenerates to a single band, which is always sound. Cuts start
+    /// at count quantiles and snap to the widest nearby inter-node gap
+    /// (see [`gap_snapped_edges`]).
     #[must_use]
     pub fn new(xs: &[f64], shards: usize, r_max: f64) -> Self {
         let mut edges = Vec::new();
         if shards > 1 && !xs.is_empty() {
             let mut sorted = xs.to_vec();
             sorted.sort_by(f64::total_cmp);
-            for k in 1..shards {
-                // `k < shards`, so the quantile index is always in
-                // bounds; `get` keeps the hot path panic-free anyway.
-                if let Some(&edge) = sorted.get(k * sorted.len() / shards) {
-                    edges.push(edge);
-                }
-            }
+            let cuts: Vec<usize> = (1..shards).map(|k| k * sorted.len() / shards).collect();
+            edges = gap_snapped_edges(&sorted, &cuts, gap_window(sorted.len(), shards));
         }
         Partitioner { edges, r_max }
     }
@@ -145,26 +204,27 @@ impl Partitioner {
             let weight_of =
                 |i: usize| -> u64 { weights.get(i).copied().max(Some(1)).map_or(1, |w| w as u64) };
             let total: u64 = order.iter().map(|&i| weight_of(i)).sum();
+            let sorted: Vec<f64> = order.iter().filter_map(|&i| xs.get(i).copied()).collect();
+            let mut cuts = Vec::new();
             let mut cumulative = 0u64;
             let mut next_cut = 1u64;
-            for &i in &order {
-                if edges.len() + 1 >= shards {
+            for (si, &i) in order.iter().enumerate() {
+                if cuts.len() + 1 >= shards {
                     break;
                 }
                 cumulative += weight_of(i);
-                // Place an edge each time the running weight crosses the
-                // next k·total/shards threshold; a single heavy node can
+                // Cut each time the running weight crosses the next
+                // k·total/shards threshold; a single heavy node can
                 // cross several, collapsing the bands between them.
-                while edges.len() + 1 < shards && cumulative * shards as u64 >= next_cut * total {
-                    if let Some(&edge) = xs.get(i) {
-                        edges.push(edge);
-                    }
+                while cuts.len() + 1 < shards && cumulative * shards as u64 >= next_cut * total {
+                    cuts.push(si);
                     next_cut += 1;
                 }
             }
-            // Collapsed cuts would create empty duplicate-edge bands;
-            // keeping edges strictly increasing merges them instead.
-            edges.dedup_by(|a, b| a == b);
+            // Collapsed cuts would create empty bands; dropping the
+            // duplicates merges them instead.
+            cuts.dedup();
+            edges = gap_snapped_edges(&sorted, &cuts, gap_window(sorted.len(), shards));
         }
         Partitioner { edges, r_max }
     }

@@ -1,0 +1,234 @@
+//! PR 9 differential property: the parallel batch commit's buffered
+//! per-band side effects — trace entries, metrics deltas, created
+//! events, frame registrations — merged in the global `(time, seq)`
+//! order reproduce the sequential engine byte for byte.
+//!
+//! The scenarios force the planner's gates open
+//! (`commit_batch_min_events = 1`) and script *cross-band* batches:
+//! several clusters, far outside audible range of each other, whose
+//! beacon phases align so every lookahead window carries work in two or
+//! more zone-disjoint bands at once. Each case asserts
+//! `Simulator::commit_batches > 0` — a battery that silently fell back
+//! to the sequential drain would prove nothing about the merge.
+
+use std::time::Duration;
+
+use lora_phy::link::SignalQuality;
+use lora_phy::propagation::Position;
+use radio_sim::firmware::{Context, Firmware};
+use radio_sim::metrics::Metrics;
+use radio_sim::mobility::Mobility;
+use radio_sim::time::SimTime;
+use radio_sim::trace::TraceEvent;
+use radio_sim::{NodeId, SimConfig, SimRng, Simulator};
+use testkit::forall;
+
+/// Distance between cluster origins — far beyond any audible range, so
+/// the planner sees zone-disjoint bands whenever two clusters have
+/// queued work in the same window.
+const CLUSTER_SPACING_M: f64 = 1.0e5;
+
+/// CAD-then-transmit beacon (the `tests/shard_diff.rs` shape): busy
+/// verdicts move the next wake by an RNG-jittered delay, so any merge
+/// defect — event order, interference sums, RNG draw order, a trace
+/// entry shifted by one — snowballs into a visibly different timeline.
+struct Chirp {
+    next: Duration,
+    interval: Duration,
+    len: usize,
+    heard: u64,
+    rng: SimRng,
+}
+
+impl Chirp {
+    fn new(phase_ms: u64, len: usize) -> Self {
+        Chirp {
+            next: Duration::from_millis(phase_ms),
+            interval: Duration::from_millis(160),
+            len,
+            heard: 0,
+            rng: SimRng::new(phase_ms ^ 0x9E37),
+        }
+    }
+}
+
+impl Firmware for Chirp {
+    fn on_timer(&mut self, ctx: &mut Context) {
+        if ctx.now() >= self.next {
+            self.next += self.interval;
+            ctx.start_cad();
+        }
+    }
+    fn on_cad_done(&mut self, busy: bool, ctx: &mut Context) {
+        if busy {
+            self.next = ctx.now() + Duration::from_millis(5 + self.rng.gen_range(20));
+        } else {
+            ctx.transmit(vec![0xC4; self.len]);
+        }
+    }
+    fn on_frame(&mut self, _b: &[u8], _q: SignalQuality, _ctx: &mut Context) {
+        self.heard += 1;
+    }
+    fn next_wake(&self) -> Option<Duration> {
+        Some(self.next)
+    }
+}
+
+type Fingerprint = (Vec<(SimTime, TraceEvent)>, Metrics, Vec<u64>, u64);
+
+fn fingerprint(s: &Simulator<Chirp>) -> Fingerprint {
+    let mut metrics = s.metrics().clone();
+    // The one engine-dependent counter (see tests/shard_diff.rs).
+    metrics.stale_timers_dropped = 0;
+    (
+        s.trace().entries().cloned().collect(),
+        metrics,
+        (0..s.node_count())
+            .map(|i| s.node(NodeId(i)).heard)
+            .collect(),
+        s.events_processed(),
+    )
+}
+
+fn config(shards: usize, threads: usize) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.rf.grey_zone = true;
+    cfg.trace_capacity = 1 << 16;
+    cfg.shards = shards;
+    cfg.threads = threads;
+    cfg.rng_streams = true;
+    // Force the planner past its work-estimate gate: every window with
+    // two zone-disjoint candidate bands commits in parallel.
+    cfg.commit_batch_min_events = 1;
+    cfg
+}
+
+/// `clusters` dense clusters along x, phases aligned across clusters so
+/// lookahead windows carry several bands' work at once. One node per
+/// cluster is mobile (short local walk) to keep scoped invalidation and
+/// mobility ticks in the mix.
+fn build(s: &mut Simulator<Chirp>, clusters: usize, per_cluster: usize, mobile: bool) {
+    let walk = Mobility::RandomWaypoint {
+        width_m: 60.0,
+        height_m: 60.0,
+        min_speed: 4.0,
+        max_speed: 16.0,
+        pause: Duration::ZERO,
+    };
+    for c in 0..clusters {
+        let base = c as f64 * CLUSTER_SPACING_M;
+        for j in 0..per_cluster {
+            let fw = Chirp::new(40 * j as u64 + 5, 12 + j % 7);
+            let pos = Position::new(base + (j % 3) as f64 * 25.0, (j / 3) as f64 * 25.0);
+            if mobile && j == 0 {
+                s.add_mobile_node(fw, pos, walk.clone());
+            } else {
+                s.add_node(fw, pos);
+            }
+        }
+    }
+}
+
+fn run_case(
+    seed: u64,
+    clusters: usize,
+    per_cluster: usize,
+    mobile: bool,
+    shards: usize,
+    threads: usize,
+) -> (Fingerprint, u64) {
+    let mut s = Simulator::new(config(shards, threads), seed);
+    build(&mut s, clusters, per_cluster, mobile);
+    // Coordinator events mid-run: each caps a batch horizon and the
+    // revive replays firmware start from the coordinator queue.
+    s.schedule_kill(Duration::from_millis(900), NodeId(1));
+    s.schedule_revive(Duration::from_millis(1_700), NodeId(1));
+    s.run_for(Duration::from_secs(3));
+    (fingerprint(&s), s.commit_batches())
+}
+
+#[test]
+fn parallel_commit_merge_matches_sequential_on_scripted_batches() {
+    forall(
+        "parallel_commit_merge_matches_sequential_on_scripted_batches",
+        |g| {
+            (
+                u64::from(g.u16()),
+                g.usize_in(2, 4),
+                g.usize_in(3, 6),
+                g.usize_in(0, 1) == 1,
+                [4usize, 8][g.usize_in(0, 1)],
+                [2usize, 3, 4][g.usize_in(0, 2)],
+            )
+        },
+        |&(seed, clusters, per_cluster, mobile, shards, threads)| {
+            let (reference, _) = run_case(seed, clusters, per_cluster, mobile, 1, 1);
+            if reference.1.frames_transmitted == 0 {
+                return Err(format!("seed {seed}: no traffic, case proves nothing"));
+            }
+            let (threaded, batches) =
+                run_case(seed, clusters, per_cluster, mobile, shards, threads);
+            if batches == 0 {
+                return Err(format!(
+                    "seed {seed}, clusters={clusters}, shards={shards}, threads={threads}: \
+                     no parallel batch ever committed — the comparison is vacuous"
+                ));
+            }
+            if reference != threaded {
+                return Err(format!(
+                    "merge divergence at seed={seed}, clusters={clusters}, \
+                     per_cluster={per_cluster}, mobile={mobile}, shards={shards}, \
+                     threads={threads}"
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The horizon boundary is exclusive: an event landing at exactly
+/// `t0 + lookahead` belongs to the *next* window. Two clusters fire at
+/// `t0` (opening a two-band parallel batch) while a third node's timer
+/// lands at exactly the horizon; both engines must process it after the
+/// batch, in the same global order.
+#[test]
+fn batch_boundary_event_lands_exactly_on_the_horizon() {
+    let lookahead = SimConfig::default().rf.modulation.preamble_time();
+    let t0 = Duration::from_millis(100);
+    let run = |shards: usize, threads: usize| {
+        let mut s = Simulator::new(config(shards, threads), 77);
+        for c in 0..2usize {
+            let base = c as f64 * CLUSTER_SPACING_M;
+            for j in 0..4usize {
+                // Every node in both clusters wakes at exactly t0...
+                s.add_node(
+                    Chirp::new(100, 10 + j),
+                    Position::new(base + (j % 2) as f64 * 20.0, (j / 2) as f64 * 20.0),
+                );
+            }
+        }
+        // ...and one lone far node's first wake lands at exactly the
+        // horizon of the batch that t0 opens.
+        let mut boundary = Chirp::new(0, 16);
+        boundary.next = t0 + lookahead;
+        s.add_node(boundary, Position::new(4.0 * CLUSTER_SPACING_M, 0.0));
+        s.run_for(Duration::from_secs(2));
+        (fingerprint(&s), s.commit_batches())
+    };
+    let (reference, _) = run(1, 1);
+    assert!(
+        reference.1.frames_transmitted > 0,
+        "boundary scenario produced no traffic"
+    );
+    for (shards, threads) in [(4usize, 2usize), (8, 4)] {
+        let (threaded, batches) = run(shards, threads);
+        assert!(
+            batches > 0,
+            "no parallel batch committed at shards={shards}, threads={threads}"
+        );
+        assert_eq!(
+            reference, threaded,
+            "boundary divergence at shards={shards}, threads={threads}"
+        );
+    }
+}

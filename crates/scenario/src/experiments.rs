@@ -47,6 +47,11 @@ pub struct ExpOptions {
     /// Worker threads inside each simulator (parallel evaluate regions).
     /// Behaviourally transparent, so any value yields identical tables.
     pub threads: usize,
+    /// Per-node RNG stream family (PR 9). Required when `threads > 1`.
+    /// NOT behaviourally transparent — it selects a different (equally
+    /// valid) sequence of stochastic draws — so every leg of a
+    /// comparison must use the same setting.
+    pub rng_streams: bool,
 }
 
 impl Default for ExpOptions {
@@ -58,6 +63,7 @@ impl Default for ExpOptions {
             jobs: 1,
             shards: 1,
             threads: 1,
+            rng_streams: false,
         }
     }
 }
@@ -438,6 +444,7 @@ pub fn e5_protocol_comparison(opt: &ExpOptions) -> ExpTable {
             .protocol(protocol.clone())
             .shards(opt.shards)
             .threads(opt.threads)
+            .rng_streams(opt.rng_streams)
             .build();
         // Identical warm-up for all protocols (mesh uses it to
         // converge; the baselines are simply idle).
@@ -956,6 +963,7 @@ pub fn e12_fairness(opt: &ExpOptions) -> ExpTable {
             .protocol(protocol.clone())
             .shards(opt.shards)
             .threads(opt.threads)
+            .rng_streams(opt.rng_streams)
             .build();
         let start = Duration::from_secs(300);
         runner.run_until(start);

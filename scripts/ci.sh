@@ -38,7 +38,7 @@ cargo run --release --offline -p bench --bin bench_scaling -- --smoke
 echo "==> meshsim --shards 4 smoke (sharded engine through the CLI)"
 cargo run -q --release --offline -p meshsim -- --nodes 12 --duration 120 --shards 4 >/dev/null
 
-echo "==> meshsim --shards 4 --threads 2 smoke (parallel evaluate regions through the CLI)"
-cargo run -q --release --offline -p meshsim -- --nodes 12 --duration 120 --shards 4 --threads 2 >/dev/null
+echo "==> meshsim --shards 4 --threads 2 --rng-streams smoke (parallel batch commit through the CLI)"
+cargo run -q --release --offline -p meshsim -- --nodes 12 --duration 120 --shards 4 --threads 2 --rng-streams >/dev/null
 
 echo "ci: all checks passed"

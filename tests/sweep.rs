@@ -26,6 +26,11 @@ fn opts_sharded(seeds: usize, jobs: usize, shards: usize) -> ExpOptions {
 fn opts_threaded(seeds: usize, jobs: usize, shards: usize, threads: usize) -> ExpOptions {
     ExpOptions {
         threads,
+        // Every leg — including the threads=1 reference — uses the
+        // per-node stream family: threads > 1 requires it (PR 9), and
+        // the family must match across legs for the tables to compare
+        // byte-identical.
+        rng_streams: true,
         ..opts_sharded(seeds, jobs, shards)
     }
 }
