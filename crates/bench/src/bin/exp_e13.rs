@@ -1,0 +1,6 @@
+//! Regenerates experiment E13 — the LoRaMesher vs. managed-flooding
+//! head-to-head under the Meshtastic LongFast/LongSlow modem presets.
+fn main() {
+    let opt = bench::options_from_args();
+    println!("{}", scenario::experiments::e13_stack_head_to_head(&opt));
+}

@@ -18,6 +18,7 @@
 pub mod scaling;
 
 use scenario::experiments::ExpOptions;
+use scenario::runner::ProtocolChoice;
 
 /// Parses the common CLI of the experiment binaries: `--quick` shrinks
 /// sweeps, `--seed N` overrides the master seed, `--seeds N` replicates
@@ -25,6 +26,8 @@ use scenario::experiments::ExpOptions;
 /// worker threads, and `--shards N` / `--threads N` configure each
 /// simulator's sharded engine and parallel evaluate regions (the tables
 /// are identical for every jobs, shards and threads count).
+/// `--protocol NAME` restricts the protocol-comparison experiments to a
+/// single stack (`loramesher`, `flooding` or `star`).
 #[must_use]
 pub fn options_from_args() -> ExpOptions {
     let mut opt = ExpOptions::default();
@@ -39,7 +42,7 @@ pub fn options_from_args() -> ExpOptions {
                     _ => eprintln!("unknown argument: {arg}"),
                 }
                 eprintln!(
-                    "usage: exp_eN [--quick] [--seed N] [--seeds N] [--jobs N] [--shards N] [--threads N]"
+                    "usage: exp_eN [--quick] [--seed N] [--seeds N] [--jobs N] [--shards N] [--threads N] [--protocol NAME]"
                 );
                 std::process::exit(2);
             }
@@ -83,6 +86,21 @@ pub fn apply_common_flag(
         }
         "--threads" => {
             opt.threads = int("--threads")?.max(1) as usize;
+        }
+        "--protocol" => {
+            let name = rest
+                .next()
+                .ok_or_else(|| String::from("--protocol requires a name"))?;
+            opt.protocol = Some(match name.as_str() {
+                "mesh" | "loramesher" => ProtocolChoice::mesh_fast(),
+                "flooding" => ProtocolChoice::Flooding { ttl: 7 },
+                "star" => ProtocolChoice::Star { gateway: 0 },
+                other => {
+                    return Err(format!(
+                        "unknown protocol '{other}' (try loramesher, flooding or star)"
+                    ))
+                }
+            });
         }
         _ => return Ok(false),
     }
@@ -130,5 +148,35 @@ mod tests {
         );
         let mut rest = std::iter::empty::<String>();
         assert!(apply_common_flag(&mut opt, "--seeds", &mut rest).is_err());
+    }
+
+    #[test]
+    fn protocol_flag_applies() {
+        let mut opt = ExpOptions::default();
+        assert_eq!(opt.protocol, None);
+        let mut rest = ["flooding"].iter().map(ToString::to_string);
+        assert_eq!(
+            apply_common_flag(&mut opt, "--protocol", &mut rest),
+            Ok(true)
+        );
+        assert_eq!(opt.protocol, Some(ProtocolChoice::Flooding { ttl: 7 }));
+        let mut rest = ["loramesher"].iter().map(ToString::to_string);
+        assert_eq!(
+            apply_common_flag(&mut opt, "--protocol", &mut rest),
+            Ok(true)
+        );
+        assert_eq!(opt.protocol, Some(ProtocolChoice::mesh_fast()));
+    }
+
+    #[test]
+    fn unknown_protocol_is_an_error_naming_the_choices() {
+        let mut opt = ExpOptions::default();
+        let mut rest = ["meshtastic"].iter().map(ToString::to_string);
+        let err = apply_common_flag(&mut opt, "--protocol", &mut rest).unwrap_err();
+        assert!(err.contains("unknown protocol 'meshtastic'"), "{err}");
+        assert!(
+            err.contains("loramesher") && err.contains("flooding"),
+            "{err}"
+        );
     }
 }

@@ -27,9 +27,9 @@ pub enum Topology {
 /// Protocol selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Protocol {
-    /// LoRaMesher distance-vector mesh.
+    /// LoRaMesher distance-vector mesh (`loramesher`, alias `mesh`).
     Mesh,
-    /// Managed flooding baseline.
+    /// Managed flooding — the Meshtastic-style first-class stack.
     Flooding,
     /// Single-gateway star baseline (gateway = node 0).
     Star,
@@ -166,7 +166,8 @@ OPTIONS:
   --topology line|grid|ring|star|random   network shape        [line]
   --nodes N                               node count           [3]
   --spacing-frac F                        spacing / radio range [0.8]
-  --protocol mesh|flooding|star           protocol             [mesh]
+  --protocol loramesher|flooding|star     protocol  [loramesher]
+                                          (mesh = alias of loramesher)
   --traffic none|pair:F:T:SECS|all-to-one:SECS|bulk:F:T:BYTES  [none]
   --duration SECS                         simulated time       [600]
   --seed N                                master seed          [42]
@@ -253,10 +254,14 @@ impl Cli {
                 }
                 "--protocol" => {
                     cli.protocol = match value_of("--protocol", &mut it)?.as_str() {
-                        "mesh" => Protocol::Mesh,
+                        "mesh" | "loramesher" => Protocol::Mesh,
                         "flooding" => Protocol::Flooding,
                         "star" => Protocol::Star,
-                        other => return Err(ParseError(format!("unknown protocol '{other}'"))),
+                        other => {
+                            return Err(ParseError(format!(
+                                "unknown protocol '{other}' (try loramesher, flooding or star)"
+                            )))
+                        }
                     };
                 }
                 "--traffic" => {
@@ -528,6 +533,41 @@ mod tests {
         assert!(parse(&["--kill", "1-10"]).is_err());
         assert!(parse(&["--spacing-frac", "5.0"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn protocol_names_and_alias_parse() {
+        assert_eq!(parse(&[]).unwrap().protocol, Protocol::Mesh);
+        assert_eq!(
+            parse(&["--protocol", "loramesher"]).unwrap().protocol,
+            Protocol::Mesh
+        );
+        assert_eq!(
+            parse(&["--protocol", "mesh"]).unwrap().protocol,
+            Protocol::Mesh,
+            "historic alias keeps working"
+        );
+        assert_eq!(
+            parse(&["--protocol", "flooding"]).unwrap().protocol,
+            Protocol::Flooding
+        );
+        assert_eq!(
+            parse(&["--protocol", "star"]).unwrap().protocol,
+            Protocol::Star
+        );
+    }
+
+    #[test]
+    fn unknown_protocol_error_names_the_choices() {
+        let err = parse(&["--protocol", "meshtastic"]).unwrap_err();
+        assert!(
+            err.0.contains("unknown protocol 'meshtastic'"),
+            "unhelpful error: {err}"
+        );
+        assert!(
+            err.0.contains("loramesher") && err.0.contains("flooding"),
+            "error should list the valid protocols: {err}"
+        );
     }
 
     #[test]

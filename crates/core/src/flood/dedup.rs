@@ -1,0 +1,96 @@
+//! The duplicate-suppression cache: a bounded FIFO set over
+//! `(origin, packet id)` keys.
+//!
+//! Managed flooding has no routing state; the only thing a node must
+//! remember is which floods it has already taken part in. The cache is
+//! a `BTreeSet` (meshlint rule D1: iteration order never leaks hasher
+//! state into traces) paired with a FIFO eviction queue so memory stays
+//! bounded no matter how long the node runs.
+
+use alloc::collections::{BTreeSet, VecDeque};
+
+use crate::addr::Address;
+
+/// A bounded first-in-first-out set of flood keys.
+#[derive(Debug)]
+pub(crate) struct DedupCache {
+    seen: BTreeSet<(Address, u8)>,
+    order: VecDeque<(Address, u8)>,
+    capacity: usize,
+}
+
+impl DedupCache {
+    /// A cache remembering at most `capacity` keys (clamped to ≥ 1).
+    pub(crate) fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        DedupCache {
+            seen: BTreeSet::new(),
+            order: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records `(origin, id)`. Returns `true` when the key is new —
+    /// i.e. this node has not taken part in the flood yet — evicting
+    /// the oldest remembered key if the cache is full.
+    pub(crate) fn insert(&mut self, origin: Address, id: u8) -> bool {
+        if self.seen.contains(&(origin, id)) {
+            return false;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.seen.insert((origin, id));
+        self.order.push_back((origin, id));
+        true
+    }
+
+    /// Number of keys currently remembered.
+    pub(crate) fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// The configured capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Address = Address::new(1);
+    const B: Address = Address::new(2);
+
+    #[test]
+    fn first_insert_is_new_second_is_duplicate() {
+        let mut c = DedupCache::new(8);
+        assert!(c.insert(A, 0));
+        assert!(!c.insert(A, 0));
+        assert!(c.insert(A, 1));
+        assert!(c.insert(B, 0));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_len_stays_bounded() {
+        let mut c = DedupCache::new(2);
+        assert!(c.insert(A, 0));
+        assert!(c.insert(A, 1));
+        assert!(c.insert(A, 2)); // evicts (A, 0)
+        assert_eq!(c.len(), 2);
+        assert!(c.insert(A, 0), "evicted key must read as new again");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut c = DedupCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        assert!(c.insert(A, 0));
+        assert!(!c.insert(A, 0));
+    }
+}

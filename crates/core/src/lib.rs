@@ -33,6 +33,10 @@
 //! * [`reliable`] — the large-payload transfer state machines.
 //! * [`stack`] — [`MeshNode`]: the MAC/routing/transport/app layers tied
 //!   together over the intra-node bus.
+//! * [`flood`] — [`FloodNode`]: Meshtastic-style managed flooding as a
+//!   second first-class stack over the same bus and MAC.
+//! * [`protocol`] — the [`Protocol`] abstraction hosts use to pick a
+//!   stack by name.
 //! * [`driver`] — the sans-IO host interface.
 //! * [`stats`] — per-node protocol counters.
 //! * [`error`] — error types.
@@ -66,9 +70,11 @@ pub mod codec;
 pub mod config;
 pub mod driver;
 pub mod error;
+pub mod flood;
 pub mod mac;
 pub mod node;
 pub mod packet;
+pub mod protocol;
 pub mod queue;
 pub mod reliable;
 pub mod rng;
@@ -81,7 +87,9 @@ pub use addr::Address;
 pub use config::{MeshConfig, MeshConfigBuilder};
 pub use driver::{NodeProtocol, RadioIo, RadioRequest};
 pub use error::{CodecError, SendError};
+pub use flood::{FloodConfig, FloodMessage, FloodNode, FloodStats};
 pub use packet::{Packet, PacketKind};
+pub use protocol::Protocol;
 pub use role::{Role, RoleQueries};
 pub use routing::{Route, RoutingTable};
 pub use stack::{MeshEvent, MeshNode};

@@ -8,6 +8,7 @@
 //! layer's cached hello image (a shared, allocation-free `Arc`) when
 //! the frame is the periodic beacon.
 
+use alloc::sync::Arc;
 use core::time::Duration;
 
 use lora_phy::region::DutyCycleTracker;
@@ -19,7 +20,29 @@ use crate::mac::{Mac, MacAction};
 use crate::packet::Packet;
 use crate::stack::app::MeshEvent;
 use crate::stack::bus::Bus;
-use crate::stack::routing::RoutingLayer;
+
+/// A protocol layer's cache of pre-encoded wire images.
+///
+/// The MAC is shared between protocol stacks (`Protocol` abstraction);
+/// the only upward coupling it needs is "does the stack already hold
+/// the encoded bytes of this packet?". LoRaMesher's routing layer
+/// answers for its periodic hello beacon (a shared, allocation-free
+/// `Arc`); stacks without pre-encoded frames use [`NoWireCache`].
+pub(crate) trait WireCache {
+    /// The cached wire image of `packet`, if the layer holds one. The
+    /// image must be byte-identical to `codec::encode(packet)`.
+    fn wire_for(&mut self, packet: &Packet) -> Option<Arc<[u8]>>;
+}
+
+/// The null cache: every frame is encoded at transmit time.
+#[derive(Debug, Default)]
+pub(crate) struct NoWireCache;
+
+impl WireCache for NoWireCache {
+    fn wire_for(&mut self, _packet: &Packet) -> Option<Arc<[u8]>> {
+        None
+    }
+}
 
 /// MAC state; see the module docs.
 #[derive(Debug)]
@@ -58,7 +81,7 @@ impl MacLayer {
         now: Duration,
         config: &MeshConfig,
         bus: &mut Bus,
-        routing: &mut RoutingLayer,
+        cache: &mut impl WireCache,
         io: &mut RadioIo,
     ) {
         if bus.txq.is_empty() {
@@ -77,7 +100,7 @@ impl MacLayer {
             if let Some(airtime) = airtime {
                 match self.mac.kick_aloha(airtime, now) {
                     MacAction::Transmit => {
-                        self.transmit_front(airtime, bus, routing, io);
+                        self.transmit_front(airtime, bus, cache, io);
                     }
                     MacAction::DropFrame => {
                         if let Some(packet) = bus.txq.pop() {
@@ -100,7 +123,7 @@ impl MacLayer {
         now: Duration,
         config: &MeshConfig,
         bus: &mut Bus,
-        routing: &mut RoutingLayer,
+        cache: &mut impl WireCache,
         io: &mut RadioIo,
     ) {
         let Some(front) = bus.txq.peek() else {
@@ -108,7 +131,7 @@ impl MacLayer {
         };
         let airtime = config.modulation.time_on_air(codec::encoded_len(front));
         match self.mac.on_cad_done(busy, airtime, now, &mut bus.rng) {
-            MacAction::Transmit => self.transmit_front(airtime, bus, routing, io),
+            MacAction::Transmit => self.transmit_front(airtime, bus, cache, io),
             MacAction::DropFrame => {
                 if let Some(packet) = bus.txq.pop() {
                     bus.emit(MeshEvent::FrameDropped {
@@ -122,30 +145,29 @@ impl MacLayer {
     }
 
     /// Pops and encodes the front of the queue for transmission; the MAC
-    /// has already committed to `Transmitting`. Periodic hellos reuse
-    /// the routing layer's cached wire image instead of re-encoding.
+    /// has already committed to `Transmitting`. Frames the stack holds a
+    /// cached wire image for (LoRaMesher's periodic hello) are reused
+    /// instead of re-encoded.
     fn transmit_front(
         &mut self,
         airtime: Duration,
         bus: &mut Bus,
-        routing: &mut RoutingLayer,
+        cache: &mut impl WireCache,
         io: &mut RadioIo,
     ) {
         let Some(packet) = bus.txq.pop() else {
             return;
         };
-        if let Packet::Hello { id, .. } = &packet {
-            if let Some(wire) = routing.cached_wire(*id) {
-                debug_assert_eq!(
-                    codec::encode(&packet).ok().as_deref(),
-                    Some(&*wire),
-                    "hello wire cache out of sync with the queued packet"
-                );
-                bus.stats.frames_sent += 1;
-                bus.stats.airtime += airtime;
-                io.transmit(wire);
-                return;
-            }
+        if let Some(wire) = cache.wire_for(&packet) {
+            debug_assert_eq!(
+                codec::encode(&packet).ok().as_deref(),
+                Some(&*wire),
+                "wire cache out of sync with the queued packet"
+            );
+            bus.stats.frames_sent += 1;
+            bus.stats.airtime += airtime;
+            io.transmit(wire);
+            return;
         }
         match codec::encode(&packet) {
             Ok(frame) => {
@@ -180,7 +202,7 @@ mod tests {
     use super::*;
     use crate::addr::Address;
     use crate::driver::RadioRequest;
-    use alloc::sync::Arc;
+    use crate::stack::routing::RoutingLayer;
     use alloc::vec;
     use lora_phy::region::Region;
 

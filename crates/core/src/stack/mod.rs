@@ -37,8 +37,8 @@
 //! (forwarding); `on_cad_done`/`on_tx_done` go to the MAC.
 
 pub mod app;
-mod bus;
-mod mac;
+pub(crate) mod bus;
+pub(crate) mod mac;
 mod routing;
 mod transport;
 

@@ -24,6 +24,7 @@ use crate::packet::{Packet, RouteEntry};
 use crate::routing::RoutingTable;
 use crate::stack::app::MeshEvent;
 use crate::stack::bus::Bus;
+use crate::stack::mac::WireCache;
 
 /// Routing state; see the module docs.
 #[derive(Debug)]
@@ -220,6 +221,17 @@ impl RoutingLayer {
         fwd.via = next;
         if bus.enqueue(packet) {
             bus.stats.forwarded += 1;
+        }
+    }
+}
+
+/// LoRaMesher's wire cache: only the periodic hello beacon carries a
+/// pre-encoded image (see [`RoutingLayer::cached_wire`]).
+impl WireCache for RoutingLayer {
+    fn wire_for(&mut self, packet: &Packet) -> Option<Arc<[u8]>> {
+        match packet {
+            Packet::Hello { id, .. } => self.cached_wire(*id),
+            _ => None,
         }
     }
 }

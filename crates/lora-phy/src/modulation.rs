@@ -213,6 +213,22 @@ impl LoRaModulation {
         m
     }
 
+    /// The Meshtastic *LongFast* modem preset: SF11 over 250 kHz with
+    /// CR 4/5 — the default of public Meshtastic meshes, trading link
+    /// budget for roughly 1 kbit/s of physical bit rate.
+    #[must_use]
+    pub fn long_fast() -> Self {
+        LoRaModulation::new(SpreadingFactor::Sf11, Bandwidth::Khz250, CodingRate::Cr4_5)
+    }
+
+    /// The Meshtastic *LongSlow* modem preset: SF12 over 125 kHz with
+    /// CR 4/8 — maximum range at roughly 150 bit/s, with low-data-rate
+    /// optimization mandated by the long symbol time.
+    #[must_use]
+    pub fn long_slow() -> Self {
+        LoRaModulation::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_8)
+    }
+
     /// Starts building a modulation with custom parameters.
     #[must_use]
     pub fn builder(sf: SpreadingFactor, bw: Bandwidth, cr: CodingRate) -> LoRaModulationBuilder {
@@ -407,5 +423,18 @@ mod tests {
     fn display_formats() {
         let m = LoRaModulation::default();
         assert_eq!(m.to_string(), "SF7/125kHz/CR4/7");
+    }
+
+    #[test]
+    fn meshtastic_presets_match_their_spec() {
+        let fast = LoRaModulation::long_fast();
+        assert_eq!(fast.to_string(), "SF11/250kHz/CR4/5");
+        let slow = LoRaModulation::long_slow();
+        assert_eq!(slow.to_string(), "SF12/125kHz/CR4/8");
+        // LongSlow's 32.8 ms symbols mandate LDRO; both are far slower
+        // than the SF7 default the rest of the evaluation runs on.
+        assert!(slow.low_data_rate_optimize);
+        assert!(fast.bit_rate() > slow.bit_rate());
+        assert!(LoRaModulation::default().bit_rate() > fast.bit_rate());
     }
 }

@@ -1,24 +1,23 @@
 //! Baseline LoRa network protocols for comparison against LoRaMesher.
 //!
 //! The demo paper motivates mesh networking against the standard LoRaWAN
-//! deployment model; the evaluation additionally needs a mesh alternative
-//! to show what the routing protocol buys. This crate provides both,
-//! implemented against the same sans-IO [`loramesher::driver::NodeProtocol`]
-//! interface and reusing the same CSMA MAC, so every difference measured
-//! in the experiments comes from the protocol design and not the plumbing:
+//! deployment model, so the evaluation needs the non-mesh reference
+//! point, implemented against the same sans-IO
+//! [`loramesher::driver::NodeProtocol`] interface and reusing the same
+//! CSMA MAC so every measured difference comes from the protocol design
+//! and not the plumbing:
 //!
-//! * [`flooding`] — managed flooding (Meshtastic-style): no routing state;
-//!   every node rebroadcasts unseen packets with a TTL, after a random
-//!   jitter to decorrelate relays.
 //! * [`star`] — single-gateway star (LoRaWAN-style): end nodes talk
 //!   directly to a gateway; nodes out of gateway range are simply
 //!   unreachable.
+//!
+//! The managed-flooding baseline that used to live here graduated into
+//! a first-class stack: see [`loramesher::flood`] and the
+//! [`loramesher::protocol::Protocol`] abstraction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod flooding;
 pub mod star;
 
-pub use flooding::{FloodingConfig, FloodingEvent, FloodingNode};
 pub use star::{StarConfig, StarEvent, StarNode};

@@ -319,6 +319,14 @@ impl Config {
                 "crates/core/src/stack/mac.rs".into(),
                 "crates/core/src/stack/routing.rs".into(),
                 "crates/core/src/stack/transport.rs".into(),
+                // The flooding stack (protocol refactor PR) receives
+                // over-the-air frames just like the mesh stack: its
+                // dispatch, dedup cache, app codec and AES-CTR sealer
+                // are all reachable from hostile input.
+                "crates/core/src/flood/mod.rs".into(),
+                "crates/core/src/flood/dedup.rs".into(),
+                "crates/core/src/flood/message.rs".into(),
+                "crates/core/src/flood/crypto.rs".into(),
                 "crates/radio-sim/src/event.rs".into(),
                 "crates/radio-sim/src/metrics.rs".into(),
                 // Shard partitioning runs on every event-engine batch
@@ -342,6 +350,13 @@ impl Config {
                 "crates/radio-sim/src/sim.rs".into(),
                 "crates/radio-sim/src/event.rs".into(),
                 "crates/radio-sim/src/shard.rs".into(),
+                // Protocol stacks never mint engine seqs themselves —
+                // the substrate contract (`loramesher::protocol`) says
+                // timers and transmissions go through the bus/MAC. If a
+                // protocol module ever grows a direct event-insertion
+                // call, its seq must still be coordinator-issued.
+                "crates/core/src/flood/mod.rs".into(),
+                "crates/core/src/protocol.rs".into(),
             ],
         }
     }

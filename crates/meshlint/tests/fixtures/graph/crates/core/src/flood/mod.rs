@@ -1,0 +1,25 @@
+//! A protocol impl that bypasses the bus and inserts engine events
+//! itself: `s1` must catch its fabricated seq. Plain text to meshlint —
+//! never compiled.
+
+impl FloodNode {
+    pub fn schedule_relay(&mut self, t: u64, ev: Event) {
+        // ok-form: a coordinator-issued seq travels as a plain binding.
+        let seq = self.coord.alloc_seq();
+        self.engine.schedule_at_seq(t, seq, ev);
+    }
+
+    pub fn schedule_relay_fabricated(&mut self, t: u64, ev: Event) {
+        // The protocol minting its own counter breaks the (time, seq)
+        // shard merge the moment two shards interleave relays.
+        self.engine.schedule_at_seq(t, self.relay_seq + 1, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fabricated_seqs_in_tests_are_fine() {
+        node.engine.schedule_at_seq(3, 8 + 1, Event::Noop);
+    }
+}

@@ -20,8 +20,8 @@ use lora_phy::link::SignalQuality;
 use loramesher::addr::Address;
 use loramesher::driver::NodeProtocol;
 use loramesher::error::SendError;
+use loramesher::flood::FloodNode;
 use loramesher::node::{MeshEvent, MeshNode};
-use mesh_baselines::flooding::{FloodingEvent, FloodingNode};
 use mesh_baselines::star::{StarEvent, StarNode};
 use radio_sim::firmware::{Context, Firmware};
 
@@ -103,8 +103,8 @@ pub enum AppAction {
 pub enum ProtocolNode {
     /// The LoRaMesher distance-vector mesh.
     Mesh(MeshNode),
-    /// The managed-flooding baseline.
-    Flooding(FloodingNode),
+    /// The managed-flooding stack ([`loramesher::flood`]).
+    Flooding(FloodNode),
     /// The single-gateway star baseline.
     Star(StarNode),
 }
@@ -129,6 +129,15 @@ impl ProtocolNode {
         }
     }
 
+    /// The wrapped [`FloodNode`], when this is the flooding protocol.
+    #[must_use]
+    pub fn as_flood(&self) -> Option<&FloodNode> {
+        match self {
+            ProtocolNode::Flooding(n) => Some(n),
+            _ => None,
+        }
+    }
+
     /// Submits a datagram through whichever protocol is wrapped.
     ///
     /// # Errors
@@ -142,7 +151,7 @@ impl ProtocolNode {
     ) -> Result<u8, SendError> {
         match self {
             ProtocolNode::Mesh(n) => n.send_datagram(dst, payload, now),
-            ProtocolNode::Flooding(n) => n.send(dst, payload),
+            ProtocolNode::Flooding(n) => n.send_datagram(dst, payload),
             ProtocolNode::Star(n) => n.send(dst, payload),
         }
     }
@@ -165,47 +174,38 @@ impl ProtocolNode {
         }
     }
 
+    /// Maps the shared [`MeshEvent`] stream (emitted by both the mesh
+    /// and flooding stacks) onto the experiment-facing [`AppEvent`].
+    fn map_mesh_events(events: Vec<MeshEvent>) -> Vec<AppEvent> {
+        events
+            .into_iter()
+            .filter_map(|e| match e {
+                MeshEvent::Datagram { src, payload } => Some(AppEvent::Received {
+                    src,
+                    payload,
+                    broadcast: false,
+                }),
+                MeshEvent::Broadcast { src, payload } => Some(AppEvent::Received {
+                    src,
+                    payload,
+                    broadcast: true,
+                }),
+                MeshEvent::ReliableReceived { src, payload } => {
+                    Some(AppEvent::ReliableReceived { src, payload })
+                }
+                MeshEvent::ReliableDelivered { dst, .. } => {
+                    Some(AppEvent::ReliableDelivered { dst })
+                }
+                MeshEvent::ReliableFailed { dst, .. } => Some(AppEvent::ReliableFailed { dst }),
+                _ => None,
+            })
+            .collect()
+    }
+
     fn drain_events(&mut self) -> Vec<AppEvent> {
         match self {
-            ProtocolNode::Mesh(n) => n
-                .take_events()
-                .into_iter()
-                .filter_map(|e| match e {
-                    MeshEvent::Datagram { src, payload } => Some(AppEvent::Received {
-                        src,
-                        payload,
-                        broadcast: false,
-                    }),
-                    MeshEvent::Broadcast { src, payload } => Some(AppEvent::Received {
-                        src,
-                        payload,
-                        broadcast: true,
-                    }),
-                    MeshEvent::ReliableReceived { src, payload } => {
-                        Some(AppEvent::ReliableReceived { src, payload })
-                    }
-                    MeshEvent::ReliableDelivered { dst, .. } => {
-                        Some(AppEvent::ReliableDelivered { dst })
-                    }
-                    MeshEvent::ReliableFailed { dst, .. } => Some(AppEvent::ReliableFailed { dst }),
-                    _ => None,
-                })
-                .collect(),
-            ProtocolNode::Flooding(n) => n
-                .take_events()
-                .into_iter()
-                .map(
-                    |FloodingEvent::Received {
-                         src,
-                         broadcast,
-                         payload,
-                     }| AppEvent::Received {
-                        src,
-                        payload,
-                        broadcast,
-                    },
-                )
-                .collect(),
+            ProtocolNode::Mesh(n) => Self::map_mesh_events(n.take_events()),
+            ProtocolNode::Flooding(n) => Self::map_mesh_events(n.take_events()),
             ProtocolNode::Star(n) => n
                 .take_events()
                 .into_iter()
@@ -556,11 +556,11 @@ mod tests {
 
     #[test]
     fn flooding_protocol_hosted_end_to_end() {
-        use mesh_baselines::flooding::FloodingConfig;
+        use loramesher::flood::FloodConfig;
         let fw = |addr: u16| {
-            let mut cfg = FloodingConfig::new(Address::new(addr));
+            let mut cfg = FloodConfig::new(Address::new(addr));
             cfg.region = lora_phy::region::Region::Unlimited;
-            ProtocolFirmware::new(ProtocolNode::Flooding(FloodingNode::new(cfg)))
+            ProtocolFirmware::new(ProtocolNode::Flooding(FloodNode::new(cfg)))
         };
         let mut sim = Simulator::new(SimConfig::default(), 9);
         let a = sim.add_node(fw(1), Position::new(0.0, 0.0));

@@ -1,4 +1,4 @@
-//! The reconstructed LoRaMesher evaluation: experiments E1–E12 and the
+//! The reconstructed LoRaMesher evaluation: experiments E1–E13 and the
 //! A1–A4 ablations.
 //!
 //! Each function reproduces one table or figure from DESIGN.md's
@@ -52,6 +52,14 @@ pub struct ExpOptions {
     /// valid) sequence of stochastic draws — so every leg of a
     /// comparison must use the same setting.
     pub rng_streams: bool,
+    /// Restrict the protocol-comparison experiments (E5 and the E13
+    /// head-to-head) to a single stack; `None` runs every protocol in
+    /// the comparison. Mirrors `meshsim --protocol` so one leg of a
+    /// comparison can be regenerated offline without re-running the
+    /// others. Experiments that inspect LoRaMesher-specific state
+    /// (routing tables, hello counters) ignore this and always run the
+    /// mesh stack.
+    pub protocol: Option<ProtocolChoice>,
 }
 
 impl Default for ExpOptions {
@@ -64,6 +72,7 @@ impl Default for ExpOptions {
             shards: 1,
             threads: 1,
             rng_streams: false,
+            protocol: None,
         }
     }
 }
@@ -105,6 +114,14 @@ fn fmt_opt(s: Option<&crate::summary::Summary>, f: impl Fn(f64) -> String) -> St
     s.map_or("-".into(), |s| s.fmt_pm(f))
 }
 
+/// Whether `choice` is the stack selected by [`ExpOptions::protocol`]
+/// (variant match — the experiment's own timers/TTL presets win over
+/// the ones carried by the option).
+fn protocol_selected(opt: &ExpOptions, choice: &ProtocolChoice) -> bool {
+    opt.protocol
+        .is_none_or(|only| core::mem::discriminant(&only) == core::mem::discriminant(choice))
+}
+
 /// Seconds formatter matching [`fmt_secs`] on raw `f64` seconds.
 fn fmt_secs_f(v: f64) -> String {
     format!("{v:.3} s")
@@ -124,6 +141,21 @@ pub fn default_spacing() -> f64 {
 /// so resampling finds a connected instance quickly at every size.
 fn random_positions(n: usize, spacing: f64, seed: u64) -> Vec<lora_phy::propagation::Position> {
     let area = spacing * (n as f64).sqrt() * 0.85;
+    let mut rng = SimRng::new(seed);
+    topology::connected_random(n, area, area, spacing, &mut rng, 2000)
+        .expect("connected placement within attempt budget")
+}
+
+/// A connected random placement that stays connected at *hundreds* of
+/// nodes: [`random_positions`]' fixed `0.85` factor holds the average
+/// node degree constant (~4.3), which sails past the `log n`
+/// connectivity threshold of random geometric graphs somewhere around
+/// 50 nodes. Here the square is sized for a target degree of
+/// `ln n + 3`, so the E13 scale sweep finds connected instances at
+/// every size while the density grows only logarithmically.
+fn scaled_positions(n: usize, spacing: f64, seed: u64) -> Vec<lora_phy::propagation::Position> {
+    let degree = (n as f64).ln() + 3.0;
+    let area = spacing * (n as f64 * core::f64::consts::PI / degree).sqrt();
     let mut rng = SimRng::new(seed);
     topology::connected_random(n, area, area, spacing, &mut rng, 2000)
         .expect("connected placement within attempt budget")
@@ -425,14 +457,17 @@ pub fn e5_protocol_comparison(opt: &ExpOptions) -> ExpTable {
             "nodes", "protocol", "sent", "PDR", "airtime", "frames", "dupes",
         ],
     );
-    let protocols = [
+    let protocols: Vec<(&str, ProtocolChoice)> = [
         ("mesh", ProtocolChoice::mesh_fast()),
         ("flooding", ProtocolChoice::Flooding { ttl: 7 }),
         ("star", ProtocolChoice::Star { gateway: 0 }),
-    ];
+    ]
+    .into_iter()
+    .filter(|(_, p)| protocol_selected(opt, p))
+    .collect();
     let cells: Vec<(usize, &str, ProtocolChoice)> = sizes
         .iter()
-        .flat_map(|&n| protocols.iter().map(move |(name, p)| (n, *name, p.clone())))
+        .flat_map(|&n| protocols.iter().map(move |(name, p)| (n, *name, *p)))
         .collect();
     let seeds = opt.seed_set();
     let stats = crate::sweep::sweep(&cells, &seeds, opt.jobs, |(n, _, protocol), seed| {
@@ -441,7 +476,7 @@ pub fn e5_protocol_comparison(opt: &ExpOptions) -> ExpTable {
         // the comparison is paired per replication.
         let positions = random_positions(n, spacing, seed ^ (n as u64) << 8);
         let mut runner = NetworkBuilder::mesh(positions, seed)
-            .protocol(protocol.clone())
+            .protocol(*protocol)
             .shards(opt.shards)
             .threads(opt.threads)
             .rng_streams(opt.rng_streams)
@@ -953,14 +988,14 @@ pub fn e12_fairness(opt: &ExpOptions) -> ExpTable {
     ];
     let cells: Vec<(usize, &str, ProtocolChoice)> = sizes
         .iter()
-        .flat_map(|&n| protocols.iter().map(move |(name, p)| (n, *name, p.clone())))
+        .flat_map(|&n| protocols.iter().map(move |(name, p)| (n, *name, *p)))
         .collect();
     let seeds = opt.seed_set();
     let stats = crate::sweep::sweep(&cells, &seeds, opt.jobs, |(n, _, protocol), seed| {
         let n = *n;
         let positions = random_positions(n, spacing, seed ^ (n as u64) << 40);
         let mut runner = NetworkBuilder::mesh(positions, seed)
-            .protocol(protocol.clone())
+            .protocol(*protocol)
             .shards(opt.shards)
             .threads(opt.threads)
             .rng_streams(opt.rng_streams)
@@ -1232,6 +1267,128 @@ pub fn a4_snr_tiebreak(opt: &ExpOptions) -> ExpTable {
     table
 }
 
+// ----------------------------------------------------------------------
+// E13 — stack head-to-head at scale: LoRaMesher vs. managed flooding
+// ----------------------------------------------------------------------
+
+/// E13: the two first-class stacks of the protocol abstraction compared
+/// on identical placements, workloads and seeds — PDR, mean latency and
+/// airtime cost as the network grows from 64 to 1024 nodes, under the
+/// Meshtastic *LongFast* and *LongSlow* modem presets (the SF7 default
+/// the rest of the evaluation uses would be unfair to flooding, whose
+/// natural habitat is the long-range presets).
+///
+/// The workload samples eight unicast flows between nodes spread across
+/// the placement rather than all-to-one, so the *offered* load is
+/// constant per size and the curves isolate how each protocol's
+/// overhead scales: routing broadcasts for LoRaMesher, redundant
+/// rebroadcasts for flooding. Every (preset, size, seed) cell shares
+/// its placement and schedule across both protocols, so the comparison
+/// is paired per replication.
+#[must_use]
+pub fn e13_stack_head_to_head(opt: &ExpOptions) -> ExpTable {
+    let sizes: &[usize] = if opt.quick {
+        &[8, 16]
+    } else {
+        &[64, 256, 1024]
+    };
+    let messages = if opt.quick { 3 } else { 5 };
+    let presets = [
+        ("LongFast", LoRaModulation::long_fast()),
+        ("LongSlow", LoRaModulation::long_slow()),
+    ];
+    let protocols: Vec<(&str, ProtocolChoice)> = [
+        ("loramesher", ProtocolChoice::mesh_fast()),
+        ("flooding", ProtocolChoice::Flooding { ttl: 7 }),
+    ]
+    .into_iter()
+    .filter(|(_, p)| protocol_selected(opt, p))
+    .collect();
+    let mut table = ExpTable::new(
+        "E13 — stack head-to-head (8 sampled unicast flows on random topologies)",
+        &[
+            "preset",
+            "nodes",
+            "protocol",
+            "sent",
+            "PDR",
+            "mean latency",
+            "airtime",
+            "frames",
+        ],
+    );
+    let cells: Vec<(&str, LoRaModulation, usize, &str, ProtocolChoice)> = presets
+        .iter()
+        .flat_map(|&(pname, m)| {
+            let protocols = &protocols;
+            sizes.iter().flat_map(move |&n| {
+                protocols
+                    .iter()
+                    .map(move |&(sname, p)| (pname, m, n, sname, p))
+            })
+        })
+        .collect();
+    let seeds = opt.seed_set();
+    let stats = crate::sweep::sweep(&cells, &seeds, opt.jobs, |cell, seed| {
+        let &(_, modulation, n, _, protocol) = cell;
+        let mut sim = SimConfig::default();
+        sim.rf.modulation = modulation;
+        // Density is normalised to the preset's own radio range, so
+        // every cell sees a comparable connectivity graph and the sweep
+        // varies only scale and protocol.
+        let spacing = topology::radio_range_m(&sim.rf) * 0.8;
+        let positions = scaled_positions(n, spacing, seed ^ (n as u64) << 8);
+        let mut runner = NetworkBuilder::mesh(positions, seed)
+            .sim_config(sim)
+            .protocol(protocol)
+            .shards(opt.shards)
+            .threads(opt.threads)
+            .rng_streams(opt.rng_streams)
+            .build();
+        // Identical warm-up for both stacks: LoRaMesher distributes
+        // routes, flooding is purely reactive and idles.
+        let warmup = Duration::from_secs(if opt.quick { 300 } else { 600 });
+        runner.run_until(warmup);
+        // Eight staggered flows; the 60 s interval leaves room for
+        // LongSlow's multi-second frames.
+        let flows = 8.min(n / 2);
+        for f in 0..flows {
+            let src = f * n / flows;
+            let dst = (src + n / 2) % n;
+            runner.apply(&workload::periodic(
+                src,
+                Target::Node(dst),
+                16,
+                warmup + Duration::from_secs(7 * f as u64),
+                Duration::from_secs(60),
+                messages,
+            ));
+        }
+        runner.run_until(warmup + Duration::from_secs(60 * messages as u64 + 240));
+        let report = runner.report();
+        vec![
+            ("sent", Some(report.sent as f64)),
+            ("pdr", report.pdr()),
+            ("latency", report.mean_latency().map(|d| d.as_secs_f64())),
+            ("airtime", Some(report.total_airtime.as_secs_f64())),
+            ("frames", Some(report.frames_transmitted as f64)),
+        ]
+    });
+    for ((pname, _, n, sname, _), cell) in cells.iter().zip(&stats) {
+        table.push_row(vec![
+            (*pname).to_string(),
+            n.to_string(),
+            (*sname).to_string(),
+            fmt_opt(cell.get("sent"), |v| format!("{v:.0}")),
+            fmt_opt(cell.get("pdr"), fmt_pct),
+            fmt_opt(cell.get("latency"), fmt_secs_f),
+            fmt_opt(cell.get("airtime"), fmt_secs_f),
+            fmt_opt(cell.get("frames"), |v| format!("{v:.0}")),
+        ]);
+    }
+    table
+}
+
 /// Runs every experiment, returning the tables in order.
 #[must_use]
 pub fn all(opt: &ExpOptions) -> Vec<ExpTable> {
@@ -1248,6 +1405,7 @@ pub fn all(opt: &ExpOptions) -> Vec<ExpTable> {
         e10_wire_format(),
         e11_mobility(opt),
         e12_fairness(opt),
+        e13_stack_head_to_head(opt),
         a1_csma_ablation(opt),
         a2_capture_ablation(opt),
         a3_jitter_ablation(opt),
@@ -1317,6 +1475,36 @@ mod tests {
         let mesh8 = pct(&t.rows[3][3]);
         let star8 = pct(&t.rows[5][3]);
         assert!(mesh8 > star8, "mesh {mesh8}% vs star {star8}%\n{t}");
+    }
+
+    #[test]
+    fn e5_protocol_restriction_runs_one_stack() {
+        let mut o = opt();
+        o.protocol = Some(ProtocolChoice::Star { gateway: 0 });
+        let t = e5_protocol_comparison(&o);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows.iter().all(|r| r[1] == "star"), "{t}");
+    }
+
+    #[test]
+    fn e13_covers_presets_sizes_and_both_stacks() {
+        let t = e13_stack_head_to_head(&opt());
+        assert_eq!(t.rows.len(), 2 * 2 * 2);
+        let pct = |s: &str| -> f64 { s.trim_end_matches(" %").parse().unwrap() };
+        // Flooding needs no routing warm-up: it delivers on every quick
+        // cell, on both presets.
+        for row in t.rows.iter().filter(|r| r[2] == "flooding") {
+            assert!(pct(&row[4]) > 0.0, "{t}");
+        }
+    }
+
+    #[test]
+    fn e13_protocol_restriction_halves_the_grid() {
+        let mut o = opt();
+        o.protocol = Some(ProtocolChoice::Flooding { ttl: 7 });
+        let t = e13_stack_head_to_head(&o);
+        assert_eq!(t.rows.len(), 2 * 2);
+        assert!(t.rows.iter().all(|r| r[2] == "flooding"), "{t}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!   arrivals, bulk transfers).
 //! * [`runner`] — builds a network, injects traffic, and produces a
 //!   [`runner::TrafficReport`] with delivery/latency/airtime statistics.
-//! * [`experiments`] — the parameter sweeps E1–E12 and ablations A1–A4
+//! * [`experiments`] — the parameter sweeps E1–E13 and ablations A1–A4
 //!   from DESIGN.md, each
 //!   returning a printable [`report::ExpTable`].
 //! * [`report`] — plain-text table formatting shared by the benchmark

@@ -14,8 +14,8 @@ use lora_phy::region::Region;
 
 use loramesher::addr::Address;
 use loramesher::config::MeshConfig;
+use loramesher::flood::{FloodConfig, FloodNode};
 use loramesher::node::MeshNode;
-use mesh_baselines::flooding::{FloodingConfig, FloodingNode};
 use mesh_baselines::star::{StarConfig, StarNode};
 use radio_sim::firmware::NodeId;
 use radio_sim::metrics::Metrics;
@@ -26,7 +26,7 @@ use crate::adapter::{AppAction, AppEvent, ProtocolFirmware, ProtocolNode};
 use crate::workload::{Target, TrafficEvent};
 
 /// Which protocol a network runs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ProtocolChoice {
     /// LoRaMesher with the given routing timers.
     Mesh {
@@ -268,12 +268,13 @@ impl NetworkBuilder {
                     ProtocolNode::Mesh(MeshNode::new(cfg))
                 }
                 ProtocolChoice::Flooding { ttl } => {
-                    let mut cfg = FloodingConfig::new(address);
+                    let mut cfg = FloodConfig::new(address);
                     cfg.modulation = modulation;
                     cfg.region = self.region;
-                    cfg.ttl = *ttl;
+                    cfg.hop_limit = *ttl;
+                    cfg.csma = self.csma;
                     cfg.seed = self.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9);
-                    ProtocolNode::Flooding(FloodingNode::new(cfg))
+                    ProtocolNode::Flooding(FloodNode::new(cfg))
                 }
                 ProtocolChoice::Star { gateway } => {
                     let mut cfg = StarConfig::new(address, Runner::address_of(*gateway));
@@ -365,6 +366,12 @@ impl Runner {
     #[must_use]
     pub fn mesh_node(&self, i: usize) -> Option<&MeshNode> {
         self.sim.node(self.ids[i]).node.as_mesh()
+    }
+
+    /// The flooding state of node `i` (None under any other protocol).
+    #[must_use]
+    pub fn flood_node(&self, i: usize) -> Option<&FloodNode> {
+        self.sim.node(self.ids[i]).node.as_flood()
     }
 
     /// Current simulated time.

@@ -32,6 +32,9 @@ cargo test -q --offline -p meshlint
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> cargo test -q --offline -p loramesher --features crypto (AES-CTR flood payload encryption leg)"
+cargo test -q --offline -p loramesher --features crypto
+
 echo "==> bench_scaling --smoke (link-cache + sharded-engine transparency smoke)"
 cargo run --release --offline -p bench --bin bench_scaling -- --smoke
 
@@ -40,5 +43,8 @@ cargo run -q --release --offline -p meshsim -- --nodes 12 --duration 120 --shard
 
 echo "==> meshsim --shards 4 --threads 2 --rng-streams smoke (parallel batch commit through the CLI)"
 cargo run -q --release --offline -p meshsim -- --nodes 12 --duration 120 --shards 4 --threads 2 --rng-streams >/dev/null
+
+echo "==> meshsim --protocol flooding --shards 4 --threads 2 --rng-streams smoke (flooding stack on the parallel engine)"
+cargo run -q --release --offline -p meshsim -- --protocol flooding --nodes 12 --duration 120 --shards 4 --threads 2 --rng-streams >/dev/null
 
 echo "ci: all checks passed"

@@ -123,7 +123,7 @@ fn mesh_fingerprint(seed: u64) -> u64 {
 }
 
 /// Managed flooding over a line: every relay consults the
-/// duplicate-suppression set in `mesh_baselines::flooding`.
+/// duplicate-suppression cache in `loramesher::flood`.
 fn flooding_fingerprint(seed: u64) -> u64 {
     let mut net = NetworkBuilder::mesh(topology::line(4, 100.0), seed)
         .protocol(ProtocolChoice::Flooding { ttl: 5 })
@@ -162,29 +162,39 @@ const MESH_GOLDEN: [(u64, u64); 2] = [
     (11, 13_788_772_325_276_016_391),
     (31, 10_569_796_329_372_555_057),
 ];
+/// Regen history: re-pinned when the mesh-baselines flooder was retired
+/// in favour of the first-class `loramesher::flood` stack (protocol
+/// refactor PR) — the new stack's SNR/contention-weighted rebroadcast
+/// delay intentionally changes the traces. Regenerate with
+/// `COLLECTION_SWAP_REGEN=1 cargo test --test collection_swap_diff --
+/// --nocapture`. The MESH_GOLDEN rows above are original recordings and
+/// must never move.
 const FLOODING_GOLDEN: [(u64, u64); 2] = [
-    (11, 1_602_448_124_015_804_826),
-    (31, 5_274_257_377_190_025_510),
+    (11, 6_921_568_027_091_372_036),
+    (31, 2_630_881_976_373_650_847),
 ];
+
+fn check(label: &str, seed: u64, actual: u64, golden: u64) {
+    if std::env::var_os("COLLECTION_SWAP_REGEN").is_some() {
+        println!("    ({seed}, {actual}),  // {label}");
+        return;
+    }
+    assert_eq!(
+        actual, golden,
+        "{label} run at seed {seed} diverged from the pre-swap recording"
+    );
+}
 
 #[test]
 fn mesh_traces_unchanged_by_collection_swap() {
     for (seed, golden) in MESH_GOLDEN {
-        assert_eq!(
-            mesh_fingerprint(seed),
-            golden,
-            "mesh run at seed {seed} diverged from the pre-swap recording"
-        );
+        check("mesh", seed, mesh_fingerprint(seed), golden);
     }
 }
 
 #[test]
 fn flooding_traces_unchanged_by_collection_swap() {
     for (seed, golden) in FLOODING_GOLDEN {
-        assert_eq!(
-            flooding_fingerprint(seed),
-            golden,
-            "flooding run at seed {seed} diverged from the pre-swap recording"
-        );
+        check("flooding", seed, flooding_fingerprint(seed), golden);
     }
 }

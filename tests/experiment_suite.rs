@@ -1,5 +1,5 @@
 //! Smoke test for the complete evaluation harness: every experiment
-//! (E1–E12 and the ablations) runs end to end in quick mode and produces
+//! (E1–E13 and the ablations) runs end to end in quick mode and produces
 //! a well-formed, non-empty table. This is the regression net under
 //! `cargo bench` — if a protocol change breaks an experiment, it fails
 //! here first, in `cargo test`.
@@ -9,7 +9,7 @@ use loramesher_repro::scenario::experiments::{self, ExpOptions};
 #[test]
 fn every_experiment_produces_a_table() {
     let tables = experiments::all(&ExpOptions::quick());
-    assert_eq!(tables.len(), 16, "E1–E12 + A1–A4");
+    assert_eq!(tables.len(), 17, "E1–E13 + A1–A4");
     for table in &tables {
         assert!(!table.title.is_empty());
         assert!(!table.columns.is_empty(), "{}", table.title);

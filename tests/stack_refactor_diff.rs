@@ -245,6 +245,13 @@ fn run_baseline(seed: u64, protocol: ProtocolChoice) -> Runner {
 }
 
 /// Golden hashes captured on the pre-split `MeshNode` monolith.
+///
+/// Regen history: the "flooding" row was re-pinned when the
+/// mesh-baselines flooder was retired in favour of the first-class
+/// `loramesher::flood` stack (SNR/contention-weighted rebroadcast delay
+/// and the shared-bus MAC make the traces intentionally different); all
+/// mesh/star/sweep rows are the original monolith recordings and must
+/// never move.
 const GOLDEN: &[(&str, u64, u64)] = &[
     ("static", 11, 0x1ac234958047f884),
     ("static", 12, 0x0dfa3239f693301b),
@@ -255,7 +262,7 @@ const GOLDEN: &[(&str, u64, u64)] = &[
     ("full", 11, 0xa1df7cbd03bd3898),
     ("full", 12, 0x41ac1d1b60bbeb07),
     ("full", 13, 0x68812fdf7845c4ce),
-    ("flooding", 11, 0xa1e49e4506d05496),
+    ("flooding", 11, 0x0035e4932ff05a73),
     ("star", 11, 0xc7fd375da09ac3d3),
     ("sweep", 29, 0x967778a70f116a33),
 ];

@@ -114,7 +114,7 @@ fn run_parallel_matches_serial_for_simulation_sized_work() {
     }
 }
 
-/// Down-scaled exp_all smoke: the full 16-experiment suite, replicated
+/// Down-scaled exp_all smoke: the full 17-experiment suite, replicated
 /// over 2 seeds and sharded over 2 workers, finishes well inside the
 /// tier-1 test budget and yields well-formed tables.
 #[test]
@@ -122,7 +122,7 @@ fn quick_suite_runs_multi_seed_end_to_end() {
     let start = Instant::now();
     let tables = experiments::all(&opts(2, 2));
     let elapsed = start.elapsed();
-    assert_eq!(tables.len(), 16, "E1–E12 + A1–A4");
+    assert_eq!(tables.len(), 17, "E1–E13 + A1–A4");
     for table in &tables {
         assert!(!table.rows.is_empty(), "{} produced no rows", table.title);
         for row in &table.rows {
